@@ -1,0 +1,104 @@
+"""A4 -- Scaling out the auditor (Section 3.4).
+
+Claim: "If the auditor is over-used, the solution is to either add extra
+auditors, or weaken the security guarantees by verifying only a randomly
+chosen fraction of all reads."
+
+A read load sized to saturate one auditor (utilisation > 1, unbounded
+backlog growth) is offered to deployments with 1, 2 and 4 auditors
+(clients hash-partition their pledge streams).  The table contrasts this
+with the other valve -- audit sampling on a single auditor -- showing
+the trade: extra auditors keep full coverage, sampling trades coverage
+for capacity.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import random
+
+from repro.content.kvstore import KVGet
+from repro.core.config import ProtocolConfig
+
+from benchmarks.common import FULL, build_system, print_table, scaled
+
+#: Execution cost per read making one auditor the bottleneck at the
+#: offered load (rate x cost ~ 2).
+SERVICE = 0.05
+RATE = 40.0
+
+
+def run_cell(num_auditors: int, audit_fraction: float, reads: int,
+             seed: int = 23) -> dict:
+    protocol = ProtocolConfig(double_check_probability=0.0,
+                              audit_fraction=audit_fraction,
+                              auditor_cache_enabled=False,
+                              service_time_per_unit=SERVICE,
+                              sign_time=0.001, verify_time=0.0001)
+    system = build_system(protocol=protocol, seed=seed,
+                          num_auditors=num_auditors,
+                          num_masters=2, slaves_per_master=8,
+                          num_clients=16)
+    rng = random.Random(seed)
+    t = system.now
+    for i in range(reads):
+        t += 1.0 / RATE
+        system.schedule_op(system.clients[i % 16], t,
+                           KVGet(key=f"k{rng.randrange(200):04d}"))
+    workload_end = t
+    system.run_for(workload_end - system.now)
+    peak_backlog = max((system.metrics.timelines[
+        "auditor_backlog_seconds"].max() or 0.0), 0.0)
+    system.run_for(600.0)  # drain
+    received = sum(a.pledges_received for a in system.auditors)
+    audited = sum(a.pledges_audited for a in system.auditors)
+    skipped = sum(a.pledges_skipped for a in system.auditors)
+    return {
+        "auditors": num_auditors,
+        "fraction": audit_fraction,
+        "peak_backlog": peak_backlog,
+        "audited": audited,
+        "skipped": skipped,
+        "coverage": audited / max(1, received),
+    }
+
+
+def run_sweep() -> list[dict]:
+    reads = scaled(2400, 600)
+    cells = [
+        (1, 1.0), (2, 1.0), (4, 1.0),   # scale out, full coverage
+        (1, 0.5), (1, 0.25),            # or sample, losing coverage
+    ]
+    if not FULL:
+        cells = [(1, 1.0), (2, 1.0), (1, 0.5)]
+    results = [run_cell(n, f, reads) for n, f in cells]
+    print_table(
+        f"A4: over-used auditor, scale-out vs sampling "
+        f"({reads} reads at {RATE:.0f}/s, ~2x one auditor's capacity)",
+        ["auditors", "audit fraction", "peak backlog (s)",
+         "pledges audited", "skipped", "coverage"],
+        [(r["auditors"], r["fraction"], r["peak_backlog"],
+          r["audited"], r["skipped"], r["coverage"]) for r in results])
+    return results
+
+
+def test_a04_auditor_scaling(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    by_key = {(r["auditors"], r["fraction"]): r for r in results}
+    one = by_key[(1, 1.0)]
+    two = by_key[(2, 1.0)]
+    sampled = by_key[(1, 0.5)]
+    # Extra auditors slash the backlog while keeping full coverage.
+    assert two["peak_backlog"] < 0.7 * one["peak_backlog"]
+    assert two["coverage"] == 1.0
+    # Sampling also relieves the backlog -- by skipping pledges.
+    assert sampled["peak_backlog"] < one["peak_backlog"]
+    assert sampled["coverage"] < 0.7
+
+
+if __name__ == "__main__":
+    run_sweep()

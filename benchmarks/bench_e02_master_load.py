@@ -1,0 +1,81 @@
+"""E2 -- Master workload vs. double-check probability (Section 3.3).
+
+Claim: the double-check probability "should be small enough so it does
+not excessively increase the workload on the masters".  The expected
+master-side read load is exactly ``p`` of the slave-side load
+(:func:`repro.analysis.detection.master_load_fraction`).
+
+Sweep ``p``; drive a fixed honest read workload; measure the fraction of
+reads that also executed on a master and the masters' busy time relative
+to the slaves'.  Shape: master load grows linearly in ``p``; at p=1 the
+masters do as much read work as the slave fleet (the "100% correctness"
+price).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from repro.analysis.detection import master_load_fraction
+from repro.core.config import ProtocolConfig
+
+from benchmarks.common import (
+    FULL,
+    build_system,
+    print_table,
+    scaled,
+    schedule_uniform_reads,
+)
+
+
+def measure(p: float, reads: int, seed: int = 3) -> dict:
+    protocol = ProtocolConfig(double_check_probability=p,
+                              greedy_allowance_rate=100.0,
+                              greedy_burst=1000.0)
+    system = build_system(protocol=protocol, seed=seed)
+    end = schedule_uniform_reads(system, reads, rate=20.0, seed=seed)
+    system.run_for(end - system.now + 60.0)
+    served = system.metrics.count("double_checks_served")
+    sensitive = system.metrics.count("sensitive_reads")
+    accepted = system.metrics.count("reads_accepted")
+    master_busy = sum(m.work.total_busy for m in system.masters)
+    slave_busy = sum(s.work.total_busy for s in system.slaves)
+    return {
+        "p": p,
+        "accepted": accepted,
+        "master_fraction": (served + sensitive) / max(1.0, accepted),
+        "expected_fraction": master_load_fraction(p),
+        "master_busy_s": master_busy,
+        "slave_busy_s": slave_busy,
+        "busy_ratio": master_busy / slave_busy if slave_busy else 0.0,
+    }
+
+
+def run_sweep() -> list[dict]:
+    probabilities = ([0.0, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0] if FULL
+                     else [0.0, 0.1, 0.5])
+    reads = scaled(2000, 400)
+    results = [measure(p, reads) for p in probabilities]
+    print_table(
+        "E2: master read-load overhead vs double-check probability",
+        ["p", "reads", "master/slave reads", "expected p",
+         "master busy (s)", "slave busy (s)", "busy ratio"],
+        [(r["p"], int(r["accepted"]), r["master_fraction"],
+          r["expected_fraction"], r["master_busy_s"], r["slave_busy_s"],
+          r["busy_ratio"]) for r in results])
+    return results
+
+
+def test_e02_master_load(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    fractions = [r["master_fraction"] for r in results]
+    assert fractions == sorted(fractions)  # monotone in p
+    for r in results:
+        assert abs(r["master_fraction"] - r["expected_fraction"]) < 0.08
+
+
+if __name__ == "__main__":
+    run_sweep()

@@ -1,0 +1,99 @@
+"""E4 -- The auditor's throughput advantage over slaves (Section 3.4).
+
+Claim: "the auditor has several advantages over the slaves it has to
+verify, which allow it to achieve a much higher throughput": it produces
+no digital signatures, sends no answers, and can cache query results.
+
+Replay the same read stream through the slave path and the audit path
+and compare seconds of simulated compute per read, then ablate each
+advantage:
+
+* ``slave``      -- execute + hash + sign (what every slave pays);
+* ``audit``      -- verify x2 + (execute + hash | cached hash);
+* ``audit-nocache`` -- same with the result cache disabled;
+* analytic columns show the crypto-only floor.
+
+Shape: the auditor processes reads several times faster than a slave,
+and caching widens the gap on skewed workloads.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import random
+
+from repro.core.config import ProtocolConfig
+from repro.workloads import ZipfKeys
+
+from benchmarks.common import FULL, build_system, print_table, scaled
+from repro.content.kvstore import KVGet
+
+
+def measure(zipf_skew: float, reads: int, cache_enabled: bool,
+            seed: int = 9) -> dict:
+    protocol = ProtocolConfig(double_check_probability=0.0,
+                              auditor_cache_enabled=cache_enabled)
+    system = build_system(protocol=protocol, seed=seed)
+    keys = ZipfKeys(num_keys=200, skew=zipf_skew, prefix="k")
+    rng = random.Random(seed)
+    t = system.now
+    for i in range(reads):
+        t += 0.05
+        client = system.clients[i % len(system.clients)]
+        # Map zipf names onto the seeded key space k0000..k0199.
+        index = int(keys.sample(rng).split("_")[1])
+        system.schedule_op(client, t, KVGet(key=f"k{index:04d}"))
+    system.run_for(t - system.now + 120.0)
+    slave_busy = sum(s.work.total_busy for s in system.slaves)
+    slave_reads = system.metrics.count("slave_reads_served")
+    audited = system.auditor.pledges_audited
+    return {
+        "slave_per_read": slave_busy / max(1.0, slave_reads),
+        "audit_per_read": system.auditor.work.total_busy / max(1, audited),
+        "cache_hit_rate": system.auditor.cache_hit_rate(),
+        "audited": audited,
+    }
+
+
+def run_sweep() -> list[tuple]:
+    reads = scaled(3000, 500)
+    config = ProtocolConfig()
+    rows = []
+    for skew in ([0.0, 0.8, 1.2] if FULL else [0.0, 1.2]):
+        cached = measure(skew, reads, cache_enabled=True)
+        uncached = measure(skew, reads, cache_enabled=False)
+        rows.append((
+            skew,
+            cached["slave_per_read"],
+            cached["audit_per_read"],
+            uncached["audit_per_read"],
+            cached["slave_per_read"] / cached["audit_per_read"],
+            cached["cache_hit_rate"],
+        ))
+    print_table(
+        "E4: per-read compute, slave path vs audit path "
+        f"(sign={config.sign_time*1e3:.1f}ms, "
+        f"verify={config.verify_time*1e3:.2f}ms)",
+        ["zipf skew", "slave s/read", "audit s/read",
+         "audit s/read (no cache)", "auditor speedup x", "cache hit rate"],
+        rows)
+    return rows
+
+
+def test_e04_auditor_throughput(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    for row in rows:
+        speedup = row[4]
+        assert speedup > 3.0  # "much higher throughput"
+        # Cache must not be slower than no cache.
+        assert row[2] <= row[3] * 1.05
+    # Skewed workloads cache better than uniform ones.
+    assert rows[-1][5] > rows[0][5]
+
+
+if __name__ == "__main__":
+    run_sweep()

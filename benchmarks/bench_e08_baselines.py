@@ -1,0 +1,220 @@
+"""E8 -- Ours vs state signing vs quorum SMR (Sections 1 and 5).
+
+Claims: the scheme "allows dynamic data replication with support for
+random queries, while avoiding much of the overhead associated with state
+machine replication", while state-signing systems "can only support
+semi-static data content and restrictive, pre-defined types of queries"
+(dynamic queries fall back to trusted hosts).
+
+One read-mostly workload (point gets + a slice of dynamic
+range/aggregate queries) runs through all three systems; the table
+reports per-read resource usage by trust domain.  Shape to reproduce:
+
+* SMR charges ``2f+1`` untrusted executions + signatures per read;
+* state signing is cheap on point reads but its *trusted* cost explodes
+  with the dynamic-query fraction;
+* ours stays at one untrusted execution + one signature per read with a
+  small trusted overhead (p double-checks + deferred, cacheable audit).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import random
+
+from repro.analysis.costmodel import (
+    our_per_read_costs,
+    smr_per_read_costs,
+    state_signing_per_read_costs,
+)
+from repro.baselines import (
+    QuorumClient,
+    QuorumReplicaGroup,
+    StateSigningClient,
+    StateSigningPublisher,
+    StateSigningStorage,
+)
+from repro.content.kvstore import KVAggregate, KVGet, KVRange, KeyValueStore
+from repro.core.config import ProtocolConfig
+
+from benchmarks.common import build_system, print_table, scaled
+
+NUM_KEYS = 200
+DYNAMIC_FRACTION = 0.1
+P = 0.05
+
+
+def make_workload(reads: int, seed: int):
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(reads):
+        roll = rng.random()
+        if roll < DYNAMIC_FRACTION / 2:
+            start = rng.randrange(NUM_KEYS - 20)
+            ops.append(KVRange(start=f"k{start:04d}",
+                               end=f"k{start + 20:04d}"))
+        elif roll < DYNAMIC_FRACTION:
+            ops.append(KVAggregate(prefix="k", func="count"))
+        else:
+            ops.append(KVGet(key=f"k{rng.randrange(NUM_KEYS):04d}"))
+    return ops
+
+
+def run_ours(ops, seed: int = 12) -> dict:
+    system = build_system(
+        protocol=ProtocolConfig(double_check_probability=P,
+                                greedy_allowance_rate=100.0,
+                                greedy_burst=1000.0),
+        seed=seed)
+    t = system.now
+    for i, op in enumerate(ops):
+        t += 0.1
+        system.schedule_op(system.clients[i % 4], t, op)
+    system.run_for(t - system.now + 90.0)
+    n = max(1.0, system.metrics.count("reads_accepted"))
+    config = system.config
+    slave_sigs = sum(s.keys.signatures_made for s in system.slaves)
+    served = system.metrics.count("slave_reads_served")
+    # Separate crypto time from content-store execution time so the
+    # "units" column is comparable across systems (signatures get their
+    # own column).
+    untrusted_busy = sum(s.work.total_busy for s in system.slaves)
+    untrusted_exec = (untrusted_busy - slave_sigs * config.sign_time
+                      - served * config.hash_time)
+    audits = system.auditor.pledges_audited
+    trusted_busy = (sum(m.work.total_busy for m in system.masters)
+                    + system.auditor.work.total_busy)
+    trusted_exec = (trusted_busy - 2 * audits * config.verify_time
+                    - audits * config.hash_time)
+    return {
+        "system": "ours (p=%.2f)" % P,
+        "untrusted_units": untrusted_exec
+        / config.service_time_per_unit / n,
+        "trusted_units": trusted_exec
+        / config.service_time_per_unit / n,
+        "signatures": slave_sigs / n,
+        "latency": system.metrics.summary("read_latency")["mean"],
+        "dynamic_ok": True,
+    }
+
+
+def run_state_signing(ops, seed: int = 13) -> dict:
+    items = {f"k{i:04d}": i for i in range(NUM_KEYS)}
+    publisher = StateSigningPublisher(items, rng=random.Random(seed))
+    storage = StateSigningStorage(publisher)
+    client = StateSigningClient(publisher.keys.public_key,
+                                rng=random.Random(seed + 1))
+    rtt = 0.02
+    latencies = []
+    for op in ops:
+        outcome = client.read(op, storage, publisher)
+        # Point read: one round trip; dynamic read: the trusted host
+        # fetches every item first (n round trips, pipelined x16).
+        if outcome["path"] == "storage":
+            latencies.append(rtt)
+        else:
+            latencies.append(rtt * (1 + NUM_KEYS / 16))
+    n = len(ops)
+    return {
+        "system": "state signing",
+        "untrusted_units": (storage.ledger.untrusted_compute_units
+                            + publisher.ledger.untrusted_compute_units) / n,
+        "trusted_units": publisher.ledger.trusted_compute_units / n,
+        "signatures": publisher.ledger.signatures / n,
+        "latency": sum(latencies) / n,
+        "dynamic_ok": False,  # only via trusted fallback
+    }
+
+
+def run_smr(ops, f: int = 1, seed: int = 14) -> dict:
+    group = QuorumReplicaGroup(KeyValueStore(
+        {f"k{i:04d}": i for i in range(NUM_KEYS)}), f=f, seed=seed)
+    client = QuorumClient(group)
+    for op in ops:
+        client.read(op)
+    n = len(ops)
+    per_op = group.ledger.per_operation()
+    return {
+        "system": f"SMR quorum (f={f})",
+        "untrusted_units": per_op["untrusted_units"],
+        "trusted_units": per_op["trusted_units"],
+        "signatures": per_op["signatures"],
+        "latency": per_op["mean_latency"],
+        "dynamic_ok": True,
+    }
+
+
+def run_sweep() -> list[dict]:
+    reads = scaled(2000, 300)
+    ops = make_workload(reads, seed=11)
+    results = [run_ours(ops), run_state_signing(ops), run_smr(ops, f=1)]
+    print_table(
+        f"E8: per-read cost, {reads} reads, "
+        f"{DYNAMIC_FRACTION:.0%} dynamic queries",
+        ["system", "untrusted units/read", "trusted units/read",
+         "signatures/read", "mean latency (s)", "dynamic queries"],
+        [(r["system"], r["untrusted_units"], r["trusted_units"],
+          r["signatures"], r["latency"],
+          "untrusted" if r["dynamic_ok"] else "trusted-only")
+         for r in results])
+    model = [
+        ("model ours", our_per_read_costs(P)),
+        ("model SMR f=1", smr_per_read_costs(1)),
+        ("model state-signing",
+         state_signing_per_read_costs(NUM_KEYS, DYNAMIC_FRACTION)),
+    ]
+    print_table(
+        "E8 (analytic overlay)",
+        ["model", "untrusted units", "trusted units", "signatures"],
+        [(name, m["untrusted_units"], m["trusted_units"], m["signatures"])
+         for name, m in model])
+    crossover_table()
+    return results
+
+
+def crossover_table() -> None:
+    """Where the paper's knob stops paying: total compute vs p.
+
+    As p -> 1 every read runs on a master anyway; the analytic sweep
+    shows the regime where statistical checking beats brute force.  SMR's
+    cost is constant in p; ours grows linearly in trusted work (with the
+    full audit's deferred execution discounted by a warm cache).
+    """
+    rows = []
+    smr = smr_per_read_costs(1)
+    smr_total = smr["untrusted_units"] + smr["trusted_units"]
+    for p in (0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0):
+        ours = our_per_read_costs(p, audit_fraction=1.0,
+                                  audit_cache_hit_rate=0.8)
+        total = ours["untrusted_units"] + ours["trusted_units"]
+        rows.append((p, ours["trusted_units"], total, smr_total,
+                     total / smr_total))
+    print_table(
+        "E8b (analytic): total executions/read vs p "
+        "(audit cache hit 0.8; SMR f=1 reference)",
+        ["p", "ours trusted", "ours total", "SMR total", "ours/SMR"],
+        rows)
+
+
+def test_e08_baselines(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    ours, signing, smr = results
+    # SMR burns quorum-many untrusted executions per read; ours one.
+    assert smr["untrusted_units"] > 2.5 * ours["untrusted_units"]
+    # SMR signs 2f+1 times per read; ours once.
+    assert smr["signatures"] >= 3 * 0.9
+    assert 0.9 <= ours["signatures"] <= 1.3
+    # State signing dumps the dynamic fraction on trusted hosts: its
+    # trusted cost per read clearly exceeds ours (the gap widens further
+    # in full mode, where the audit cache is warm).
+    assert signing["trusted_units"] > 2 * ours["trusted_units"]
+    # Latency: SMR waits for the slowest quorum member.
+    assert smr["latency"] > ours["latency"]
+
+
+if __name__ == "__main__":
+    run_sweep()

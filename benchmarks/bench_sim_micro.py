@@ -1,0 +1,104 @@
+"""S0 -- Simulation-substrate micro-benchmarks (not a paper experiment).
+
+Measures the raw event/message throughput of the discrete-event core so
+users can size experiments: how many simulated protocol messages per
+wall-clock second a laptop sustains, and what one full read transaction
+costs end to end.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import time
+
+from repro.content.kvstore import KVGet
+from repro.core.config import ProtocolConfig
+from repro.sim.network import Network, Node
+from repro.sim.simulator import Simulator
+
+from benchmarks.common import build_system, print_table, scaled
+
+
+class _Pinger(Node):
+    """Two of these bounce a message back and forth."""
+
+    def __init__(self, node_id, sim, net, peer_id, hops):
+        super().__init__(node_id, sim, net)
+        self.peer_id = peer_id
+        self.remaining = hops
+
+    def on_message(self, src_id, message):
+        if self.remaining > 0:
+            self.remaining -= 1
+            self.send(self.peer_id, message)
+
+
+def bare_event_rate(events: int) -> float:
+    sim = Simulator()
+    count = 0
+
+    def tick():
+        nonlocal count
+        count += 1
+        if count < events:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    start = time.perf_counter()
+    sim.run_to_completion(max_events=events + 10)
+    return events / (time.perf_counter() - start)
+
+
+def message_rate(messages: int) -> float:
+    sim = Simulator()
+    net = Network(sim)
+    a = _Pinger("a", sim, net, "b", messages)
+    b = _Pinger("b", sim, net, "a", messages)
+    a.send("b", "ping")
+    start = time.perf_counter()
+    sim.run_to_completion(max_events=10 * messages)
+    return net.messages_delivered / (time.perf_counter() - start)
+
+
+def protocol_read_rate(reads: int) -> float:
+    from benchmarks.common import schedule_uniform_reads
+
+    system = build_system(protocol=ProtocolConfig(
+        double_check_probability=0.05))
+    end = schedule_uniform_reads(system, reads, rate=50.0)
+    start = time.perf_counter()
+    system.run_for(end - system.now + 30.0)
+    return reads / (time.perf_counter() - start)
+
+
+def run_sweep() -> dict:
+    events = scaled(300_000, 50_000)
+    result = {
+        "bare_events_per_s": bare_event_rate(events),
+        "messages_per_s": message_rate(events // 3),
+        "protocol_reads_per_s": protocol_read_rate(scaled(3000, 600)),
+    }
+    print_table(
+        "S0: simulation-substrate throughput (wall clock)",
+        ["metric", "per second"],
+        [("bare simulator events", result["bare_events_per_s"]),
+         ("network messages (2-node ping)", result["messages_per_s"]),
+         ("full protocol reads (E2-style system)",
+          result["protocol_reads_per_s"])])
+    return result
+
+
+def test_s0_sim_micro(benchmark):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    # Sanity floors: a laptop should clear these by a wide margin.
+    assert result["bare_events_per_s"] > 50_000
+    assert result["messages_per_s"] > 20_000
+    assert result["protocol_reads_per_s"] > 200
+
+
+if __name__ == "__main__":
+    run_sweep()

@@ -1,0 +1,110 @@
+"""Adversary showcase: every Byzantine strategy against every defence.
+
+Runs the same read workload against four deployments, one per adversary
+archetype, and prints how (and how fast) each is neutralised:
+
+* ``always-lie``        -- caught red-handed by the first double-check;
+* ``stealthy``          -- 5% lie rate; slips past double-checks for a
+                           while, the background audit gets it anyway;
+* ``targeted``          -- lies only to one victim; the victim's own
+                           forwarded pledges convict it;
+* ``colluding quorum``  -- two colluders against quorum-2 reads; their
+                           identical lies pass the cross-check, the audit
+                           still ends them.
+
+Run:  python examples/byzantine_slave_demo.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.content.kvstore import KVGet, KeyValueStore
+from repro.core.adversary import (
+    AlwaysLie,
+    Colluding,
+    ProbabilisticLie,
+    TargetedLie,
+)
+from repro.core.config import ProtocolConfig
+from repro.core.system import DeploymentSpec, ReplicationSystem
+
+
+def run_scenario(name: str, adversaries: dict, protocol: ProtocolConfig,
+                 reads: int = 300, seed: int = 3) -> dict:
+    spec = DeploymentSpec(
+        num_masters=2, slaves_per_master=2, num_clients=4, seed=seed,
+        protocol=protocol,
+        store_factory=lambda: KeyValueStore(
+            {f"k{i:03d}": i for i in range(100)}),
+        adversaries=adversaries,
+    )
+    system = ReplicationSystem.build(spec)
+    system.start()
+    rng = random.Random(seed)
+    t = system.now
+    first_exclusion = None
+    start = t
+    for i in range(reads):
+        t += 0.2
+        system.schedule_op(system.clients[i % 4], t,
+                           KVGet(key=f"k{rng.randrange(100):03d}"))
+    while system.now < t + 90.0:
+        system.run_for(1.0)
+        if (first_exclusion is None
+                and system.metrics.count("exclusions") >= 1):
+            first_exclusion = system.now - start
+    counters = system.metrics.snapshot()
+    classification = system.classify_accepted_reads()
+    return {
+        "scenario": name,
+        "lies": int(counters.get("slave_lies_served", 0)),
+        "immediate": int(counters.get("immediate_detections", 0)),
+        "audit": system.auditor.detections,
+        "excluded": int(counters.get("exclusions", 0)),
+        "wrong_accepted": classification["accepted_wrong"],
+        "first_exclusion_s": first_exclusion,
+    }
+
+
+def main() -> None:
+    base = dict(max_latency=3.0, keepalive_interval=0.8)
+    results = [
+        run_scenario(
+            "always-lie vs double-checks",
+            {0: AlwaysLie()},
+            ProtocolConfig(double_check_probability=0.2, **base)),
+        run_scenario(
+            "stealthy 5% liar vs audit",
+            {0: ProbabilisticLie(0.05, rng=random.Random(1))},
+            ProtocolConfig(double_check_probability=0.02, **base)),
+        run_scenario(
+            "targeted liar (victim: client-00)",
+            {0: TargetedLie({"client-00"}, rng=random.Random(2))},
+            ProtocolConfig(double_check_probability=0.0, **base)),
+        run_scenario(
+            "colluding pair vs quorum-2 reads",
+            {0: Colluding(99), 1: Colluding(99)},
+            ProtocolConfig(double_check_probability=0.0, read_quorum=2,
+                           **base)),
+    ]
+    header = (f"{'scenario':38} {'lies':>5} {'red-handed':>10} "
+              f"{'audit':>6} {'ejected':>8} {'wrong':>6} {'t-detect':>9}")
+    print(header)
+    print("-" * len(header))
+    for r in results:
+        t_detect = ("%.1fs" % r["first_exclusion_s"]
+                    if r["first_exclusion_s"] is not None else "never")
+        print(f"{r['scenario']:38} {r['lies']:>5} {r['immediate']:>10} "
+              f"{r['audit']:>6} {r['excluded']:>8} "
+              f"{r['wrong_accepted']:>6} {t_detect:>9}")
+    print("\nEvery adversary that lied was excluded; wrong accepts are the"
+          "\nlies that landed before detection -- each one is known to the"
+          "\naudit, which is the paper's accountability guarantee.")
+    for r in results:
+        if r["lies"]:
+            assert r["excluded"] >= 1
+
+
+if __name__ == "__main__":
+    main()

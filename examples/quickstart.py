@@ -1,0 +1,55 @@
+"""Quickstart: a complete secure-replication deployment in ~40 lines.
+
+Builds the full cast of the paper's Section 2 -- content owner, public
+directory, trusted masters, an elected auditor, untrusted slaves and
+clients -- on the discrete-event simulator, performs a write and a read,
+and prints the run summary.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.content.kvstore import KVGet, KVPut, KeyValueStore
+from repro.core.config import ProtocolConfig
+from repro.core.system import DeploymentSpec, ReplicationSystem
+
+
+def main() -> None:
+    spec = DeploymentSpec(
+        num_masters=3,          # trusted servers run by the content owner
+        slaves_per_master=4,    # untrusted CDN replicas
+        num_clients=8,
+        seed=2003,
+        protocol=ProtocolConfig(
+            max_latency=5.0,              # the inconsistency window bound
+            keepalive_interval=1.0,       # signed version heartbeats
+            double_check_probability=0.1  # 10% of reads re-checked
+        ),
+        store_factory=lambda: KeyValueStore({"motd": "hello, HotOS"}),
+    )
+    system = ReplicationSystem.build(spec)
+    system.start()
+
+    client = system.clients[0]
+
+    def show(outcome: dict) -> None:
+        print(f"  -> {outcome}")
+
+    print("writing motd (executed on masters, totally ordered) ...")
+    client.submit_write(KVPut(key="motd", value="replicas can lie"),
+                        callback=show)
+    system.run_for(10.0)
+
+    print("reading motd (executed by an untrusted slave, pledged) ...")
+    client.submit_read(KVGet(key="motd"), callback=show)
+    system.run_for(10.0)
+
+    print("\nrun summary:")
+    print(json.dumps(system.summary(), indent=2, default=str))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Reproduction of "Secure Data Replication over Untrusted Hosts" (HotOS 2003).
+
+Popescu, Crispo and Tanenbaum describe an architecture in which data content
+is replicated on *untrusted* slave servers fronted by a small set of trusted
+master servers.  Reads are executed by slaves and protected statistically --
+by client-driven probabilistic double-checking against a master and by a
+background auditor that re-executes every read -- while writes are executed
+only on the masters and disseminated lazily under a bounded inconsistency
+window (``max_latency``).
+
+This package implements the complete system plus every substrate the paper
+assumes:
+
+``repro.crypto``
+    Pure-Python RSA signatures, SHA-1 hashing, HMAC fast signatures,
+    certificates, and Merkle hash trees.
+``repro.sim``
+    A deterministic discrete-event WAN simulator with pluggable latency
+    models, message loss and crash-failure injection.
+``repro.broadcast``
+    A sequencer-based reliable totally-ordered broadcast tolerating benign
+    crashes (the protocol the paper cites as [8]).
+``repro.content``
+    Replicated data-content engines: a key-value store, an in-memory file
+    system with ``grep``, and a mini relational database, all driven by a
+    common serialisable query language.
+``repro.core``
+    The paper's contribution: masters, slaves, clients, the auditor, the
+    pledge/double-check/audit protocols, corrective action, and the
+    Section 4 variants.
+``repro.baselines``
+    The two comparison points from Section 5: Merkle state signing and
+    quorum state-machine replication.
+``repro.workloads``, ``repro.analysis``, ``repro.metrics``
+    Workload generators, closed-form analytic models, and instrumentation
+    used by the benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

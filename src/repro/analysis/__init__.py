@@ -1,0 +1,61 @@
+"""Closed-form analytic models for the paper's quantitative claims.
+
+Every experiment pairs its simulation with the matching analytic
+prediction from this package, so EXPERIMENTS.md can report
+theory-vs-measured for each claim:
+
+* :mod:`repro.analysis.detection` -- geometric detection model for
+  probabilistic checking (E1), master load overhead (E2), audit detection
+  (E3);
+* :mod:`repro.analysis.staleness` -- freshness-rejection probability as a
+  function of keep-alive interval, ``max_latency`` and network delay
+  (E6);
+* :mod:`repro.analysis.writes` -- write-throughput ceiling and
+  inconsistency-window bounds from the ``max_latency`` spacing rule (E7);
+* :mod:`repro.analysis.costmodel` -- per-read resource formulas for ours
+  vs. state signing vs. quorum SMR (E8);
+* :mod:`repro.analysis.quorum` -- collusion probabilities for the
+  quorum-read variant (E9).
+"""
+
+from repro.analysis.detection import (
+    detection_cdf,
+    detection_quantile,
+    expected_audit_detection_delay,
+    expected_reads_until_detection,
+    master_load_fraction,
+)
+from repro.analysis.staleness import (
+    staleness_rejection_probability,
+    expected_stamp_age,
+)
+from repro.analysis.writes import (
+    inconsistency_window,
+    max_write_rate,
+)
+from repro.analysis.costmodel import (
+    our_per_read_costs,
+    smr_per_read_costs,
+    state_signing_per_read_costs,
+)
+from repro.analysis.quorum import (
+    collusion_pass_probability,
+    undetected_lie_probability,
+)
+
+__all__ = [
+    "expected_reads_until_detection",
+    "detection_cdf",
+    "detection_quantile",
+    "expected_audit_detection_delay",
+    "master_load_fraction",
+    "staleness_rejection_probability",
+    "expected_stamp_age",
+    "max_write_rate",
+    "inconsistency_window",
+    "our_per_read_costs",
+    "smr_per_read_costs",
+    "state_signing_per_read_costs",
+    "collusion_pass_probability",
+    "undetected_lie_probability",
+]

@@ -1,0 +1,88 @@
+"""Per-read resource formulas for the three designs (experiment E8).
+
+These are the steady-state read-path costs; writes are excluded because
+all three systems take the read-dominated workloads of Section 2.  Units
+match :class:`repro.baselines.costs.CostLedger`.
+
+Ours (Sections 3.2-3.4), per read with double-check probability ``p`` and
+audit fraction ``a``:
+
+* untrusted compute: 1 execution (the slave) + 1 signature;
+* trusted compute: ``p`` executions (double-checks) + ``a`` executions
+  at the auditor, *discounted by its cache hit rate* ``h``;
+* client: 1 hash + 2 signature verifications (pledge + stamp).
+
+State signing, per point read: proof generation/verification only -- but
+dynamic queries cost a trusted fetch-verify-execute pass over the whole
+relevant subset (modelled as ``n_items`` fetches).
+
+Quorum SMR with resilience ``f``: ``2f + 1`` executions and signatures
+per read, client verifies all replies.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def our_per_read_costs(double_check_probability: float,
+                       audit_fraction: float = 1.0,
+                       audit_cache_hit_rate: float = 0.0,
+                       exec_units: float = 1.0) -> dict[str, float]:
+    """Expected per-read costs for the paper's design."""
+    _check("double_check_probability", double_check_probability)
+    _check("audit_fraction", audit_fraction)
+    _check("audit_cache_hit_rate", audit_cache_hit_rate)
+    p = double_check_probability
+    audit_exec = (audit_fraction * (1.0 - p)  # double-checked reads skip audit
+                  * (1.0 - audit_cache_hit_rate) * exec_units)
+    return {
+        "untrusted_units": exec_units,
+        "trusted_units": p * exec_units + audit_exec,
+        "signatures": 1.0,  # the slave's pledge; the auditor signs nothing
+        "verifications": 2.0 + audit_fraction * (1.0 - p) * 2.0,
+        "messages": 2.0 + 2.0 * p + (1.0 - p),  # read/reply, dc, forward
+    }
+
+
+def smr_per_read_costs(f: int, exec_units: float = 1.0) -> dict[str, float]:
+    """Expected per-read costs for quorum state-machine replication."""
+    if f < 0:
+        raise ValueError(f"f must be non-negative, got {f}")
+    quorum = 2 * f + 1
+    return {
+        "untrusted_units": quorum * exec_units,
+        "trusted_units": 0.0,
+        "signatures": float(quorum),
+        "verifications": float(quorum),
+        "messages": 2.0 * quorum,
+    }
+
+
+def state_signing_per_read_costs(n_items: int,
+                                 dynamic_fraction: float,
+                                 exec_units: float = 1.0) -> dict[str, float]:
+    """Expected per-read costs for Merkle state signing.
+
+    ``dynamic_fraction`` of reads are non-point queries that must run on
+    a trusted host after fetching and verifying all ``n_items`` relevant
+    items (Section 5's limitation).
+    """
+    _check("dynamic_fraction", dynamic_fraction)
+    if n_items < 1:
+        raise ValueError(f"n_items must be >= 1, got {n_items}")
+    proof_len = max(1.0, math.log2(n_items))
+    point = 1.0 - dynamic_fraction
+    return {
+        "untrusted_units": point * 1.0 + dynamic_fraction * n_items,
+        "trusted_units": dynamic_fraction * n_items * exec_units,
+        "signatures": 0.0,  # the root is signed per write, not per read
+        "verifications": point * 1.0 + dynamic_fraction * n_items,
+        "hashes": point * proof_len + dynamic_fraction * n_items * proof_len,
+        "messages": point * 2.0 + dynamic_fraction * 2.0 * n_items,
+    }
+
+
+def _check(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")

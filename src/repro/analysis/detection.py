@@ -1,0 +1,99 @@
+"""Detection models for probabilistic checking and auditing.
+
+Section 3.3 requires the double-check probability to be "small enough so
+it does not excessively increase the workload on the masters, but large
+enough so it guarantees that a malicious slave is caught red-handed
+quickly".  The underlying process is Bernoulli: a slave lying on each
+read with probability ``q``, each read independently double-checked with
+probability ``p``, is caught on a given read with probability ``p * q``
+-- so reads-until-detection is geometric.
+"""
+
+from __future__ import annotations
+
+
+def expected_reads_until_detection(double_check_probability: float,
+                                   lie_rate: float) -> float:
+    """Mean number of reads a lying slave serves before immediate discovery.
+
+    Geometric with success probability ``p * q``; infinite when either
+    dial is zero (then only the audit can catch the slave).
+    """
+    _check_probability("double_check_probability", double_check_probability)
+    _check_probability("lie_rate", lie_rate)
+    caught_per_read = double_check_probability * lie_rate
+    if caught_per_read == 0:
+        return float("inf")
+    return 1.0 / caught_per_read
+
+
+def detection_cdf(reads: int, double_check_probability: float,
+                  lie_rate: float) -> float:
+    """P(slave caught red-handed within ``reads`` reads)."""
+    if reads < 0:
+        raise ValueError(f"reads must be non-negative, got {reads}")
+    _check_probability("double_check_probability", double_check_probability)
+    _check_probability("lie_rate", lie_rate)
+    return 1.0 - (1.0 - double_check_probability * lie_rate) ** reads
+
+
+def expected_audit_detection_delay(lie_rate: float,
+                                   read_rate: float,
+                                   audit_fraction: float,
+                                   audit_lag: float) -> float:
+    """Mean time until the audit catches a slave lying at rate ``q``.
+
+    The slave serves lies at rate ``read_rate * q``; each lie's pledge is
+    audited with probability ``audit_fraction``, after roughly
+    ``audit_lag`` seconds of queueing/settling.  Expected delay is the
+    wait for the first audited lie plus the lag.
+    """
+    _check_probability("lie_rate", lie_rate)
+    _check_probability("audit_fraction", audit_fraction)
+    if read_rate <= 0:
+        raise ValueError(f"read_rate must be positive, got {read_rate}")
+    lie_audit_rate = read_rate * lie_rate * audit_fraction
+    if lie_audit_rate == 0:
+        return float("inf")
+    return 1.0 / lie_audit_rate + audit_lag
+
+
+def detection_quantile(quantile: float, double_check_probability: float,
+                       lie_rate: float) -> float:
+    """Reads by which a lying slave is caught with probability ``quantile``.
+
+    Inverse of :func:`detection_cdf`:
+    ``n = ln(1 - quantile) / ln(1 - p*q)``.  E.g. the 95th percentile of
+    detection cost is about ``3 / (p*q)`` reads.
+    """
+    if not 0.0 <= quantile < 1.0:
+        raise ValueError(f"quantile must be in [0, 1), got {quantile}")
+    _check_probability("double_check_probability", double_check_probability)
+    _check_probability("lie_rate", lie_rate)
+    caught_per_read = double_check_probability * lie_rate
+    if caught_per_read == 0:
+        return float("inf")
+    if caught_per_read == 1:
+        return 1.0
+    import math
+
+    return math.log(1.0 - quantile) / math.log(1.0 - caught_per_read)
+
+
+def master_load_fraction(double_check_probability: float,
+                         sensitive_fraction: float = 0.0) -> float:
+    """Fraction of all reads that also execute on a master.
+
+    Base protocol: ``p`` of reads double-check.  With the Section 4
+    security-level variant, ``sensitive_fraction`` of reads run *only* on
+    the master (probability 1), the rest double-check at ``p``.
+    """
+    _check_probability("double_check_probability", double_check_probability)
+    _check_probability("sensitive_fraction", sensitive_fraction)
+    return (sensitive_fraction
+            + (1.0 - sensitive_fraction) * double_check_probability)
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")

@@ -1,0 +1,57 @@
+"""Collusion models for the quorum-read variant (Section 4, experiment E9).
+
+"This approach ... has the advantage that a number of malicious slaves
+would have to collude in order to pass an incorrect answer."
+
+A wrong answer passes the client's cross-check only when *every* slave in
+the read quorum is in the same colluding group (identical lies).  Even
+then, the lie is caught by the client's probabilistic double-check or by
+the audit.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def collusion_pass_probability(num_slaves: int, num_colluding: int,
+                               quorum: int) -> float:
+    """P(every quorum member colludes) under uniform random assignment.
+
+    Hypergeometric: choosing ``quorum`` distinct slaves out of
+    ``num_slaves`` of which ``num_colluding`` collude.
+    """
+    if quorum < 1:
+        raise ValueError(f"quorum must be >= 1, got {quorum}")
+    if not 0 <= num_colluding <= num_slaves:
+        raise ValueError(
+            f"num_colluding must be in [0, {num_slaves}], "
+            f"got {num_colluding}")
+    if quorum > num_slaves:
+        raise ValueError(
+            f"quorum {quorum} exceeds population {num_slaves}")
+    if num_colluding < quorum:
+        return 0.0
+    return (math.comb(num_colluding, quorum)
+            / math.comb(num_slaves, quorum))
+
+
+def undetected_lie_probability(num_slaves: int, num_colluding: int,
+                               quorum: int,
+                               double_check_probability: float,
+                               audit_fraction: float = 1.0) -> float:
+    """P(a given lie is served, passes the quorum, and is never audited).
+
+    The quorum must be all-colluding, the client must skip the
+    double-check, and the auditor must skip that pledge.  With the
+    paper's default ``audit_fraction = 1`` this is zero: everything is
+    eventually caught, which is the whole point of Section 3.4.
+    """
+    if not 0.0 <= double_check_probability <= 1.0:
+        raise ValueError("double_check_probability must be in [0, 1]")
+    if not 0.0 <= audit_fraction <= 1.0:
+        raise ValueError("audit_fraction must be in [0, 1]")
+    pass_quorum = collusion_pass_probability(num_slaves, num_colluding,
+                                             quorum)
+    return (pass_quorum * (1.0 - double_check_probability)
+            * (1.0 - audit_fraction))

@@ -1,0 +1,66 @@
+"""Freshness model: when do clients reject answers as stale?
+
+Section 3.2: "it is possible that a result that was fresh when sent by
+the slave becomes stale by the time it reaches the client ... By
+carefully selecting the value for max_latency, and the frequency masters
+send keep-alive packets, the probability of such events occurring can be
+reduced."
+
+The stamp a client sees has age::
+
+    age = A + S + D
+
+where ``A ~ U[0, keepalive_interval]`` is the stamp's age when the read
+arrives at the slave (stamps are refreshed every interval, plus the
+master->slave delivery delay folded into the same uniform to first
+order), ``S`` is the slave's service time and ``D`` the slave->client
+delay.  The client rejects when ``age >= max_latency``.  The model
+evaluates ``P(reject)`` by deterministic quasi-Monte-Carlo over the
+supplied delay model -- exact enough to overlay on the E6 sweep.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.latency import LatencyModel
+
+
+def expected_stamp_age(keepalive_interval: float,
+                       mean_network_delay: float,
+                       mean_service_time: float = 0.0) -> float:
+    """First-order mean stamp age at the client."""
+    if keepalive_interval <= 0:
+        raise ValueError("keepalive_interval must be positive")
+    return keepalive_interval / 2.0 + mean_network_delay + mean_service_time
+
+
+def staleness_rejection_probability(
+    keepalive_interval: float,
+    max_latency: float,
+    delay_model: LatencyModel,
+    master_to_slave_delay: float = 0.0,
+    service_time: float = 0.0,
+    samples: int = 20_000,
+    seed: int = 20_030_601,
+) -> float:
+    """P(stamp age at client >= max_latency), by seeded Monte Carlo.
+
+    ``master_to_slave_delay`` and ``service_time`` are added
+    deterministically (use means); the slave->client delay is drawn from
+    ``delay_model``.
+    """
+    if keepalive_interval <= 0 or max_latency <= 0:
+        raise ValueError("intervals must be positive")
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    rng = random.Random(seed)
+    rejected = 0
+    for _ in range(samples):
+        stamp_age_at_slave = rng.uniform(0.0, keepalive_interval)
+        delay = delay_model.sample("slave", "client", rng)
+        age = (stamp_age_at_slave + master_to_slave_delay + service_time
+               + delay)
+        if age >= max_latency:
+            rejected += 1
+    return rejected / samples

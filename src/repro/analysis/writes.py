@@ -1,0 +1,41 @@
+"""Write-rate and consistency-window bounds from the spacing rule.
+
+Section 3.1: "In order to prevent race conditions, two write operations
+cannot be, time-wise, closer than max_latency to each other.  This
+obviously limits the number of write operations that can be executed in a
+given time, which is why we advocate our architecture only for
+applications where there is a high reads to writes ratio."
+"""
+
+from __future__ import annotations
+
+
+def max_write_rate(max_latency: float) -> float:
+    """Committed writes per second cannot exceed ``1 / max_latency``."""
+    if max_latency <= 0:
+        raise ValueError(f"max_latency must be positive, got {max_latency}")
+    return 1.0 / max_latency
+
+
+def inconsistency_window(max_latency: float) -> float:
+    """Upper bound on how long a committed write may stay invisible.
+
+    "A client is guaranteed that once max_latency time has elapsed since
+    committing a write, no other client will accept a read that is not
+    dependent on that write."
+    """
+    if max_latency <= 0:
+        raise ValueError(f"max_latency must be positive, got {max_latency}")
+    return max_latency
+
+
+def min_read_write_ratio_for_load(read_rate: float,
+                                  max_latency: float) -> float:
+    """Reads per write when writes run at their ceiling.
+
+    A helper for sizing: with reads at ``read_rate`` and writes saturated
+    at ``1/max_latency``, the ratio the deployment actually experiences.
+    """
+    if read_rate <= 0:
+        raise ValueError(f"read_rate must be positive, got {read_rate}")
+    return read_rate * max_latency

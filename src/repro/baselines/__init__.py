@@ -1,0 +1,37 @@
+"""The two comparison systems from Section 5.
+
+Both baselines expose the same workload-facing API (execute reads/writes,
+account costs in a :class:`~repro.baselines.costs.CostLedger`) so that
+experiment E8 can run one workload through all three systems -- ours, the
+state-signing design and quorum state-machine replication -- and compare
+per-read compute, signatures, message counts, latency and supported-query
+coverage.
+
+* :mod:`repro.baselines.state_signing` -- hash-tree authenticated storage
+  ([7]/[11]/[12]-style): untrusted replicas serve items with Merkle
+  proofs under a content-key-signed root.  Dynamic queries cannot be
+  verified this way and fall back to a trusted host that must fetch and
+  verify every relevant item first (the limitation Section 5 calls out).
+* :mod:`repro.baselines.state_machine` -- PBFT-style replication [4]:
+  every read is executed by a full quorum of untrusted replicas and the
+  client accepts the majority answer; wrong results require collusion but
+  every request costs quorum-many executions (the overhead Section 5
+  calls out).
+"""
+
+from repro.baselines.costs import CostLedger
+from repro.baselines.state_signing import (
+    StateSigningClient,
+    StateSigningPublisher,
+    StateSigningStorage,
+)
+from repro.baselines.state_machine import QuorumClient, QuorumReplicaGroup
+
+__all__ = [
+    "CostLedger",
+    "StateSigningPublisher",
+    "StateSigningStorage",
+    "StateSigningClient",
+    "QuorumReplicaGroup",
+    "QuorumClient",
+]

@@ -1,0 +1,66 @@
+"""Shared cost vocabulary for cross-system comparison (experiment E8).
+
+Costs are counted in the same units the core system's simulation uses:
+
+* *compute units* -- content-store work (1 unit ~ one row/key touched),
+  split by whether a trusted or an untrusted machine performed it,
+  because the paper's whole point is shifting compute onto untrusted
+  hardware ("these resources need not be trusted, and may therefore be
+  easier to come by", Section 4);
+* *signatures / verifications / hashes* -- public-key and digest
+  operations, the dominant fixed per-request crypto costs;
+* *messages* -- WAN round trips.
+
+``latency_estimate`` converts a ledger into seconds using the same
+service-time constants as :class:`repro.core.config.ProtocolConfig`, so
+the three systems are scored by one ruler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CostLedger:
+    """Accumulated resource usage for a batch of operations."""
+
+    trusted_compute_units: float = 0.0
+    untrusted_compute_units: float = 0.0
+    client_compute_units: float = 0.0
+    signatures: int = 0
+    verifications: int = 0
+    hashes: int = 0
+    messages: int = 0
+    operations: int = 0
+    rejected: int = 0
+    unsupported: int = 0
+    #: Latency samples, one per operation (seconds).
+    latencies: list[float] = field(default_factory=list)
+
+    def merge(self, other: "CostLedger") -> None:
+        self.trusted_compute_units += other.trusted_compute_units
+        self.untrusted_compute_units += other.untrusted_compute_units
+        self.client_compute_units += other.client_compute_units
+        self.signatures += other.signatures
+        self.verifications += other.verifications
+        self.hashes += other.hashes
+        self.messages += other.messages
+        self.operations += other.operations
+        self.rejected += other.rejected
+        self.unsupported += other.unsupported
+        self.latencies.extend(other.latencies)
+
+    def per_operation(self) -> dict[str, float]:
+        """Averages per operation, the row format E8 prints."""
+        n = max(1, self.operations)
+        return {
+            "trusted_units": self.trusted_compute_units / n,
+            "untrusted_units": self.untrusted_compute_units / n,
+            "signatures": self.signatures / n,
+            "verifications": self.verifications / n,
+            "hashes": self.hashes / n,
+            "messages": self.messages / n,
+            "mean_latency": (sum(self.latencies) / len(self.latencies)
+                             if self.latencies else 0.0),
+        }

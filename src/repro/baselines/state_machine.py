@@ -1,0 +1,146 @@
+"""State-machine-replication baseline: quorum reads over untrusted hosts.
+
+Section 5: "With state machine replication [16], the idea is to execute
+the same operation on a number of untrusted hosts (quorum), and accept
+the result only when a majority of these hosts agree upon it ... The
+problem with this approach is that it greatly increases the amount of
+computing resources needed for handling a given request.  Additionally,
+the request latency is dictated by the slowest server in the quorum
+group."
+
+The model follows the PBFT [4] read/execute shape without re-implementing
+view changes (writes here are ordered by construction, since E8 compares
+steady-state costs, not leader churn):
+
+* a group of ``n = 3f + 1`` untrusted replicas, of which up to
+  ``num_byzantine`` lie (colluding: identical wrong answers);
+* a read goes to ``2f + 1`` replicas; each executes it and signs its
+  reply; the client accepts a result vouched for by ``f + 1`` matching
+  replies -- so wrong results require ``f + 1`` colluders;
+* a write is executed by all ``n`` replicas (3-phase agreement charged as
+  ``2 * n`` protocol messages per write, the PBFT steady-state shape);
+* per-operation latency is the *maximum* of the contacted replicas'
+  sampled delays (the slowest-server effect the paper highlights).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.baselines.costs import CostLedger
+from repro.content.queries import ReadQuery, WriteOp
+from repro.content.store import ContentStore
+from repro.crypto.hashing import sha1_hex
+from repro.sim.latency import LatencyModel, LogNormalLatency
+
+
+class QuorumReplicaGroup:
+    """``3f + 1`` replicas, the first ``num_byzantine`` of them colluding."""
+
+    def __init__(self, store: ContentStore, f: int,
+                 num_byzantine: int = 0,
+                 latency: LatencyModel | None = None,
+                 seed: int = 0,
+                 service_time_per_unit: float = 1e-4) -> None:
+        if f < 0:
+            raise ValueError(f"f must be non-negative, got {f}")
+        self.f = f
+        self.n = 3 * f + 1
+        if not 0 <= num_byzantine <= self.n:
+            raise ValueError(
+                f"num_byzantine must be in [0, {self.n}], "
+                f"got {num_byzantine}")
+        self.num_byzantine = num_byzantine
+        self.replicas = [store.clone() for _ in range(self.n)]
+        self.latency = latency or LogNormalLatency(median=0.05, sigma=0.5)
+        self.rng = random.Random(f"smr/{seed}")
+        self.service_time_per_unit = service_time_per_unit
+        self.ledger = CostLedger()
+
+    def read_quorum_size(self) -> int:
+        return 2 * self.f + 1
+
+    def execute_read(self, query: ReadQuery) -> dict[str, Any]:
+        """Run one quorum read; returns result, correctness and latency."""
+        quorum = self.read_quorum_size()
+        self.ledger.operations += 1
+        replies: list[str] = []
+        results: dict[str, Any] = {}
+        slowest = 0.0
+        for index in range(quorum):
+            outcome = self.replicas[index].execute_read(query)
+            self.ledger.untrusted_compute_units += outcome.cost_units
+            # Every reply is signed by its replica and verified at the
+            # client (PBFT uses MACs/signatures on replies).
+            self.ledger.signatures += 1
+            self.ledger.verifications += 1
+            self.ledger.hashes += 1
+            self.ledger.messages += 2
+            if index < self.num_byzantine:
+                result: Any = {"forged": True,
+                               "tag": query.request_hash()[:8]}
+            else:
+                result = outcome.result
+            digest = sha1_hex(result)
+            replies.append(digest)
+            results[digest] = result
+            delay = (self.latency.sample("client", f"replica-{index}",
+                                         self.rng)
+                     + outcome.cost_units * self.service_time_per_unit)
+            slowest = max(slowest, delay)
+        # Accept the first digest with f+1 matching votes.
+        accepted = None
+        for digest in replies:
+            if replies.count(digest) >= self.f + 1:
+                accepted = digest
+                break
+        self.ledger.latencies.append(2 * slowest)  # request + reply legs
+        if accepted is None:
+            self.ledger.rejected += 1
+            return {"result": None, "accepted": False, "latency": 2 * slowest}
+        honest_digest = sha1_hex(
+            self.replicas[self.n - 1].execute_read(query).result)
+        return {
+            "result": results[accepted],
+            "accepted": True,
+            "correct": accepted == honest_digest,
+            "latency": 2 * slowest,
+        }
+
+    def execute_write(self, op: WriteOp) -> dict[str, Any]:
+        """Run one agreed write on every replica (PBFT steady state)."""
+        self.ledger.operations += 1
+        slowest = 0.0
+        for index, replica in enumerate(self.replicas):
+            outcome = replica.apply_write(op)
+            self.ledger.untrusted_compute_units += outcome.cost_units
+            delay = self.latency.sample("primary", f"replica-{index}",
+                                        self.rng)
+            slowest = max(slowest, delay)
+        # Pre-prepare/prepare/commit message complexity: O(n^2) in PBFT;
+        # charge the dominant 2n^2 inter-replica messages plus client I/O.
+        self.ledger.messages += 2 * self.n * self.n + 2
+        self.ledger.signatures += self.n
+        self.ledger.verifications += self.n * self.n
+        self.ledger.latencies.append(3 * slowest)  # three protocol phases
+        return {"accepted": True, "latency": 3 * slowest}
+
+
+class QuorumClient:
+    """Thin client wrapper mirroring the other baselines' API."""
+
+    def __init__(self, group: QuorumReplicaGroup) -> None:
+        self.group = group
+        self.ledger = CostLedger()
+
+    def read(self, query: ReadQuery) -> dict[str, Any]:
+        self.ledger.operations += 1
+        outcome = self.group.execute_read(query)
+        # The client verifies 2f+1 signed replies.
+        self.ledger.verifications += self.group.read_quorum_size()
+        return outcome
+
+    def write(self, op: WriteOp) -> dict[str, Any]:
+        self.ledger.operations += 1
+        return self.group.execute_write(op)

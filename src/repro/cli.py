@@ -1,0 +1,316 @@
+"""Command-line front-end: build and run deployments without writing code.
+
+Two subcommands::
+
+    repro-sim run   [topology/protocol/workload/adversary flags]
+    repro-sim demo  [--scenario cdn|byzantine|quorum]
+
+``run`` builds a deployment, drives a random read/write workload and
+prints the run summary (counters, accepted-read classification, auditor
+stats) as text or JSON.  ``demo`` runs a canned scenario with a
+compromised replica and narrates what the protocol did about it.
+
+Adversaries are specified as ``INDEX:KIND[:PARAM]``, e.g.::
+
+    --adversary 0:always-lie --adversary 3:probabilistic:0.2
+    --adversary 1:colluding:7 --adversary 2:unresponsive:0.5
+
+Exit code is 0 when the run completed and every wrongly accepted read
+was detected by the audit, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from typing import Any, Sequence
+
+from repro.content.filesystem import FSGrep, FSRead, MemoryFileSystem
+from repro.content.kvstore import KVAggregate, KVGet, KVPut, KeyValueStore
+from repro.content.minidb import DBAggregate, DBSelect, MiniDB
+from repro.core.adversary import (
+    AdversaryStrategy,
+    AlwaysLie,
+    BrokenSignature,
+    Colluding,
+    ProbabilisticLie,
+    Unresponsive,
+)
+from repro.core.config import ProtocolConfig
+from repro.core.system import DeploymentSpec, ReplicationSystem
+from repro.workloads import (
+    catalog_dataset,
+    filesystem_dataset,
+    publications_dataset,
+)
+
+_ADVERSARY_KINDS = ("always-lie", "probabilistic", "colluding",
+                    "unresponsive", "broken-signature")
+
+
+def parse_adversary(spec: str, rng: random.Random) -> tuple[int, AdversaryStrategy]:
+    """Parse ``INDEX:KIND[:PARAM]`` into (slave index, strategy)."""
+    parts = spec.split(":")
+    if len(parts) < 2:
+        raise argparse.ArgumentTypeError(
+            f"adversary spec {spec!r} must look like INDEX:KIND[:PARAM]")
+    try:
+        index = int(parts[0])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"adversary index must be an integer, got {parts[0]!r}")
+    kind = parts[1]
+    param = parts[2] if len(parts) > 2 else None
+    if kind == "always-lie":
+        return index, AlwaysLie(rng=rng)
+    if kind == "probabilistic":
+        return index, ProbabilisticLie(float(param or 0.2), rng=rng)
+    if kind == "colluding":
+        return index, Colluding(group_seed=int(param or 1))
+    if kind == "unresponsive":
+        return index, Unresponsive(float(param or 1.0), rng=rng)
+    if kind == "broken-signature":
+        return index, BrokenSignature(float(param or 1.0), rng=rng)
+    raise argparse.ArgumentTypeError(
+        f"unknown adversary kind {kind!r}; expected one of "
+        f"{_ADVERSARY_KINDS}")
+
+
+def _store_factory(content: str, size: int, seed: int):
+    rng = random.Random(seed)
+    if content == "kv":
+        items = {f"k{i:04d}": i for i in range(size)}
+        return lambda: KeyValueStore(dict(items))
+    if content == "catalog":
+        items = catalog_dataset(size, rng)
+        return lambda: KeyValueStore(dict(items))
+    if content == "fs":
+        files = filesystem_dataset(size, rng)
+        return lambda: MemoryFileSystem(dict(files))
+    if content == "db":
+        ops = publications_dataset(size, rng)
+
+        def factory() -> MiniDB:
+            db = MiniDB()
+            for op in ops:
+                db.apply_write(op)
+            return db
+
+        return factory
+    raise argparse.ArgumentTypeError(f"unknown content type {content!r}")
+
+
+def _sample_read(content: str, size: int, rng: random.Random) -> Any:
+    if content in ("kv",):
+        return KVGet(key=f"k{rng.randrange(size):04d}")
+    if content == "catalog":
+        if rng.random() < 0.1:
+            return KVAggregate(prefix="price/", func="avg")
+        return KVGet(key=f"price/sku{rng.randrange(size):06d}")
+    if content == "fs":
+        if rng.random() < 0.2:
+            return FSGrep(pattern="TODO", path="/src")
+        return FSRead(path=f"/src/alpha/file{0:05d}.txt")
+    if content == "db":
+        if rng.random() < 0.3:
+            return DBAggregate(table="papers", func="count",
+                               group_by=("venue",))
+        return DBSelect(table="papers",
+                        where=(("year", ">=", 1995 + rng.randrange(9)),),
+                        columns=("id", "title"), order_by="id", limit=20)
+    raise ValueError(content)
+
+
+def _sample_write(content: str, size: int, counter: int,
+                  rng: random.Random) -> Any:
+    if content in ("kv", "catalog"):
+        return KVPut(key=f"k{rng.randrange(size):04d}",
+                     value=f"update-{counter}")
+    if content == "fs":
+        from repro.content.filesystem import FSWrite
+
+        return FSWrite(path=f"/updates/u{counter:04d}.txt",
+                       content=f"TODO update {counter}")
+    if content == "db":
+        from repro.content.minidb import DBInsert
+
+        return DBInsert.from_dicts("papers", [{
+            "id": 10_000 + counter, "title": f"new paper {counter}",
+            "year": 2003, "venue": "hotos",
+            "author_id": rng.randrange(max(1, size // 4))}])
+    raise ValueError(content)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Secure data replication over untrusted hosts "
+                    "(HotOS 2003) -- simulation driver")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a custom deployment + workload")
+    run.add_argument("--masters", type=int, default=3)
+    run.add_argument("--slaves-per-master", type=int, default=4)
+    run.add_argument("--clients", type=int, default=8)
+    run.add_argument("--auditors", type=int, default=1)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--content", choices=("kv", "catalog", "fs", "db"),
+                     default="kv")
+    run.add_argument("--content-size", type=int, default=200,
+                     help="items/files/rows in the initial content")
+    run.add_argument("--reads", type=int, default=500)
+    run.add_argument("--read-rate", type=float, default=20.0,
+                     help="offered reads per second")
+    run.add_argument("--write-every", type=int, default=0,
+                     help="issue one write per N reads (0 = no writes)")
+    run.add_argument("--double-check-probability", "-p", type=float,
+                     default=0.05)
+    run.add_argument("--max-latency", type=float, default=5.0)
+    run.add_argument("--keepalive-interval", type=float, default=1.0)
+    run.add_argument("--audit-fraction", type=float, default=1.0)
+    run.add_argument("--read-quorum", type=int, default=1)
+    run.add_argument("--adversary", action="append", default=[],
+                     metavar="INDEX:KIND[:PARAM]",
+                     help=f"kinds: {', '.join(_ADVERSARY_KINDS)}")
+    run.add_argument("--json", action="store_true",
+                     help="print the summary as JSON")
+    run.add_argument("--report", metavar="FILE",
+                     help="also write a markdown run report to FILE")
+
+    demo = sub.add_parser("demo", help="run a canned narrated scenario")
+    demo.add_argument("--scenario", choices=("cdn", "byzantine", "quorum"),
+                      default="cdn")
+    demo.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    adversary_rng = random.Random(args.seed + 1)
+    adversaries = dict(
+        parse_adversary(spec, adversary_rng) for spec in args.adversary)
+    protocol = ProtocolConfig(
+        double_check_probability=args.double_check_probability,
+        max_latency=args.max_latency,
+        keepalive_interval=args.keepalive_interval,
+        audit_fraction=args.audit_fraction,
+        read_quorum=args.read_quorum,
+    )
+    spec = DeploymentSpec(
+        num_masters=args.masters,
+        slaves_per_master=args.slaves_per_master,
+        num_clients=args.clients,
+        num_auditors=args.auditors,
+        seed=args.seed,
+        protocol=protocol,
+        store_factory=_store_factory(args.content, args.content_size,
+                                     args.seed),
+        adversaries=adversaries,
+    )
+    system = ReplicationSystem.build(spec)
+    system.start()
+
+    rng = random.Random(args.seed + 2)
+    t = system.now
+    writes = 0
+    for i in range(args.reads):
+        t += 1.0 / args.read_rate
+        client = system.clients[i % args.clients]
+        system.schedule_op(client, t,
+                           _sample_read(args.content, args.content_size,
+                                        rng))
+        if args.write_every and (i + 1) % args.write_every == 0:
+            writes += 1
+            system.schedule_op(
+                system.clients[0], t,
+                _sample_write(args.content, args.content_size, writes,
+                              rng))
+    drain = 60.0 + writes * protocol.max_latency
+    system.run_for(t - system.now + drain)
+
+    summary = system.summary()
+    summary["consistency_window_violations"] = len(
+        system.check_consistency_window())
+    if args.json:
+        print(json.dumps(summary, indent=2, default=str))
+    else:
+        _print_summary(summary)
+    if getattr(args, "report", None):
+        from repro.report import render_markdown_report
+
+        with open(args.report, "w") as handle:
+            handle.write(render_markdown_report(system))
+        print(f"report written to {args.report}")
+    wrong = summary["classification"]["accepted_wrong"]
+    detections = summary["auditor"]["detections"]
+    ok = (summary["consistency_window_violations"] == 0
+          and detections >= wrong)
+    return 0 if ok else 1
+
+
+def _print_summary(summary: dict) -> None:
+    counters = summary["counters"]
+    classification = summary["classification"]
+
+    def c(name: str) -> int:
+        return int(counters.get(name, 0))
+
+    print(f"simulated time          : {summary['time']:.1f} s")
+    print(f"reads accepted          : {c('reads_accepted')}")
+    print(f"reads failed            : {c('reads_failed')}")
+    print(f"writes committed        : {c('writes_committed')}")
+    print(f"double-checks served    : {c('double_checks_served')}")
+    print(f"lies served             : {c('slave_lies_served')}")
+    print(f"immediate detections    : {c('immediate_detections')}")
+    print(f"audit detections        : {summary['auditor']['detections']}")
+    print(f"slaves excluded         : {c('exclusions')}")
+    print(f"wrong answers accepted  : {classification['accepted_wrong']} "
+          f"of {classification['accepted_total']}")
+    print(f"window violations       : "
+          f"{summary['consistency_window_violations']}")
+    print(f"auditor coverage        : "
+          f"{summary['auditor']['pledges_audited']}/"
+          f"{summary['auditor']['pledges_received']} pledges, "
+          f"cache hit rate {summary['auditor']['cache_hit_rate']:.2f}")
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    presets = {
+        "cdn": dict(adversary=["2:probabilistic:0.3"], reads=400,
+                    content="catalog", content_size=150,
+                    double_check_probability=0.05, read_quorum=1),
+        "byzantine": dict(adversary=["0:always-lie"], reads=200,
+                          content="kv", content_size=100,
+                          double_check_probability=0.2, read_quorum=1),
+        "quorum": dict(adversary=["0:colluding:5", "1:colluding:5"],
+                       reads=200, content="kv", content_size=100,
+                       double_check_probability=0.0, read_quorum=2),
+    }
+    preset = presets[args.scenario]
+    print(f"scenario: {args.scenario}  "
+          f"(adversaries: {preset['adversary']})\n")
+    namespace = build_parser().parse_args(
+        ["run", "--seed", str(args.seed),
+         "--content", preset["content"],
+         "--content-size", str(preset["content_size"]),
+         "--reads", str(preset["reads"]),
+         "-p", str(preset["double_check_probability"]),
+         "--read-quorum", str(preset["read_quorum"]),
+         "--slaves-per-master", "3"]
+        + [flag for spec in preset["adversary"]
+           for flag in ("--adversary", spec)])
+    return cmd_run(namespace)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "demo":
+        return cmd_demo(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Replicated data-content engines.
+
+Section 2 of the paper: "The data content; this can be a database, the
+contents of a large Web site, or a file system ... The read operations can
+be very complex; they can request parts of the data content, but also the
+results of applying aggregation functions on this content."
+
+Three engines implement the common :class:`~repro.content.store.ContentStore`
+interface:
+
+* :class:`~repro.content.kvstore.KeyValueStore` -- ordered key-value store
+  with point, range and aggregation reads (models a product catalogue /
+  web-content CDN).
+* :class:`~repro.content.filesystem.MemoryFileSystem` -- path-tree file
+  system supporting the paper's literal examples ``read FileName`` and
+  ``grep Expression Path``.
+* :class:`~repro.content.minidb.MiniDB` -- a small relational engine with
+  selection, projection, join and group-by aggregation (models the
+  "academic, medical and legal databases" of Section 6).
+
+Every read query and write operation serialises to plain data
+(:meth:`~repro.content.queries.Operation.to_wire`), so pledges can hash the
+request exactly as Section 3.2 requires, and any replica -- master, slave
+or auditor -- re-executing the same operation obtains a result with the
+same canonical hash.
+"""
+
+from repro.content.store import ContentStore, ReadOutcome, WriteOutcome
+from repro.content.queries import (
+    Operation,
+    ReadQuery,
+    WriteOp,
+    UnsupportedQueryError,
+    operation_from_wire,
+)
+from repro.content.kvstore import (
+    KeyValueStore,
+    KVAggregate,
+    KVDelete,
+    KVGet,
+    KVMultiGet,
+    KVPut,
+    KVRange,
+)
+from repro.content.filesystem import (
+    FSGrep,
+    FSList,
+    FSMkdir,
+    FSRead,
+    FSRemove,
+    FSWrite,
+    MemoryFileSystem,
+)
+from repro.content.minidb import (
+    DBAggregate,
+    DBCreateTable,
+    DBDelete,
+    DBInsert,
+    DBJoin,
+    DBSelect,
+    DBUpdate,
+    MiniDB,
+)
+
+__all__ = [
+    "ContentStore",
+    "ReadOutcome",
+    "WriteOutcome",
+    "Operation",
+    "ReadQuery",
+    "WriteOp",
+    "UnsupportedQueryError",
+    "operation_from_wire",
+    "KeyValueStore",
+    "KVGet",
+    "KVMultiGet",
+    "KVRange",
+    "KVAggregate",
+    "KVPut",
+    "KVDelete",
+    "MemoryFileSystem",
+    "FSRead",
+    "FSGrep",
+    "FSList",
+    "FSWrite",
+    "FSMkdir",
+    "FSRemove",
+    "MiniDB",
+    "DBCreateTable",
+    "DBInsert",
+    "DBUpdate",
+    "DBDelete",
+    "DBSelect",
+    "DBJoin",
+    "DBAggregate",
+]

@@ -1,0 +1,249 @@
+"""In-memory file system supporting ``read FileName`` and ``grep Expr Path``.
+
+These are the paper's own examples (Section 2): "it should not only
+support operations of the type read FileName, but also operations of the
+type grep Expression Path."  ``grep`` is the archetypal expensive dynamic
+query -- it scans every file under a subtree -- and is what makes the
+state-signing baseline fall over (a trusted host would have to fetch and
+verify the whole subtree first; see Section 5).
+
+Paths are POSIX-style (``/docs/a.txt``).  Directories are implicit in the
+path map but tracked explicitly so empty directories exist and listing is
+well-defined.
+
+Cost model: reads cost 1 + bytes/1024 of the file; grep costs 1 +
+bytes-scanned/1024 across the subtree; listings cost 1 per entry.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from repro.content.queries import (
+    ReadQuery,
+    UnsupportedQueryError,
+    WriteOp,
+    register_operation,
+)
+from repro.content.store import ContentStore, ReadOutcome, WriteOutcome
+
+
+def _normalise(path: str) -> str:
+    """Canonical absolute path: leading slash, no trailing slash, no ''."""
+    if not path.startswith("/"):
+        raise ValueError(f"paths must be absolute, got {path!r}")
+    parts = [part for part in path.split("/") if part]
+    for part in parts:
+        if part in (".", ".."):
+            raise ValueError(f"relative components not allowed: {path!r}")
+    return "/" + "/".join(parts)
+
+
+def _parent(path: str) -> str:
+    if path == "/":
+        return "/"
+    return path.rsplit("/", 1)[0] or "/"
+
+
+# -- read queries ---------------------------------------------------------
+
+
+@register_operation
+@dataclass(frozen=True)
+class FSRead(ReadQuery):
+    """``read FileName``: whole file contents (or in-band not-found)."""
+
+    path: str
+    op_name: ClassVar[str] = "fs.read"
+
+
+@register_operation
+@dataclass(frozen=True)
+class FSGrep(ReadQuery):
+    """``grep Expression Path``: regex match lines under a subtree.
+
+    Result is a sorted list of ``(path, line_number, line)`` triples.
+    """
+
+    pattern: str
+    path: str
+    op_name: ClassVar[str] = "fs.grep"
+
+
+@register_operation
+@dataclass(frozen=True)
+class FSList(ReadQuery):
+    """List immediate children of a directory, sorted."""
+
+    path: str
+    op_name: ClassVar[str] = "fs.list"
+
+
+# -- write operations -------------------------------------------------------
+
+
+@register_operation
+@dataclass(frozen=True)
+class FSWrite(WriteOp):
+    """Create or replace a file (creating parent directories)."""
+
+    path: str
+    content: str
+    op_name: ClassVar[str] = "fs.write"
+
+
+@register_operation
+@dataclass(frozen=True)
+class FSMkdir(WriteOp):
+    """Create a directory (and parents).  Idempotent."""
+
+    path: str
+    op_name: ClassVar[str] = "fs.mkdir"
+
+
+@register_operation
+@dataclass(frozen=True)
+class FSRemove(WriteOp):
+    """Remove a file, or a directory recursively.  No-op when missing."""
+
+    path: str
+    op_name: ClassVar[str] = "fs.remove"
+
+
+class MemoryFileSystem(ContentStore):
+    """Deterministic path-tree file system."""
+
+    def __init__(self, files: dict[str, str] | None = None) -> None:
+        self._files: dict[str, str] = {}
+        self._dirs: set[str] = {"/"}
+        for path, content in (files or {}).items():
+            self._write(_normalise(path), content)
+
+    def file_count(self) -> int:
+        return len(self._files)
+
+    # -- ContentStore -----------------------------------------------------
+
+    def execute_read(self, query: ReadQuery) -> ReadOutcome:
+        if isinstance(query, FSRead):
+            path = _normalise(query.path)
+            if path in self._files:
+                content = self._files[path]
+                return ReadOutcome(
+                    result={"found": True, "content": content},
+                    cost_units=1.0 + len(content) / 1024.0,
+                )
+            return ReadOutcome(result={"found": False, "content": None},
+                               cost_units=1.0)
+        if isinstance(query, FSGrep):
+            return self._grep(query)
+        if isinstance(query, FSList):
+            return self._list(query)
+        raise UnsupportedQueryError(
+            f"MemoryFileSystem cannot execute {type(query).__name__}"
+        )
+
+    def apply_write(self, op: WriteOp) -> WriteOutcome:
+        if isinstance(op, FSWrite):
+            path = _normalise(op.path)
+            self._write(path, op.content)
+            return WriteOutcome(applied=True,
+                                cost_units=1.0 + len(op.content) / 1024.0)
+        if isinstance(op, FSMkdir):
+            path = _normalise(op.path)
+            self._mkdirs(path)
+            return WriteOutcome(applied=True, cost_units=1.0)
+        if isinstance(op, FSRemove):
+            return self._remove(_normalise(op.path))
+        raise UnsupportedQueryError(
+            f"MemoryFileSystem cannot apply {type(op).__name__}"
+        )
+
+    def clone(self) -> "MemoryFileSystem":
+        copy = MemoryFileSystem()
+        copy._files = dict(self._files)
+        copy._dirs = set(self._dirs)
+        return copy
+
+    def state_items(self) -> Any:
+        return {"files": dict(self._files), "dirs": sorted(self._dirs)}
+
+    # -- internals ---------------------------------------------------------
+
+    def _mkdirs(self, path: str) -> None:
+        while path not in self._dirs:
+            self._dirs.add(path)
+            path = _parent(path)
+
+    def _write(self, path: str, content: str) -> None:
+        if path in self._dirs:
+            raise ValueError(f"{path!r} is a directory")
+        self._mkdirs(_parent(path))
+        self._files[path] = content
+
+    def _remove(self, path: str) -> WriteOutcome:
+        if path in self._files:
+            del self._files[path]
+            return WriteOutcome(applied=True, cost_units=1.0)
+        if path in self._dirs:
+            if path == "/":
+                raise ValueError("cannot remove the root directory")
+            prefix = path + "/"
+            removed_files = [p for p in self._files if p.startswith(prefix)]
+            for p in removed_files:
+                del self._files[p]
+            removed_dirs = [d for d in self._dirs
+                            if d == path or d.startswith(prefix)]
+            for d in removed_dirs:
+                self._dirs.discard(d)
+            return WriteOutcome(applied=True,
+                                cost_units=1.0 + len(removed_files))
+        return WriteOutcome(applied=False, cost_units=1.0,
+                            detail="missing path")
+
+    def _subtree_files(self, root: str) -> list[str]:
+        if root == "/":
+            return sorted(self._files)
+        prefix = root + "/"
+        return sorted(p for p in self._files
+                      if p == root or p.startswith(prefix))
+
+    def _grep(self, query: FSGrep) -> ReadOutcome:
+        try:
+            pattern = re.compile(query.pattern)
+        except re.error as exc:
+            # A malformed pattern is a deterministic in-band error: every
+            # honest replica reports the same thing, so it can be pledged.
+            return ReadOutcome(
+                result={"error": f"bad pattern: {exc}"}, cost_units=1.0
+            )
+        root = _normalise(query.path)
+        matches: list[tuple[str, int, str]] = []
+        scanned = 0
+        for path in self._subtree_files(root):
+            content = self._files[path]
+            scanned += len(content)
+            for line_number, line in enumerate(content.splitlines(), start=1):
+                if pattern.search(line):
+                    matches.append((path, line_number, line))
+        return ReadOutcome(result=matches,
+                           cost_units=1.0 + scanned / 1024.0)
+
+    def _list(self, query: FSList) -> ReadOutcome:
+        root = _normalise(query.path)
+        if root not in self._dirs:
+            return ReadOutcome(result={"found": False, "entries": None},
+                               cost_units=1.0)
+        prefix = "/" if root == "/" else root + "/"
+        entries = set()
+        for path in list(self._files) + list(self._dirs):
+            if path != root and path.startswith(prefix):
+                remainder = path[len(prefix):]
+                entries.add(remainder.split("/", 1)[0])
+        sorted_entries = sorted(entries)
+        return ReadOutcome(
+            result={"found": True, "entries": sorted_entries},
+            cost_units=1.0 + len(sorted_entries),
+        )

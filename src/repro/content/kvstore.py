@@ -1,0 +1,210 @@
+"""Ordered key-value store with point, range and aggregation reads.
+
+Models the paper's CDN use case (Section 6): product catalogues and
+semi-static web content keyed by name.  Values are arbitrary plain data.
+Aggregations cover the paper's "results of applying aggregation functions
+on this content" (Section 2): count / sum / min / max / avg over a key
+prefix, where numeric aggregation applies to numeric values only.
+
+Cost model: point operations cost 1 unit; range/aggregate operations cost
+1 unit per key examined.  These units become simulated service time at the
+node executing the query.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from repro.content.queries import (
+    ReadQuery,
+    UnsupportedQueryError,
+    WriteOp,
+    register_operation,
+)
+from repro.content.store import ContentStore, ReadOutcome, WriteOutcome
+
+_AGG_FUNCS = ("count", "sum", "min", "max", "avg")
+
+
+# -- read queries -------------------------------------------------------
+
+
+@register_operation
+@dataclass(frozen=True)
+class KVGet(ReadQuery):
+    """Fetch one key.  Result: ``{"found": bool, "value": Any}``."""
+
+    key: str
+    op_name: ClassVar[str] = "kv.get"
+
+
+@register_operation
+@dataclass(frozen=True)
+class KVMultiGet(ReadQuery):
+    """Fetch several keys at once.  Result: dict key -> value for hits."""
+
+    keys: tuple[str, ...]
+    op_name: ClassVar[str] = "kv.multiget"
+
+
+@register_operation
+@dataclass(frozen=True)
+class KVRange(ReadQuery):
+    """All pairs with ``start <= key < end``, in key order, bounded."""
+
+    start: str
+    end: str
+    limit: int = 1000
+    op_name: ClassVar[str] = "kv.range"
+
+
+@register_operation
+@dataclass(frozen=True)
+class KVAggregate(ReadQuery):
+    """Aggregate values under a key prefix.
+
+    ``func`` is one of count / sum / min / max / avg; for the numeric
+    functions, non-numeric values under the prefix are skipped (and the
+    number skipped is reported, keeping the result deterministic).
+    """
+
+    prefix: str
+    func: str
+    op_name: ClassVar[str] = "kv.aggregate"
+
+
+# -- write operations ----------------------------------------------------
+
+
+@register_operation
+@dataclass(frozen=True)
+class KVPut(WriteOp):
+    """Insert or overwrite one key."""
+
+    key: str
+    value: Any
+    op_name: ClassVar[str] = "kv.put"
+
+
+@register_operation
+@dataclass(frozen=True)
+class KVDelete(WriteOp):
+    """Delete one key; applying to a missing key is a deterministic no-op."""
+
+    key: str
+    op_name: ClassVar[str] = "kv.delete"
+
+
+class KeyValueStore(ContentStore):
+    """Sorted-key in-memory store; all operations deterministic."""
+
+    def __init__(self, items: dict[str, Any] | None = None) -> None:
+        self._data: dict[str, Any] = dict(items or {})
+        self._sorted_keys: list[str] = sorted(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- ContentStore ----------------------------------------------------
+
+    def execute_read(self, query: ReadQuery) -> ReadOutcome:
+        if isinstance(query, KVGet):
+            found = query.key in self._data
+            return ReadOutcome(
+                result={"found": found,
+                        "value": self._data.get(query.key)},
+                cost_units=1.0,
+            )
+        if isinstance(query, KVMultiGet):
+            hits = {key: self._data[key] for key in query.keys
+                    if key in self._data}
+            return ReadOutcome(result=hits, cost_units=float(len(query.keys)))
+        if isinstance(query, KVRange):
+            return self._range(query)
+        if isinstance(query, KVAggregate):
+            return self._aggregate(query)
+        raise UnsupportedQueryError(
+            f"KeyValueStore cannot execute {type(query).__name__}"
+        )
+
+    def apply_write(self, op: WriteOp) -> WriteOutcome:
+        if isinstance(op, KVPut):
+            if op.key not in self._data:
+                bisect.insort(self._sorted_keys, op.key)
+            self._data[op.key] = op.value
+            return WriteOutcome(applied=True, cost_units=1.0)
+        if isinstance(op, KVDelete):
+            if op.key in self._data:
+                del self._data[op.key]
+                index = bisect.bisect_left(self._sorted_keys, op.key)
+                del self._sorted_keys[index]
+                return WriteOutcome(applied=True, cost_units=1.0)
+            return WriteOutcome(applied=False, cost_units=1.0,
+                                detail="missing key")
+        raise UnsupportedQueryError(
+            f"KeyValueStore cannot apply {type(op).__name__}"
+        )
+
+    def clone(self) -> "KeyValueStore":
+        return KeyValueStore(self._data)
+
+    def state_items(self) -> Any:
+        return dict(self._data)
+
+    # -- query internals --------------------------------------------------
+
+    def _range(self, query: KVRange) -> ReadOutcome:
+        if query.limit < 0:
+            raise ValueError(f"negative range limit: {query.limit}")
+        lo = bisect.bisect_left(self._sorted_keys, query.start)
+        hi = bisect.bisect_left(self._sorted_keys, query.end)
+        selected = self._sorted_keys[lo:hi][: query.limit]
+        result = [(key, self._data[key]) for key in selected]
+        # Cost covers keys examined even past the limit cut-off is cheap;
+        # charge what was actually materialised plus the seek.
+        return ReadOutcome(result=result,
+                           cost_units=1.0 + float(len(selected)))
+
+    def _prefix_slice(self, prefix: str) -> list[str]:
+        lo = bisect.bisect_left(self._sorted_keys, prefix)
+        hi = len(self._sorted_keys)
+        if prefix:
+            # The first string that no longer has the prefix.
+            upper = prefix[:-1] + chr(ord(prefix[-1]) + 1)
+            hi = bisect.bisect_left(self._sorted_keys, upper)
+        return self._sorted_keys[lo:hi]
+
+    def _aggregate(self, query: KVAggregate) -> ReadOutcome:
+        if query.func not in _AGG_FUNCS:
+            raise ValueError(
+                f"unknown aggregate {query.func!r}; expected {_AGG_FUNCS}"
+            )
+        keys = self._prefix_slice(query.prefix)
+        cost = 1.0 + float(len(keys))
+        if query.func == "count":
+            return ReadOutcome(result={"func": "count", "value": len(keys)},
+                               cost_units=cost)
+        numbers = []
+        skipped = 0
+        for key in keys:
+            value = self._data[key]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                skipped += 1
+            else:
+                numbers.append(value)
+        if not numbers:
+            value: Any = None
+        elif query.func == "sum":
+            value = sum(numbers)
+        elif query.func == "min":
+            value = min(numbers)
+        elif query.func == "max":
+            value = max(numbers)
+        else:  # avg
+            value = sum(numbers) / len(numbers)
+        return ReadOutcome(
+            result={"func": query.func, "value": value, "skipped": skipped},
+            cost_units=cost,
+        )

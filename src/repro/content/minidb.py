@@ -1,0 +1,393 @@
+"""A small relational database engine: the "complex join" content type.
+
+Section 3.2 names "a complex join for a database" as the canonical
+expensive read, and Section 6 motivates "academic, medical and legal
+databases" as target content.  MiniDB supports:
+
+* tables with named columns and append-order row ids;
+* inserts, predicate updates and deletes (writes, masters only);
+* selection with conjunctive predicates, projection and ordering;
+* inner equi-joins between two tables;
+* group-by aggregation (count / sum / min / max / avg).
+
+Predicates serialise as ``(column, operator, constant)`` triples so that
+queries remain plain data for pledge hashing.  Supported operators:
+``== != < <= > >= contains startswith``.
+
+Cost model: 1 unit per row scanned (joins charge the full cross-scan of
+the hash-join build plus probe sides), which makes joins visibly more
+expensive than point selects -- the asymmetry the auditor's query caching
+(experiment A3) exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+from repro.content.queries import (
+    ReadQuery,
+    UnsupportedQueryError,
+    WriteOp,
+    register_operation,
+)
+from repro.content.store import ContentStore, ReadOutcome, WriteOutcome
+
+Row = dict[str, Any]
+Predicate = tuple[str, str, Any]
+
+_OPERATORS = ("==", "!=", "<", "<=", ">", ">=", "contains", "startswith")
+_AGG_FUNCS = ("count", "sum", "min", "max", "avg")
+
+
+def _matches(row: Row, predicates: tuple[Predicate, ...]) -> bool:
+    for column, operator, constant in predicates:
+        value = row.get(column)
+        if operator == "==":
+            ok = value == constant
+        elif operator == "!=":
+            ok = value != constant
+        elif operator in ("<", "<=", ">", ">="):
+            if value is None:
+                ok = False
+            elif operator == "<":
+                ok = value < constant
+            elif operator == "<=":
+                ok = value <= constant
+            elif operator == ">":
+                ok = value > constant
+            else:
+                ok = value >= constant
+        elif operator == "contains":
+            ok = isinstance(value, str) and str(constant) in value
+        elif operator == "startswith":
+            ok = isinstance(value, str) and value.startswith(str(constant))
+        else:
+            raise ValueError(
+                f"unknown predicate operator {operator!r}; "
+                f"expected one of {_OPERATORS}"
+            )
+        if not ok:
+            return False
+    return True
+
+
+def _project(row: Row, columns: tuple[str, ...]) -> Row:
+    if not columns:
+        return dict(row)
+    return {column: row.get(column) for column in columns}
+
+
+def _row_sort_key(row: Row, order_by: str) -> tuple:
+    """Mixed-type-safe total order with *numeric* number ordering.
+
+    Nones first, then booleans, then numbers (compared numerically --
+    sorting by repr would put -1 before -2), then strings, then anything
+    else by type name + repr.  Deterministic across replicas, which is
+    what pledge hashing requires.
+    """
+    value = row.get(order_by)
+    if value is None:
+        return (0, "", 0.0, "")
+    if isinstance(value, bool):
+        return (1, "", float(value), "")
+    if isinstance(value, (int, float)):
+        return (2, "", float(value), repr(value))
+    if isinstance(value, str):
+        return (3, value, 0.0, "")
+    return (4, type(value).__name__, 0.0, repr(value))
+
+
+# -- write operations --------------------------------------------------------
+
+
+@register_operation
+@dataclass(frozen=True)
+class DBCreateTable(WriteOp):
+    """Create an empty table with a fixed column set."""
+
+    table: str
+    columns: tuple[str, ...]
+    op_name: ClassVar[str] = "db.create_table"
+
+
+@register_operation
+@dataclass(frozen=True)
+class DBInsert(WriteOp):
+    """Append rows to a table.  Unknown columns are rejected."""
+
+    table: str
+    rows: tuple[tuple[tuple[str, Any], ...], ...]
+    op_name: ClassVar[str] = "db.insert"
+
+    @staticmethod
+    def from_dicts(table: str, rows: list[Row]) -> "DBInsert":
+        """Convenience constructor from a list of row dicts."""
+        frozen = tuple(tuple(sorted(row.items())) for row in rows)
+        return DBInsert(table=table, rows=frozen)
+
+
+@register_operation
+@dataclass(frozen=True)
+class DBUpdate(WriteOp):
+    """Set columns on every row matching the predicates."""
+
+    table: str
+    where: tuple[Predicate, ...]
+    assignments: tuple[tuple[str, Any], ...]
+    op_name: ClassVar[str] = "db.update"
+
+
+@register_operation
+@dataclass(frozen=True)
+class DBDelete(WriteOp):
+    """Delete every row matching the predicates."""
+
+    table: str
+    where: tuple[Predicate, ...]
+    op_name: ClassVar[str] = "db.delete"
+
+
+# -- read queries --------------------------------------------------------------
+
+
+@register_operation
+@dataclass(frozen=True)
+class DBSelect(ReadQuery):
+    """Selection + projection + ordering over one table."""
+
+    table: str
+    where: tuple[Predicate, ...] = ()
+    columns: tuple[str, ...] = ()
+    order_by: str = ""
+    limit: int = 10_000
+    op_name: ClassVar[str] = "db.select"
+
+
+@register_operation
+@dataclass(frozen=True)
+class DBJoin(ReadQuery):
+    """Inner equi-join of two tables on ``left.left_col == right.right_col``.
+
+    Output rows merge both sides with column names prefixed by table name
+    (``"orders.id"``), projected to ``columns`` if given.
+    """
+
+    left: str
+    right: str
+    left_col: str
+    right_col: str
+    where: tuple[Predicate, ...] = ()
+    columns: tuple[str, ...] = ()
+    order_by: str = ""
+    limit: int = 10_000
+    op_name: ClassVar[str] = "db.join"
+
+
+@register_operation
+@dataclass(frozen=True)
+class DBAggregate(ReadQuery):
+    """Group-by aggregation over one table.
+
+    With an empty ``group_by`` the whole table is one group keyed ``()``.
+    """
+
+    table: str
+    func: str
+    column: str = ""
+    group_by: tuple[str, ...] = ()
+    where: tuple[Predicate, ...] = ()
+    op_name: ClassVar[str] = "db.aggregate"
+
+
+@dataclass
+class _Table:
+    columns: tuple[str, ...]
+    rows: list[Row] = field(default_factory=list)
+
+
+class MiniDB(ContentStore):
+    """Deterministic multi-table relational store."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, _Table] = {}
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def row_count(self, table: str) -> int:
+        return len(self._tables[table].rows)
+
+    # -- ContentStore ----------------------------------------------------
+
+    def execute_read(self, query: ReadQuery) -> ReadOutcome:
+        if isinstance(query, DBSelect):
+            return self._select(query)
+        if isinstance(query, DBJoin):
+            return self._join(query)
+        if isinstance(query, DBAggregate):
+            return self._aggregate(query)
+        raise UnsupportedQueryError(
+            f"MiniDB cannot execute {type(query).__name__}"
+        )
+
+    def apply_write(self, op: WriteOp) -> WriteOutcome:
+        if isinstance(op, DBCreateTable):
+            if op.table in self._tables:
+                return WriteOutcome(applied=False, cost_units=1.0,
+                                    detail="table exists")
+            self._tables[op.table] = _Table(columns=tuple(op.columns))
+            return WriteOutcome(applied=True, cost_units=1.0)
+        if isinstance(op, DBInsert):
+            table = self._require_table(op.table)
+            inserted = 0
+            for frozen_row in op.rows:
+                row = dict(frozen_row)
+                unknown = set(row) - set(table.columns)
+                if unknown:
+                    raise ValueError(
+                        f"insert into {op.table!r} has unknown columns "
+                        f"{sorted(unknown)}"
+                    )
+                table.rows.append(row)
+                inserted += 1
+            return WriteOutcome(applied=True, cost_units=float(inserted),
+                                detail={"inserted": inserted})
+        if isinstance(op, DBUpdate):
+            table = self._require_table(op.table)
+            assignments = dict(op.assignments)
+            unknown = set(assignments) - set(table.columns)
+            if unknown:
+                raise ValueError(
+                    f"update of {op.table!r} assigns unknown columns "
+                    f"{sorted(unknown)}"
+                )
+            touched = 0
+            for row in table.rows:
+                if _matches(row, op.where):
+                    row.update(assignments)
+                    touched += 1
+            return WriteOutcome(applied=True,
+                                cost_units=float(len(table.rows)),
+                                detail={"updated": touched})
+        if isinstance(op, DBDelete):
+            table = self._require_table(op.table)
+            before = len(table.rows)
+            table.rows = [row for row in table.rows
+                          if not _matches(row, op.where)]
+            deleted = before - len(table.rows)
+            return WriteOutcome(applied=True, cost_units=float(before),
+                                detail={"deleted": deleted})
+        raise UnsupportedQueryError(f"MiniDB cannot apply {type(op).__name__}")
+
+    def clone(self) -> "MiniDB":
+        copy = MiniDB()
+        for name, table in self._tables.items():
+            copy._tables[name] = _Table(
+                columns=table.columns,
+                rows=[dict(row) for row in table.rows],
+            )
+        return copy
+
+    def state_items(self) -> Any:
+        return {
+            name: {
+                "columns": list(table.columns),
+                "rows": [tuple(sorted(row.items())) for row in table.rows],
+            }
+            for name, table in self._tables.items()
+        }
+
+    # -- query internals ----------------------------------------------------
+
+    def _require_table(self, name: str) -> _Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ValueError(f"no such table {name!r}") from None
+
+    def _select(self, query: DBSelect) -> ReadOutcome:
+        table = self._require_table(query.table)
+        selected = [row for row in table.rows if _matches(row, query.where)]
+        if query.order_by:
+            selected.sort(key=lambda row: _row_sort_key(row, query.order_by))
+        selected = selected[: query.limit]
+        result = [tuple(sorted(_project(row, query.columns).items()))
+                  for row in selected]
+        return ReadOutcome(result=result,
+                           cost_units=1.0 + float(len(table.rows)))
+
+    def _join(self, query: DBJoin) -> ReadOutcome:
+        left = self._require_table(query.left)
+        right = self._require_table(query.right)
+        # Hash join: build on the right side, probe with the left.
+        build: dict[Any, list[Row]] = {}
+        for row in right.rows:
+            key = row.get(query.right_col)
+            build.setdefault(_hashable(key), []).append(row)
+        merged_rows: list[Row] = []
+        for lrow in left.rows:
+            key = _hashable(lrow.get(query.left_col))
+            for rrow in build.get(key, ()):
+                merged = {f"{query.left}.{k}": v for k, v in lrow.items()}
+                merged.update({f"{query.right}.{k}": v
+                               for k, v in rrow.items()})
+                if _matches(merged, query.where):
+                    merged_rows.append(merged)
+        if query.order_by:
+            merged_rows.sort(
+                key=lambda row: _row_sort_key(row, query.order_by))
+        merged_rows = merged_rows[: query.limit]
+        result = [tuple(sorted(_project(row, query.columns).items()))
+                  for row in merged_rows]
+        cost = 1.0 + float(len(left.rows) + len(right.rows) + len(result))
+        return ReadOutcome(result=result, cost_units=cost)
+
+    def _aggregate(self, query: DBAggregate) -> ReadOutcome:
+        if query.func not in _AGG_FUNCS:
+            raise ValueError(
+                f"unknown aggregate {query.func!r}; expected {_AGG_FUNCS}"
+            )
+        if query.func != "count" and not query.column:
+            raise ValueError(f"aggregate {query.func!r} requires a column")
+        table = self._require_table(query.table)
+        groups: dict[Any, list[Row]] = {}
+        for row in table.rows:
+            if not _matches(row, query.where):
+                continue
+            key = tuple(_hashable(row.get(col)) for col in query.group_by)
+            groups.setdefault(key, []).append(row)
+        if not groups and not query.group_by:
+            # SQL semantics: an ungrouped aggregate over zero rows still
+            # yields one row (COUNT 0 / NULL for the numeric functions).
+            groups = {(): []}
+        result = []
+        for key in sorted(groups, key=repr):
+            rows = groups[key]
+            if query.func == "count":
+                value: Any = len(rows)
+            else:
+                numbers = [row.get(query.column) for row in rows]
+                numbers = [n for n in numbers
+                           if isinstance(n, (int, float))
+                           and not isinstance(n, bool)]
+                if not numbers:
+                    value = None
+                elif query.func == "sum":
+                    value = sum(numbers)
+                elif query.func == "min":
+                    value = min(numbers)
+                elif query.func == "max":
+                    value = max(numbers)
+                else:
+                    value = sum(numbers) / len(numbers)
+            result.append((key, value))
+        return ReadOutcome(result=result,
+                           cost_units=1.0 + float(len(table.rows)))
+
+
+def _hashable(value: Any) -> Any:
+    """Coerce potentially-unhashable values into hashable join keys."""
+    if isinstance(value, (list, dict, set)):
+        return repr(value)
+    return value

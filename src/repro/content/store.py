@@ -1,0 +1,74 @@
+"""The abstract content store every replica holds a copy of.
+
+A :class:`ContentStore` is the state machine being replicated.  Masters
+apply committed writes, push state updates to slaves, and the auditor
+replays both.  The interface therefore exposes:
+
+* :meth:`execute_read` / :meth:`apply_write` -- deterministic operation
+  execution, returning a *cost* in abstract work units alongside the
+  result.  Costs drive simulated service times, which is how experiments
+  E4/E5 model a slave or auditor saturating.
+* :meth:`clone` -- an independent deep copy, used to seed new replicas and
+  to give the (deliberately lagging) auditor its own copy of history.
+* :meth:`state_digest` -- a canonical hash of the full state, used by
+  tests and by masters to assert replica convergence after broadcasts.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from repro.content.queries import ReadQuery, WriteOp
+
+
+@dataclass(frozen=True)
+class ReadOutcome:
+    """Result of a read plus the work it took to compute it."""
+
+    result: Any
+    cost_units: float
+
+
+@dataclass(frozen=True)
+class WriteOutcome:
+    """Effect summary of a write plus the work it took to apply it."""
+
+    applied: bool
+    cost_units: float
+    detail: Any = None
+
+
+class ContentStore(ABC):
+    """Deterministic state machine replicated across masters and slaves."""
+
+    @abstractmethod
+    def execute_read(self, query: ReadQuery) -> ReadOutcome:
+        """Execute ``query`` without mutating state.
+
+        Raises :class:`~repro.content.queries.UnsupportedQueryError` for
+        operations belonging to a different engine, and ordinary
+        ``KeyError``/``FileNotFoundError``-style errors are *not* raised:
+        missing data yields an in-band "not found" result, because a slave
+        must be able to pledge (and an auditor to re-check) the answer
+        "no such key" just like any other answer.
+        """
+
+    @abstractmethod
+    def apply_write(self, op: WriteOp) -> WriteOutcome:
+        """Apply ``op``, mutating state.  Deterministic across replicas."""
+
+    @abstractmethod
+    def clone(self) -> "ContentStore":
+        """Deep, independent copy of the current state."""
+
+    @abstractmethod
+    def state_items(self) -> Any:
+        """Plain-data projection of the full state, for digesting."""
+
+    def state_digest(self) -> str:
+        """Canonical SHA-1 over the full state; replicas must agree."""
+        from repro.crypto.hashing import sha1_hex
+
+        return sha1_hex(self.state_items())

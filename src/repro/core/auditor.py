@@ -1,0 +1,245 @@
+"""The auditor: background re-execution of every pledged read.
+
+Section 3.4.  The auditor is a trusted server elected through the master
+broadcast; it has no slave set and serves no clients.  Clients forward
+every accepted-but-not-double-checked pledge to it; the auditor re-executes
+the pledged query against its own replica *at the pledged version* and
+compares secure hashes.  A mismatch is delayed discovery: the auditor
+sends the incriminating pledge to the slave's master, which excludes the
+slave (Section 3.5).
+
+The throughput advantages the paper enumerates are all modelled:
+
+* **no signatures** -- auditing charges execution + hash time only, never
+  ``sign_time`` (slaves pay ``sign_time`` per read);
+* **no client replies** -- no response messages are sent;
+* **query caching** -- re-executions are memoised per
+  ``(version, request-hash)``, so popular queries cost one execution and
+  then only a hash compare;
+* **deliberate lag** -- the auditor executes a write only after
+  ``max_latency + audit_grace`` has passed since the masters committed
+  it, guaranteeing no client will still accept reads for the version it
+  is finishing; peak-hour backlogs drain off-peak (experiment E5).
+
+``audit_fraction < 1`` implements the paper's overload valve: "weaken the
+security guarantees by verifying only a randomly chosen fraction of all
+reads."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.content.queries import ReadQuery, operation_from_wire
+from repro.core.messages import (
+    Accusation,
+    AuditSubmission,
+    BcastWrite,
+    KeepAlive,
+    Pledge,
+    TimestampedPledge,
+)
+from repro.core.trusted import TrustedServer
+from repro.crypto.hashing import sha1_hex
+
+
+class AuditorServer(TrustedServer):
+    """The elected auditor."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        #: Pledges whose version the auditor has not reached yet.
+        self._parked: dict[int, deque[TimestampedPledge]] = {}
+        #: (version, request_hash) -> trusted result hash.
+        self._cache: dict[tuple[int, str], str] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.pledges_received = 0
+        self.pledges_audited = 0
+        self.pledges_skipped = 0
+        self.detections = 0
+        self._next_commit_floor = 0.0
+        self._backlog_probe_interval = 1.0
+        #: Committed writes awaiting their audit-window expiry, in
+        #: delivery order: (apply_at, payload).  A queue rather than
+        #: per-write timers so that timers lost to a crash window are
+        #: recovered by restarting the drain loop.
+        self._apply_queue: deque[tuple[float, BcastWrite]] = deque()
+        self._loop_epoch = 0
+
+    def start(self) -> None:
+        super().start()
+        self._probe_backlog(self._loop_epoch)
+        self._advance_loop(self._loop_epoch)
+
+    def on_recover(self) -> None:
+        super().on_recover()
+        # Timer chains died while crashed; restart them (stale loop
+        # instances self-terminate via the epoch counter).
+        self._loop_epoch += 1
+        self._advance_loop(self._loop_epoch)
+        self._probe_backlog(self._loop_epoch)
+
+    # -- write lag (Section 3.4) ------------------------------------------
+
+    def deliver_write(self, seq: int, origin: str, payload: BcastWrite) -> None:
+        """Queue the write; apply only after the audit window closes.
+
+        The auditor mirrors the masters' commit-spacing computation to
+        estimate when they commit, then waits an extra
+        ``max_latency + audit_grace`` before moving to that version --
+        "the auditor can move to a new content version only after a
+        sufficiently large time interval (more than max_latency) has
+        elapsed since the rest of the trusted servers have moved to that
+        same content version."
+        """
+        masters_commit_at = max(self.now, self._next_commit_floor)
+        self._next_commit_floor = masters_commit_at + self.config.max_latency
+        apply_at = (masters_commit_at + self.config.max_latency
+                    + self.config.audit_grace)
+        self._apply_queue.append((apply_at, payload))
+
+    def _advance_loop(self, epoch: int) -> None:
+        """Apply queued writes whose audit window has closed."""
+        if self.crashed or epoch != self._loop_epoch:
+            return
+        while self._apply_queue and self._apply_queue[0][0] <= self.now:
+            _at, payload = self._apply_queue.popleft()
+            self._advance_version(payload)
+        self.after(min(0.5, self.config.keepalive_interval),
+                   self._advance_loop, epoch)
+
+    def _advance_version(self, payload: BcastWrite) -> None:
+        self.commit_op(payload.op_wire)
+        self.metrics.incr("auditor_version_advances")
+        # Pledges parked for the now-reachable version become auditable.
+        ready = self._parked.pop(self.version, None)
+        if ready:
+            for entry in ready:
+                self._schedule_audit(entry)
+
+    # -- pledge intake ------------------------------------------------------------
+
+    def handle_protocol_message(self, src_id: str, message: Any) -> None:
+        if isinstance(message, AuditSubmission):
+            self._handle_submission(message.pledge)
+        elif isinstance(message, KeepAlive):
+            pass  # freshness signal only; the broadcast already orders writes
+        else:
+            raise TypeError(
+                f"auditor got unexpected {type(message).__name__} "
+                f"from {src_id}"
+            )
+
+    def _handle_submission(self, pledge: Pledge) -> None:
+        self.pledges_received += 1
+        self.metrics.incr("pledges_forwarded")
+        if (self.config.audit_fraction < 1.0
+                and self.rng.random() >= self.config.audit_fraction):
+            self.pledges_skipped += 1
+            self.metrics.incr("pledges_skipped")
+            return
+        entry = TimestampedPledge(pledge=pledge, received_at=self.now)
+        if pledge.stamp.version > self.version:
+            self._parked.setdefault(pledge.stamp.version,
+                                    deque()).append(entry)
+            return
+        self._schedule_audit(entry)
+
+    # -- audit execution ---------------------------------------------------------
+
+    def _schedule_audit(self, entry: TimestampedPledge,
+                        attempts: int = 0) -> None:
+        pledge = entry.pledge
+        # 1. Signature checks: the slave's pledge signature and the master
+        #    stamp inside it.  Both are verifications, not signatures.
+        cert = self.find_slave_cert(pledge.slave_id)
+        if cert is None:
+            # Before the first slave-list gossip round we may not know the
+            # slave yet; retry shortly rather than dropping evidence.
+            if attempts < 30:
+                self.after(1.0, self._schedule_audit, entry, attempts + 1)
+            else:
+                self.metrics.incr("audits_unknown_slave")
+            return
+        service = 2 * self.config.verify_time
+        cached = self._cache.get(
+            (pledge.stamp.version, _request_key(pledge)))
+        if cached is None or not self.config.auditor_cache_enabled:
+            snapshot = self.store_at(pledge.stamp.version)
+            if snapshot is None:
+                self.metrics.incr("audits_unverifiable")
+                return
+            query = operation_from_wire(pledge.query_wire)
+            if not isinstance(query, ReadQuery):
+                self.metrics.incr("audits_unverifiable")
+                return
+            outcome = snapshot.execute_read(query)
+            trusted_hash = sha1_hex(outcome.result)
+            self._cache[(pledge.stamp.version, _request_key(pledge))] = (
+                trusted_hash)
+            self.cache_misses += 1
+            service += (outcome.cost_units
+                        * self.config.service_time_per_unit
+                        + self.config.hash_time)
+        else:
+            trusted_hash = cached
+            self.cache_hits += 1
+            service += self.config.hash_time
+        self.work.submit(service, self._finish_audit, entry, cert,
+                         trusted_hash)
+
+    def _finish_audit(self, entry: TimestampedPledge,
+                      cert: Any, trusted_hash: str) -> None:
+        pledge = entry.pledge
+        entry.audited = True
+        self.pledges_audited += 1
+        self.metrics.incr("pledges_audited")
+        self.metrics.observe("audit_delay",
+                             self.now - entry.received_at)
+        if not pledge.verify(self.keys, cert.subject_public_key):
+            # Unsigned garbage cannot incriminate anyone (no framing).
+            self.metrics.incr("audits_bad_signature")
+            return
+        if sha1_hex_equal(trusted_hash, pledge.result_hash):
+            self.metrics.incr("audits_clean")
+            return
+        # Delayed discovery (Section 3.5): ship the incriminating pledge
+        # to the master in charge of the signing slave.
+        self.detections += 1
+        self.metrics.incr("audit_detections")
+        self.metrics.observe(
+            "audit_detection_latency",
+            self.now - pledge.stamp.timestamp)
+        owner = self.master_of.get(pledge.slave_id)
+        if owner is None:
+            owner = sorted(m for m in self.broadcast.ranked_members
+                           if m != self.node_id)[0]
+        self.send(owner, Accusation(pledge=pledge,
+                                    accuser_id=self.node_id,
+                                    discovery="audit"))
+
+    # -- instrumentation ----------------------------------------------------------
+
+    def _probe_backlog(self, epoch: int) -> None:
+        if self.crashed or epoch != self._loop_epoch:
+            return
+        parked = sum(len(q) for q in self._parked.values())
+        self.metrics.record("auditor_backlog_seconds", self.now,
+                            self.work.backlog())
+        self.metrics.record("auditor_parked_pledges", self.now, float(parked))
+        self.after(self._backlog_probe_interval, self._probe_backlog, epoch)
+
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+def _request_key(pledge: Pledge) -> str:
+    return sha1_hex(pledge.query_wire)
+
+
+def sha1_hex_equal(a: str, b: str) -> bool:
+    """Constant-time-ish comparison; mostly documentation of intent."""
+    return a == b

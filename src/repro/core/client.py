@@ -1,0 +1,744 @@
+"""Clients: the read/write protocol from the consumer side.
+
+Setup phase (Section 2): query the directory for master certificates,
+verify them against the content public key (known a priori, e.g. embedded
+in the content identifier), connect to one master, receive a slave
+assignment (certified slave keys plus the auditor's address).
+
+Read protocol (Sections 3.2-3.4), per read:
+
+1. send the query to the assigned slave(s) -- ``read_quorum`` of them in
+   the Section 4 variant;
+2. on each reply, verify: result hash matches the pledge, the slave's
+   signature on the pledge, the master's signature on the version stamp,
+   and the stamp's age against ``max_latency`` (stale answers are dropped
+   and retried);
+3. with probability ``p`` double-check against the master: a hash
+   mismatch at the same version is immediate discovery -- forward the
+   incriminating pledge as an accusation, await reassignment, re-issue
+   the read;
+4. otherwise forward the pledge to the auditor *and only then* accept
+   (Section 3.4: "clients accept read results only after they have
+   forwarded the corresponding pledges to the auditor").
+
+Security levels (Section 4): pass ``level=`` to
+:meth:`Client.submit_read`; level probabilities come from
+``config.security_levels`` and a level with probability 1.0 is executed
+only on the trusted master ("execute only on trusted hosts").
+
+Every accepted read is logged with its result hash and version so the
+harness can classify correctness offline against trusted history.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.content.queries import Operation, ReadQuery, WriteOp
+from repro.core.config import ProtocolConfig
+from repro.core.messages import (
+    Accusation,
+    AuditSubmission,
+    ClientHello,
+    DirectoryListing,
+    DirectoryLookup,
+    DoubleCheckReply,
+    DoubleCheckRequest,
+    ExclusionNotice,
+    ReadReply,
+    ReadRequest,
+    SetupFailed,
+    SlaveAssignment,
+    WriteReply,
+    WriteRequest,
+)
+from repro.crypto.certificates import Certificate, CertificateError
+from repro.crypto.hashing import sha1_hex
+from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import new_signer
+from repro.metrics import MetricsRegistry
+from repro.sim.network import Network, Node
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class AcceptedRead:
+    """Post-run classification record for one accepted read."""
+
+    request_id: str
+    query_wire: Any
+    result_hash: str
+    version: int
+    accepted_at: float
+    double_checked: bool
+    slave_ids: tuple[str, ...]
+
+
+@dataclass
+class _ReadAttempt:
+    request_id: str
+    query_wire: Any
+    level: str | None
+    probability: float
+    callback: Callable[[dict], None] | None
+    quorum: int
+    started_at: float
+    retries: int = 0
+    dc_retries: int = 0
+    state: str = "waiting_slaves"
+    replies: dict[str, ReadReply] = field(default_factory=dict)
+    timer: Any = None
+
+
+@dataclass
+class _WriteAttempt:
+    request_id: str
+    op_wire: Any
+    callback: Callable[[dict], None] | None
+    started_at: float
+    retries: int = 0
+    timer: Any = None
+
+
+class Client(Node):
+    """One data consumer."""
+
+    def __init__(self, node_id: str, simulator: Simulator, network: Network,
+                 config: ProtocolConfig, directory_id: str,
+                 owner_public_key: Any, metrics: MetricsRegistry,
+                 double_check_override: float | None = None,
+                 max_latency_override: float | None = None) -> None:
+        super().__init__(node_id, simulator, network)
+        self.config = config
+        self.metrics = metrics
+        self.directory_id = directory_id
+        self.owner_public_key = owner_public_key
+        self.keys = KeyPair(node_id, new_signer(
+            "hmac", rng=simulator.fork_rng(f"keys:{node_id}")))
+        self.rng = simulator.fork_rng(f"client:{node_id}")
+        #: "Greedy" clients override the honest probability (Section 3.3);
+        #: slow clients may relax their own freshness bound (Section 3.2).
+        self.double_check_override = double_check_override
+        self.max_latency = (max_latency_override
+                            if max_latency_override is not None
+                            else config.effective_client_max_latency())
+
+        self.master_certs: dict[str, Certificate] = {}
+        self.master_id: str | None = None
+        self.slave_certs: dict[str, Certificate] = {}
+        self.assigned_slaves: tuple[str, ...] = ()
+        self.auditor_id: str = ""
+        self.ready = False
+        self._setup_in_progress = False
+        # "The closest master": modelled as a stable per-client preference
+        # (hash-spread across the master set), advanced on unresponsiveness.
+        self._master_preference = int(sha1_hex(node_id)[:4], 16)
+        self._request_counter = itertools.count()
+        self._reads: dict[str, _ReadAttempt] = {}
+        self._writes: dict[str, _WriteAttempt] = {}
+        self._queued: list[tuple[Operation, str | None,
+                                 Callable[[dict], None] | None]] = []
+        self.accepted_log: list[AcceptedRead] = []
+        #: Accepted reads later implicated by an exclusion (Section 3.5's
+        #: delayed discovery: "the harm may be undone, by rolling back
+        #: the client to the state before that particular read").
+        self.tainted_reads: list[AcceptedRead] = []
+        #: Application rollback hook, invoked once per tainted read.
+        self.rollback_handler: Callable[[AcceptedRead], None] | None = None
+        self.last_result: Any = None
+
+    # -- lifecycle / setup phase (Section 2) -----------------------------
+
+    def start(self) -> None:
+        self._begin_setup()
+
+    def _begin_setup(self) -> None:
+        if self._setup_in_progress:
+            return
+        self._setup_in_progress = True
+        self.ready = False
+        self.metrics.incr("client_setups")
+        self.send(self.directory_id, DirectoryLookup(
+            content_key_fingerprint=_fingerprint(self.owner_public_key)))
+        self.after(self.config.request_timeout, self._setup_timeout)
+
+    def _setup_timeout(self) -> None:
+        if self.ready or not self._setup_in_progress:
+            return
+        self._setup_in_progress = False
+        self._master_preference += 1  # try a different master next time
+        self.metrics.incr("client_setup_timeouts")
+        self._begin_setup()
+
+    def _handle_listing(self, listing: DirectoryListing) -> None:
+        if self.ready:
+            return
+        verified: list[Certificate] = []
+        for cert in listing.certificates:
+            try:
+                cert.verify(self.keys, self.owner_public_key)
+            except CertificateError:
+                self.metrics.incr("client_bad_master_certs")
+                continue
+            verified.append(cert)
+        if not verified:
+            self._setup_in_progress = False
+            self.metrics.incr("client_setup_failed")
+            return
+        self.master_certs = {c.subject_id: c for c in verified}
+        ordered = sorted(self.master_certs)
+        # "Selects one master (the closest one for example)": modelled as a
+        # stable preference index, advanced when a master stops answering.
+        choice = ordered[self._master_preference % len(ordered)]
+        self.master_id = choice
+        self.send(choice, ClientHello(client_id=self.node_id))
+
+    def _handle_assignment(self, assignment: SlaveAssignment) -> None:
+        slaves: list[str] = []
+        for cert in assignment.slave_certificates:
+            issuer_key = None
+            issuer_cert = self.master_certs.get(cert.issuer_id)
+            if issuer_cert is not None:
+                issuer_key = issuer_cert.subject_public_key
+            if issuer_key is None:
+                self.metrics.incr("client_bad_slave_certs")
+                continue
+            try:
+                cert.verify(self.keys, issuer_key)
+            except CertificateError:
+                self.metrics.incr("client_bad_slave_certs")
+                continue
+            self.slave_certs[cert.subject_id] = cert
+            slaves.append(cert.subject_id)
+        if not slaves:
+            self._setup_in_progress = False
+            self.metrics.incr("client_setup_failed")
+            return
+        self.assigned_slaves = tuple(slaves)
+        self.auditor_id = assignment.auditor_id
+        self.ready = True
+        self._setup_in_progress = False
+        self.metrics.incr("client_setup_completed")
+        queued, self._queued = self._queued, []
+        for op, level, callback in queued:
+            self.submit(op, level=level, callback=callback)
+
+    # -- public operation API ---------------------------------------------
+
+    def submit(self, op: Operation, level: str | None = None,
+               callback: Callable[[dict], None] | None = None) -> None:
+        """Submit a read query or write operation."""
+        if isinstance(op, ReadQuery):
+            self.submit_read(op, level=level, callback=callback)
+        elif isinstance(op, WriteOp):
+            self.submit_write(op, callback=callback)
+        else:
+            raise TypeError(f"cannot submit {type(op).__name__}")
+
+    def submit_read(self, query: ReadQuery, level: str | None = None,
+                    callback: Callable[[dict], None] | None = None) -> None:
+        if not self.ready:
+            self._queued.append((query, level, callback))
+            self._begin_setup()
+            return
+        probability = self._double_check_probability(level)
+        request_id = f"{self.node_id}:r{next(self._request_counter)}"
+        attempt = _ReadAttempt(
+            request_id=request_id,
+            query_wire=query.to_wire(),
+            level=level,
+            probability=probability,
+            callback=callback,
+            quorum=len(self.assigned_slaves),
+            started_at=self.now,
+        )
+        self._reads[request_id] = attempt
+        self.metrics.incr("reads_submitted")
+        # Probability 1.0 *by security level* means "execute only on
+        # trusted hosts" (Section 4).  A greedy client's override of 1.0
+        # is different: it still reads from its slave, then abuses the
+        # double-check quota (Section 3.3).
+        if probability >= 1.0 and self.double_check_override is None:
+            self._read_on_master(attempt)
+        else:
+            self._send_to_slaves(attempt)
+
+    def submit_write(self, op: WriteOp,
+                     callback: Callable[[dict], None] | None = None) -> None:
+        if not self.ready:
+            self._queued.append((op, None, callback))
+            self._begin_setup()
+            return
+        request_id = f"{self.node_id}:w{next(self._request_counter)}"
+        attempt = _WriteAttempt(request_id=request_id, op_wire=op.to_wire(),
+                                callback=callback, started_at=self.now)
+        self._writes[request_id] = attempt
+        self.metrics.incr("writes_submitted")
+        self._send_write(attempt)
+
+    def _double_check_probability(self, level: str | None) -> float:
+        if self.double_check_override is not None:
+            return self.double_check_override
+        if level is None:
+            return self.config.double_check_probability
+        try:
+            return self.config.security_levels[level]
+        except KeyError:
+            raise ValueError(
+                f"unknown security level {level!r}; configured: "
+                f"{sorted(self.config.security_levels)}"
+            ) from None
+
+    # -- read path ------------------------------------------------------------
+
+    def _send_to_slaves(self, attempt: _ReadAttempt) -> None:
+        attempt.state = "waiting_slaves"
+        attempt.replies.clear()
+        request = ReadRequest(client_id=self.node_id,
+                              request_id=attempt.request_id,
+                              query_wire=attempt.query_wire)
+        for slave in self.assigned_slaves:
+            self.send(slave, request)
+        attempt.quorum = len(self.assigned_slaves)
+        attempt.timer = self.after(self.config.request_timeout,
+                                   self._read_timeout, attempt.request_id)
+
+    def _read_on_master(self, attempt: _ReadAttempt) -> None:
+        attempt.state = "master_read"
+        self.metrics.incr("sensitive_reads")
+        assert self.master_id is not None
+        self.send(self.master_id, DoubleCheckRequest(
+            client_id=self.node_id, request_id=attempt.request_id,
+            query_wire=attempt.query_wire, want_result=True))
+        attempt.timer = self.after(self.config.request_timeout,
+                                   self._read_timeout, attempt.request_id)
+
+    def _handle_read_reply(self, slave_id: str, reply: ReadReply) -> None:
+        attempt = self._reads.get(reply.request_id)
+        if attempt is None or attempt.state != "waiting_slaves":
+            return
+        if slave_id in attempt.replies:
+            return
+        attempt.replies[slave_id] = reply
+        if len(attempt.replies) == attempt.quorum:
+            self._evaluate_replies(attempt)
+
+    def _evaluate_replies(self, attempt: _ReadAttempt) -> None:
+        _cancel(attempt.timer)
+        valid: dict[str, ReadReply] = {}
+        for slave_id, reply in attempt.replies.items():
+            verdict = self._validate_reply(slave_id, reply)
+            self.metrics.incr(f"read_reply_{verdict}")
+            if verdict == "ok":
+                valid[slave_id] = reply
+        if len(valid) < attempt.quorum:
+            # At least one reply was stale / out-of-sync / malformed: the
+            # paper's answer is drop and retry (Section 3.2).
+            self._retry_read(attempt)
+            return
+        hashes = {reply.pledge.result_hash for reply in valid.values()}
+        versions = {reply.pledge.stamp.version for reply in valid.values()}
+        if len(hashes) > 1 or len(versions) > 1:
+            # Quorum variant: disagreement forces a double-check --
+            # "if not all answers match, the client automatically
+            # double-checks, since at least one of the slaves has to be
+            # malicious" (Section 4).
+            self.metrics.incr("quorum_disagreements")
+            self._start_double_check(attempt, forced=True)
+            return
+        if self.rng.random() < attempt.probability:
+            self._start_double_check(attempt, forced=False)
+        else:
+            self._accept_via_auditor(attempt)
+
+    def _validate_reply(self, slave_id: str, reply: ReadReply) -> str:
+        if not reply.in_sync or reply.pledge is None:
+            return "out_of_sync"
+        pledge = reply.pledge
+        if pledge.slave_id != slave_id:
+            return "bad_pledge"
+        # 0. Binding: the pledge must commit to *this* request.  Without
+        #    these checks a malicious slave could answer query A with a
+        #    perfectly valid (result, pledge) pair for query B -- every
+        #    other check would pass and the audit of pledge B would come
+        #    back clean.  The pledge carries "a copy of the request"
+        #    (Section 3.2) exactly so the client can pin it.
+        attempt = self._reads.get(reply.request_id)
+        if attempt is None:
+            return "bad_pledge"
+        if pledge.request_id != reply.request_id:
+            return "bad_pledge"
+        if pledge.query_wire != attempt.query_wire:
+            return "bad_pledge"
+        # 1. Result integrity: hash(result) must equal the pledged hash.
+        if sha1_hex(reply.result) != pledge.result_hash:
+            return "hash_mismatch"
+        # 2. Slave signature over the pledge.
+        cert = self.slave_certs.get(slave_id)
+        if cert is None or not pledge.verify(self.keys,
+                                             cert.subject_public_key):
+            return "bad_signature"
+        # 3. Master signature over the version stamp.
+        master_cert = self.master_certs.get(pledge.stamp.master_id)
+        if master_cert is None or not pledge.stamp.verify(
+                self.keys, master_cert.subject_public_key):
+            return "bad_stamp"
+        # 4. Freshness: "the client makes sure the time-stamp is not older
+        #    than max_latency."
+        if pledge.stamp.age(self.now) >= self.max_latency:
+            return "stale"
+        return "ok"
+
+    def _start_double_check(self, attempt: _ReadAttempt,
+                            forced: bool) -> None:
+        attempt.state = "double_checking"
+        self.metrics.incr("double_checks_sent")
+        if forced:
+            self.metrics.incr("double_checks_forced")
+        assert self.master_id is not None
+        self.send(self.master_id, DoubleCheckRequest(
+            client_id=self.node_id, request_id=attempt.request_id,
+            query_wire=attempt.query_wire))
+        attempt.timer = self.after(self.config.request_timeout,
+                                   self._double_check_timeout,
+                                   attempt.request_id)
+
+    def _handle_double_check_reply(self, reply: DoubleCheckReply) -> None:
+        attempt = self._reads.get(reply.request_id)
+        if attempt is None:
+            return
+        if attempt.state == "master_read":
+            # Sensitive read executed only on the trusted master.
+            _cancel(attempt.timer)
+            self._finish_read(attempt, result=reply.result,
+                              result_hash=reply.result_hash,
+                              version=reply.version, double_checked=True,
+                              slave_ids=())
+            return
+        if attempt.state != "double_checking":
+            return
+        _cancel(attempt.timer)
+        matching: list[tuple[str, ReadReply]] = []
+        mismatching: list[tuple[str, ReadReply]] = []
+        for slave_id, slave_reply in attempt.replies.items():
+            pledge = slave_reply.pledge
+            if pledge is None:
+                continue
+            if pledge.result_hash == reply.result_hash:
+                matching.append((slave_id, slave_reply))
+            elif pledge.stamp.version == reply.version:
+                mismatching.append((slave_id, slave_reply))
+            else:
+                # Version skew: master committed a write between the
+                # slave's answer and the double-check; inconclusive.
+                self.metrics.incr("double_checks_inconclusive")
+        if mismatching:
+            # Caught red-handed (immediate discovery, Section 3.5).
+            for slave_id, slave_reply in mismatching:
+                self.metrics.incr("immediate_detections")
+                assert self.master_id is not None
+                self.send(self.master_id, Accusation(
+                    pledge=slave_reply.pledge, accuser_id=self.node_id,
+                    discovery="immediate"))
+            attempt.state = "await_reassign"
+            # Re-issued once the master reassigns us (ExclusionNotice), or
+            # after a timeout if the accusation was dismissed.
+            attempt.timer = self.after(self.config.request_timeout,
+                                       self._reissue_after_accusation,
+                                       attempt.request_id)
+            return
+        if not matching:
+            # Every slave answer was from a different version; retry.
+            self._retry_read(attempt)
+            return
+        if not self._still_fresh(attempt):
+            self.metrics.incr("reads_stale_at_accept")
+            self._retry_read(attempt)
+            return
+        slave_ids = tuple(slave_id for slave_id, _reply in matching)
+        first_reply = matching[0][1]
+        self.metrics.incr("double_checks_confirmed")
+        self._finish_read(attempt, result=first_reply.result,
+                          result_hash=first_reply.pledge.result_hash,
+                          version=first_reply.pledge.stamp.version,
+                          double_checked=True, slave_ids=slave_ids)
+
+    def _accept_via_auditor(self, attempt: _ReadAttempt) -> None:
+        """Forward pledges to the auditor, then accept (Section 3.4)."""
+        if not self._still_fresh(attempt):
+            # The reply was fresh when validated but aged past max_latency
+            # while we waited (e.g. on a timed-out double-check).  Accepting
+            # now would breach the inconsistency window; retry instead.
+            self.metrics.incr("reads_stale_at_accept")
+            self._retry_read(attempt)
+            return
+        slave_ids = []
+        for slave_id, reply in attempt.replies.items():
+            assert reply.pledge is not None
+            slave_ids.append(slave_id)
+            if self.auditor_id:
+                self.send(self.auditor_id,
+                          AuditSubmission(pledge=reply.pledge))
+        first = next(iter(attempt.replies.values()))
+        assert first.pledge is not None
+        self._finish_read(attempt, result=first.result,
+                          result_hash=first.pledge.result_hash,
+                          version=first.pledge.stamp.version,
+                          double_checked=False,
+                          slave_ids=tuple(slave_ids))
+
+    def _still_fresh(self, attempt: _ReadAttempt) -> bool:
+        """Re-check every held pledge's stamp age at acceptance time."""
+        for reply in attempt.replies.values():
+            if reply.pledge is None:
+                return False
+            if reply.pledge.stamp.age(self.now) >= self.max_latency:
+                return False
+        return True
+
+    def _finish_read(self, attempt: _ReadAttempt, result: Any,
+                     result_hash: str, version: int, double_checked: bool,
+                     slave_ids: tuple[str, ...]) -> None:
+        del self._reads[attempt.request_id]
+        attempt.state = "done"
+        self.last_result = result
+        latency = self.now - attempt.started_at
+        self.metrics.incr("reads_accepted")
+        self.metrics.observe("read_latency", latency)
+        record = AcceptedRead(
+            request_id=attempt.request_id,
+            query_wire=attempt.query_wire,
+            result_hash=result_hash,
+            version=version,
+            accepted_at=self.now,
+            double_checked=double_checked,
+            slave_ids=slave_ids,
+        )
+        self.accepted_log.append(record)
+        if attempt.callback is not None:
+            attempt.callback({"status": "accepted", "result": result,
+                              "latency": latency, "version": version,
+                              "double_checked": double_checked})
+
+    # -- retries / failures ------------------------------------------------------
+
+    def _retry_read(self, attempt: _ReadAttempt) -> None:
+        attempt.retries += 1
+        self.metrics.incr("read_retries")
+        if attempt.retries > self.config.max_read_retries:
+            self._fail_read(attempt, reason="retries exhausted")
+            return
+        if attempt.retries == self.config.max_read_retries:
+            # Persistent invalid/stale replies from the current slave:
+            # assume it is broken (e.g. garbled signatures) and go back
+            # through the setup phase for a fresh assignment.
+            self.ready = False
+            self._queued.append((_rebuild_query(attempt), attempt.level,
+                                 attempt.callback))
+            del self._reads[attempt.request_id]
+            self.metrics.incr("reads_resetup")
+            self._begin_setup()
+            return
+        # Small backoff so a just-stale slave has time to resync.
+        self.after(self.config.keepalive_interval,
+                   self._resend_read, attempt.request_id)
+
+    def _resend_read(self, request_id: str) -> None:
+        attempt = self._reads.get(request_id)
+        if attempt is None or attempt.state == "done":
+            return
+        # Same routing rule as submit_read: only a *security level* of
+        # 1.0 routes to the master; a greedy client's override keeps the
+        # slave path (it merely over-checks).
+        if attempt.probability >= 1.0 and self.double_check_override is None:
+            self._read_on_master(attempt)
+        else:
+            self._send_to_slaves(attempt)
+
+    def _read_timeout(self, request_id: str) -> None:
+        attempt = self._reads.get(request_id)
+        if attempt is None or attempt.state not in ("waiting_slaves",
+                                                    "master_read"):
+            return
+        if attempt.state == "waiting_slaves" and attempt.replies:
+            # Partial quorum: evaluate what arrived (missing slaves count
+            # as invalid, forcing a retry unless quorum was 1 and answered).
+            attempt.quorum = len(attempt.replies)
+            self._evaluate_replies(attempt)
+            return
+        self.metrics.incr("read_timeouts")
+        attempt.retries += 1
+        if attempt.retries > self.config.max_read_retries:
+            self._fail_read(attempt, reason="timeout")
+            return
+        if attempt.retries == self.config.max_read_retries:
+            # Penultimate attempt: assume our master/slave died; re-setup.
+            self.ready = False
+            self._queued.append((_rebuild_query(attempt), attempt.level,
+                                 attempt.callback))
+            del self._reads[attempt.request_id]
+            self._begin_setup()
+            return
+        self._resend_read(request_id)
+
+    def _double_check_timeout(self, request_id: str) -> None:
+        attempt = self._reads.get(request_id)
+        if attempt is None or attempt.state != "double_checking":
+            return
+        attempt.dc_retries += 1
+        self.metrics.incr("double_check_timeouts")
+        if attempt.dc_retries <= 1:
+            self._start_double_check(attempt, forced=False)
+            return
+        # The master is unresponsive (or throttling us as greedy).  Fall
+        # back to the audit path rather than hanging the read forever.
+        self._accept_via_auditor(attempt)
+
+    def _reissue_after_accusation(self, request_id: str) -> None:
+        attempt = self._reads.get(request_id)
+        if attempt is None or attempt.state != "await_reassign":
+            return
+        self._resend_read(request_id)
+
+    def _fail_read(self, attempt: _ReadAttempt, reason: str) -> None:
+        del self._reads[attempt.request_id]
+        attempt.state = "done"
+        self.metrics.incr("reads_failed")
+        if attempt.callback is not None:
+            attempt.callback({"status": "failed", "reason": reason})
+
+    # -- write path --------------------------------------------------------------
+
+    def _send_write(self, attempt: _WriteAttempt) -> None:
+        assert self.master_id is not None
+        self.send(self.master_id, WriteRequest(
+            client_id=self.node_id, request_id=attempt.request_id,
+            op_wire=attempt.op_wire))
+        attempt.timer = self.after(self.config.request_timeout * 3,
+                                   self._write_timeout, attempt.request_id)
+
+    def _handle_write_reply(self, reply: WriteReply) -> None:
+        attempt = self._writes.pop(reply.request_id, None)
+        if attempt is None:
+            return
+        _cancel(attempt.timer)
+        latency = self.now - attempt.started_at
+        if reply.committed:
+            self.metrics.incr("writes_committed")
+            self.metrics.observe("write_latency", latency)
+        else:
+            self.metrics.incr("writes_rejected")
+        if attempt.callback is not None:
+            attempt.callback({"status": "committed" if reply.committed
+                              else "rejected",
+                              "version": reply.version,
+                              "latency": latency,
+                              "reason": reply.reason})
+
+    def _write_timeout(self, request_id: str) -> None:
+        attempt = self._writes.get(request_id)
+        if attempt is None:
+            return
+        attempt.retries += 1
+        self.metrics.incr("write_timeouts")
+        if attempt.retries > 2:
+            del self._writes[request_id]
+            self.metrics.incr("writes_failed")
+            if attempt.callback is not None:
+                attempt.callback({"status": "failed", "reason": "timeout"})
+            return
+        # Master may have crashed: redo setup against another master, then
+        # resubmit (write dedup is the master's job via request ids; in
+        # this model resubmission after a commit would double-apply, so we
+        # only resubmit when no reply ever arrived -- at-most-once).
+        self.ready = False
+        self._master_preference += 1
+        self._begin_setup()
+        self.after(self.config.request_timeout, self._send_write, attempt)
+
+    # -- reassignment (Section 3.5) -----------------------------------------------
+
+    def _handle_exclusion(self, notice: ExclusionNotice) -> None:
+        self.metrics.incr("client_reassignments")
+        self._install_assignment(notice.replacement)
+        # Delayed-discovery damage control: any read this client accepted
+        # on the now-excluded slave's word alone is suspect.  Surface it
+        # to the application for rollback.
+        for record in self.accepted_log:
+            if (notice.excluded_slave_id in record.slave_ids
+                    and not record.double_checked
+                    and record not in self.tainted_reads):
+                self.tainted_reads.append(record)
+                self.metrics.incr("reads_tainted")
+                if self.rollback_handler is not None:
+                    self.rollback_handler(record)
+        # Re-issue any read that was waiting on the excluded slave.
+        for attempt in list(self._reads.values()):
+            if attempt.state in ("await_reassign", "waiting_slaves"):
+                _cancel(attempt.timer)
+                self.metrics.incr("reads_reissued_after_exclusion")
+                self._resend_read(attempt.request_id)
+
+    def _install_assignment(self, assignment: SlaveAssignment) -> None:
+        slaves = []
+        for cert in assignment.slave_certificates:
+            issuer = self.master_certs.get(cert.issuer_id)
+            if issuer is None:
+                continue
+            try:
+                cert.verify(self.keys, issuer.subject_public_key)
+            except CertificateError:
+                self.metrics.incr("client_bad_slave_certs")
+                continue
+            self.slave_certs[cert.subject_id] = cert
+            slaves.append(cert.subject_id)
+        if slaves:
+            self.assigned_slaves = tuple(slaves)
+        if assignment.auditor_id:
+            self.auditor_id = assignment.auditor_id
+
+    # -- dispatch --------------------------------------------------------------------
+
+    def on_message(self, src_id: str, message: Any) -> None:
+        if isinstance(message, DirectoryListing):
+            self._handle_listing(message)
+        elif isinstance(message, SlaveAssignment):
+            self._handle_assignment(message)
+        elif isinstance(message, ReadReply):
+            self._handle_read_reply(src_id, message)
+        elif isinstance(message, DoubleCheckReply):
+            self._handle_double_check_reply(message)
+        elif isinstance(message, WriteReply):
+            self._handle_write_reply(message)
+        elif isinstance(message, ExclusionNotice):
+            self._handle_exclusion(message)
+        elif isinstance(message, SetupFailed):
+            self._setup_in_progress = False
+            self.metrics.incr("client_setup_failed")
+        else:
+            raise TypeError(
+                f"client {self.node_id} got unexpected "
+                f"{type(message).__name__} from {src_id}"
+            )
+
+
+def _cancel(timer: Any) -> None:
+    if timer is not None:
+        timer.cancel()
+
+
+def _fingerprint(public_key: Any) -> str:
+    fingerprint = getattr(public_key, "fingerprint", None)
+    if callable(fingerprint):
+        return fingerprint()
+    return sha1_hex(repr(public_key))
+
+
+def _rebuild_query(attempt: _ReadAttempt) -> ReadQuery:
+    from repro.content.queries import operation_from_wire
+
+    query = operation_from_wire(attempt.query_wire)
+    assert isinstance(query, ReadQuery)
+    return query

@@ -1,0 +1,56 @@
+"""The public directory of master certificates.
+
+Section 2: certificates "are stored in a public directory, indexed by
+content public key.  Thus, by knowing the content public key and the
+address of the directory, any client can securely get the addresses and
+public keys of all the master servers replicating that content."
+
+The directory itself is untrusted infrastructure: it serves certificates
+but cannot forge them (they are signed with the content key), so clients
+verify everything they receive.  A malicious directory can at worst
+withhold entries -- a liveness attack, like any untrusted lookup service.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.messages import DirectoryListing, DirectoryLookup
+from repro.crypto.certificates import Certificate
+from repro.sim.network import Network, Node
+from repro.sim.simulator import Simulator
+
+
+class DirectoryServer(Node):
+    """Serves master certificate listings indexed by content key."""
+
+    def __init__(self, node_id: str, simulator: Simulator,
+                 network: Network) -> None:
+        super().__init__(node_id, simulator, network)
+        self._listings: dict[str, list[Certificate]] = {}
+        self.lookups_served = 0
+
+    def publish(self, content_key_fingerprint: str,
+                certificate: Certificate) -> None:
+        """Owner-side: add one master certificate under a content key."""
+        entries = self._listings.setdefault(content_key_fingerprint, [])
+        entries[:] = [c for c in entries
+                      if c.subject_id != certificate.subject_id]
+        entries.append(certificate)
+
+    def withdraw(self, content_key_fingerprint: str,
+                 subject_id: str) -> None:
+        """Owner-side: remove a master's certificate (decommissioning)."""
+        entries = self._listings.get(content_key_fingerprint, [])
+        entries[:] = [c for c in entries if c.subject_id != subject_id]
+
+    def on_message(self, src_id: str, message: Any) -> None:
+        if isinstance(message, DirectoryLookup):
+            self.lookups_served += 1
+            certs = tuple(self._listings.get(
+                message.content_key_fingerprint, ()))
+            self.send(src_id, DirectoryListing(certificates=certs))
+        else:
+            raise TypeError(
+                f"directory got unexpected {type(message).__name__}"
+            )

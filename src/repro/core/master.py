@@ -1,0 +1,557 @@
+"""Master servers: the trusted core of the system.
+
+A master (Section 2) is a trusted host holding a full copy of the content.
+Masters jointly:
+
+* order and execute every write through the totally-ordered broadcast,
+  spacing commits at least ``max_latency`` apart (Section 3.1);
+* lazily update their slave sets after commit, and keep slaves fresh with
+  signed keep-alive stamps (Section 3.1);
+* serve client double-check requests, throttling statistically greedy
+  clients (Section 3.3);
+* verify accusations (from clients or the auditor) against historical
+  snapshots, and exclude proven-malicious slaves, reassigning their
+  clients (Section 3.5);
+* periodically broadcast their slave lists so that when a master crashes
+  the survivors divide its slave set (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.content.queries import ReadQuery, operation_from_wire
+from repro.core.messages import (
+    Accusation,
+    BcastElectAuditor,
+    BcastExcludeSlave,
+    BcastSlaveList,
+    BcastWrite,
+    ClientHello,
+    DoubleCheckReply,
+    DoubleCheckRequest,
+    ExclusionNotice,
+    KeepAlive,
+    Pledge,
+    ResyncRequest,
+    SetupFailed,
+    SlaveAssignment,
+    SlaveSnapshot,
+    SlaveUpdate,
+    WriteReply,
+    WriteRequest,
+)
+from repro.core.trusted import CertAnnouncement, TrustedServer
+from repro.crypto.certificates import Certificate
+from repro.crypto.hashing import sha1_hex
+
+
+class _TokenBucket:
+    """Per-client double-check allowance (greedy-client throttling)."""
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated_at = now
+
+    def try_consume(self, now: float) -> bool:
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.updated_at) * self.rate)
+        self.updated_at = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class MasterServer(TrustedServer):
+    """One trusted master server."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        # -- slave set ----------------------------------------------------
+        self.slaves: list[str] = []
+        self.slave_certs: dict[str, Certificate] = {}
+        self.excluded_slaves: set[str] = set()
+        # -- clients --------------------------------------------------------
+        #: client -> slave ids currently assigned to it (quorum-sized).
+        self.client_assignments: dict[str, tuple[str, ...]] = {}
+        self._buckets: dict[str, _TokenBucket] = {}
+        #: Auditors the broadcast layer suspects crashed (failover set).
+        self._dead_auditors: set[str] = set()
+        # -- writes -----------------------------------------------------------
+        self._write_queue: deque[WriteRequest] = deque()
+        self._write_inflight = False
+        self._next_commit_floor = 0.0
+        self._keepalive_handle: Any = None
+        #: (client_id, request_id) -> "queued" | "committed"; gives writes
+        #: at-most-once semantics across client retries and re-setups
+        #: (a retry may arrive at a different master, so commit-state is
+        #: tracked on delivery, which every master sees identically).
+        self._write_states: dict[tuple[str, str], str] = {}
+        #: Generation counter for periodic loops: timer chains die while
+        #: the node is crashed, so recovery restarts them and stale chains
+        #: self-terminate.
+        self._loop_epoch = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        super().start()
+        self._keepalive_loop(self._loop_epoch)
+        self._slave_list_loop(self._loop_epoch)
+
+    def on_recover(self) -> None:
+        super().on_recover()
+        self._loop_epoch += 1
+        self._keepalive_loop(self._loop_epoch)
+        self._slave_list_loop(self._loop_epoch)
+        self._pump_writes()
+
+    def register_slave(self, slave_id: str, address: str,
+                       public_key: Any) -> Certificate:
+        """Owner-time registration: certify and adopt a slave."""
+        cert = Certificate.issue(self.keys, slave_id, address, public_key,
+                                 issued_at=self.now)
+        self.slaves.append(slave_id)
+        self.slave_certs[slave_id] = cert
+        self.master_of[slave_id] = self.node_id
+        return cert
+
+    def elect_auditors(self, auditor_ids: tuple[str, ...]) -> None:
+        """Propose the auditor set via the broadcast (rank-0 master)."""
+        self.broadcast.broadcast(BcastElectAuditor(
+            auditor_ids=tuple(auditor_ids)))
+
+    # -- protocol message handling ----------------------------------------------
+
+    def handle_protocol_message(self, src_id: str, message: Any) -> None:
+        if isinstance(message, ClientHello):
+            self._handle_hello(src_id, message)
+        elif isinstance(message, WriteRequest):
+            self._handle_write_request(src_id, message)
+        elif isinstance(message, DoubleCheckRequest):
+            self._handle_double_check(src_id, message)
+        elif isinstance(message, Accusation):
+            self._handle_accusation(src_id, message)
+        elif isinstance(message, ResyncRequest):
+            self._handle_resync(src_id, message)
+        else:
+            raise TypeError(
+                f"master {self.node_id} got unexpected "
+                f"{type(message).__name__} from {src_id}"
+            )
+
+    # -- setup phase (Section 2) ------------------------------------------------
+
+    def _handle_hello(self, client_id: str, message: ClientHello) -> None:
+        if not self.auditor_ids:
+            # The auditor election has not been delivered yet; a client
+            # assigned now would not know where to forward pledges.
+            self.after(0.5, self._handle_hello, client_id, message)
+            return
+        assignment = self._make_assignment(client_id)
+        if assignment is None:
+            self.send(client_id, SetupFailed(reason="no slaves available"))
+            return
+        self.send(client_id, assignment)
+
+    def _make_assignment(self, client_id: str) -> SlaveAssignment | None:
+        """Pick ``read_quorum`` distinct slaves for a client.
+
+        Selection is a uniform random sample of the master's usable
+        slaves (the paper's "the one closest to the client for example"
+        is only an example policy; random selection spreads load and, for
+        the quorum variant, makes collusion statistics match the
+        hypergeometric model of experiment E9).
+        """
+        usable = [s for s in self.slaves if s not in self.excluded_slaves]
+        quorum = self.config.read_quorum
+        certs: list[Certificate] = []
+        picked: list[str] = []
+        if len(usable) >= quorum:
+            picked = self.rng.sample(usable, quorum)
+            certs = [self.slave_certs[s] for s in picked]
+        else:
+            # Not enough local slaves: borrow from other masters' announced
+            # lists (still certified; clients verify any master's signature).
+            pool: list[Certificate] = [self.slave_certs[s] for s in usable]
+            for certs_tuple in self.announced_lists.values():
+                pool.extend(c for c in certs_tuple
+                            if c.subject_id not in self.excluded_slaves)
+            seen: set[str] = set()
+            for cert in pool:
+                if cert.subject_id not in seen:
+                    seen.add(cert.subject_id)
+                    picked.append(cert.subject_id)
+                    certs.append(cert)
+                if len(picked) == quorum:
+                    break
+            if len(picked) < quorum:
+                return None
+        self.client_assignments[client_id] = tuple(picked)
+        return SlaveAssignment(slave_certificates=tuple(certs),
+                               auditor_id=self._auditor_for(client_id))
+
+    def _auditor_for_static(self, client_id: str) -> str:
+        """The hash-preferred auditor, ignoring liveness."""
+        if not self.auditor_ids:
+            return ""
+        digest = int(sha1_hex(client_id)[:8], 16)
+        return self.auditor_ids[digest % len(self.auditor_ids)]
+
+    def _auditor_for(self, client_id: str) -> str:
+        """Pick the client's auditor: stable hash over the auditor set.
+
+        With several auditors (Section 3.4's "add extra auditors") the
+        pledge stream partitions by client, so each pledge is audited
+        exactly once and a client's pledges always meet the same auditor.
+        Auditors believed crashed are skipped (failover to the next
+        survivor in hash order).
+        """
+        if not self.auditor_ids:
+            return ""
+        alive = [a for a in self.auditor_ids
+                 if a not in self._dead_auditors]
+        if not alive:
+            return self._auditor_for_static(client_id)
+        digest = int(sha1_hex(client_id)[:8], 16)
+        return alive[digest % len(alive)]
+
+    # -- write protocol (Section 3.1) ------------------------------------------------
+
+    def _handle_write_request(self, client_id: str,
+                              message: WriteRequest) -> None:
+        allowed = (self.config.writers_allowed is None
+                   or client_id in self.config.writers_allowed)
+        if not allowed:
+            self.metrics.incr("writes_denied")
+            self.send(client_id, WriteReply(
+                request_id=message.request_id, committed=False,
+                version=self.version, reason="access denied"))
+            return
+        state = self._write_states.get((client_id, message.request_id))
+        if state == "committed":
+            # Client retry after a lost reply: confirm, do not re-apply.
+            self.metrics.incr("writes_duplicate_confirmed")
+            self.send(client_id, WriteReply(
+                request_id=message.request_id, committed=True,
+                version=self.version))
+            return
+        if state == "queued":
+            self.metrics.incr("writes_duplicate_ignored")
+            return
+        self._write_states[(client_id, message.request_id)] = "queued"
+        self._write_queue.append(message)
+        self._pump_writes()
+
+    def _pump_writes(self) -> None:
+        """Submit the next queued write, respecting ``max_latency`` spacing.
+
+        "Two write operations cannot be, time-wise, closer than
+        max_latency to each other" -- we hold back submission until the
+        previous commit is at least ``max_latency`` old, and the commit
+        path enforces the same floor against concurrent submissions from
+        other masters.
+        """
+        if self._write_inflight or not self._write_queue:
+            return
+        last_commit = self.commit_times.get(self.version, 0.0)
+        earliest = last_commit + self.config.max_latency
+        if self.version == 0 and not self.ops_log:
+            earliest = self.now  # nothing committed yet
+        if self.now < earliest:
+            self.after(earliest - self.now, self._pump_writes)
+            return
+        request = self._write_queue.popleft()
+        self._write_inflight = True
+        self.broadcast.broadcast(BcastWrite(
+            origin_master=self.node_id,
+            client_id=request.client_id,
+            request_id=request.request_id,
+            op_wire=request.op_wire,
+        ))
+
+    def deliver_write(self, seq: int, origin: str, payload: BcastWrite) -> None:
+        """Totally-ordered write delivery: schedule the spaced commit.
+
+        Duplicate deliveries (a client resubmitting through a different
+        master after a timeout) are detected here: every master sees the
+        same delivery order, so all of them skip the same duplicates.
+        """
+        key = (payload.client_id, payload.request_id)
+        if self._write_states.get(key) == "committed":
+            if payload.origin_master == self.node_id:
+                self._write_inflight = False
+                self.send(payload.client_id, WriteReply(
+                    request_id=payload.request_id, committed=True,
+                    version=self.version))
+                self._pump_writes()
+            return
+        self._write_states[key] = "committed"
+        if self.broadcast.is_caught_up():
+            commit_at = max(self.now, self._next_commit_floor)
+        else:
+            # Catch-up replay after a crash: the master set already spaced
+            # these commits >= max_latency apart in global time when they
+            # were first committed; a straggler replays them immediately,
+            # otherwise it would stay (and serve trusted answers) minutes
+            # behind the group.
+            commit_at = self.now
+        self._next_commit_floor = commit_at + self.config.max_latency
+        self.after(commit_at - self.now, self._commit_write, payload)
+
+    def _commit_write(self, payload: BcastWrite) -> None:
+        self.commit_op(payload.op_wire)
+        self.metrics.incr(f"commits@{self.node_id}")
+        stamp = self.current_stamp()
+        update = SlaveUpdate(from_version=self.version - 1,
+                             ops_wire=(payload.op_wire,), stamp=stamp)
+        for slave in self.slaves:
+            if slave not in self.excluded_slaves:
+                self.send(slave, update, size_bytes=1024)
+        if payload.origin_master == self.node_id:
+            self._write_inflight = False
+            self.send(payload.client_id, WriteReply(
+                request_id=payload.request_id, committed=True,
+                version=self.version))
+            self._pump_writes()
+
+    def _keepalive_loop(self, epoch: int = 0) -> None:
+        """Periodic signed stamps so slaves stay fresh between writes."""
+        if self.crashed or epoch != self._loop_epoch:
+            return
+        if not self.broadcast.is_caught_up():
+            # A stale master must not certify freshness: a keep-alive
+            # signed at an old version would let a slave serve outdated
+            # state inside the max_latency window.  Stay silent until the
+            # broadcast repair finishes; slaves simply see us as late.
+            self._keepalive_handle = self.after(
+                self.config.keepalive_interval, self._keepalive_loop,
+                epoch)
+            return
+        stamp = self.current_stamp()
+        self.metrics.incr(f"keepalives@{self.node_id}")
+        for slave in self.slaves:
+            if slave not in self.excluded_slaves:
+                self.send(slave, KeepAlive(stamp=stamp))
+        for auditor in self.auditor_ids:
+            # Auditors time their version advancement off keep-alives too.
+            self.send(auditor, KeepAlive(stamp=stamp))
+        self._keepalive_handle = self.after(self.config.keepalive_interval,
+                                            self._keepalive_loop, epoch)
+
+    def _handle_resync(self, slave_id: str, message: ResyncRequest) -> None:
+        """Bring a lagging slave back in sync.
+
+        Incremental when the op log still covers the slave's version; a
+        full state snapshot otherwise (the slave was down longer than
+        ``ops_log_depth`` writes).
+        """
+        if not self.broadcast.is_caught_up():
+            # Resyncing a slave onto stale state (with a stale-but-fresh
+            # stamp) would reintroduce the recovered-master hazard.
+            self.after(0.25, self._handle_resync, slave_id, message)
+            return
+        have = message.have_version
+        if have >= self.version:
+            return
+        if any(v not in self.ops_log for v in range(have, self.version)):
+            self.metrics.incr("slave_snapshots_sent")
+            self.send(slave_id, SlaveSnapshot(
+                store=self.store.clone(), stamp=self.current_stamp()),
+                size_bytes=64 * 1024)
+            return
+        missing = [self.ops_log[v] for v in range(have, self.version)]
+        self.send(slave_id, SlaveUpdate(
+            from_version=have, ops_wire=tuple(missing),
+            stamp=self.current_stamp()), size_bytes=1024 * len(missing))
+
+    # -- double-checks (Section 3.3) ---------------------------------------------------
+
+    def _handle_double_check(self, client_id: str,
+                             message: DoubleCheckRequest) -> None:
+        if not self.broadcast.is_caught_up():
+            # Serving a trusted answer from stale state would defeat the
+            # point of double-checking; defer until repaired.
+            self.after(0.25, self._handle_double_check, client_id, message)
+            return
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = _TokenBucket(self.config.greedy_allowance_rate,
+                                  self.config.greedy_burst, self.now)
+            self._buckets[client_id] = bucket
+        if not bucket.try_consume(self.now):
+            self.metrics.incr("double_checks_over_quota")
+            if self.rng.random() < self.config.greedy_drop_fraction:
+                self.metrics.incr("double_checks_dropped_greedy")
+                return  # "simply ignoring" the greedy client's request
+        self.metrics.incr("double_checks_served")
+        query = operation_from_wire(message.query_wire)
+        if not isinstance(query, ReadQuery):
+            raise TypeError("double-check payload must be a read query")
+        outcome = self.store.execute_read(query)
+        service = (self.execution_time(outcome.cost_units)
+                   + self.config.hash_time)
+        reply = DoubleCheckReply(
+            request_id=message.request_id,
+            result_hash=sha1_hex(outcome.result),
+            version=self.version,
+            result=outcome.result if message.want_result else None,
+            include_result=message.want_result,
+        )
+        self.work.submit(service, self.send, client_id, reply)
+
+    # -- corrective action (Section 3.5) -------------------------------------------------
+
+    def _handle_accusation(self, src_id: str, message: Accusation) -> None:
+        """Verify evidence; if the pledge is provably wrong, exclude."""
+        pledge = message.pledge
+        verdict = self.evaluate_pledge(pledge)
+        self.metrics.incr(f"accusations_{verdict}")
+        if verdict != "guilty":
+            return
+        owner = self.master_of.get(pledge.slave_id, self.node_id)
+        self.broadcast.broadcast(BcastExcludeSlave(
+            slave_id=pledge.slave_id,
+            owning_master=owner,
+            evidence_request_id=pledge.request_id,
+            discovery=message.discovery,
+        ))
+
+    def evaluate_pledge(self, pledge: Pledge) -> str:
+        """Classify a pledge: 'guilty', 'innocent' or 'unverifiable'.
+
+        Guilty requires (a) a valid slave signature -- otherwise a client
+        could frame an innocent slave (Section 3.3) -- and (b) a result
+        hash that differs from the trusted re-execution at the pledged
+        version.
+        """
+        cert = self._cert_for(pledge.slave_id)
+        if cert is None:
+            return "unverifiable"
+        if not pledge.verify(self.keys, cert.subject_public_key):
+            return "forged"  # cannot frame without the slave's key
+        snapshot = self.store_at(pledge.stamp.version)
+        if snapshot is None:
+            return "unverifiable"
+        query = operation_from_wire(pledge.query_wire)
+        if not isinstance(query, ReadQuery):
+            return "unverifiable"
+        outcome = snapshot.execute_read(query)
+        if sha1_hex(outcome.result) == pledge.result_hash:
+            return "innocent"
+        return "guilty"
+
+    def _cert_for(self, slave_id: str) -> Certificate | None:
+        cert = self.slave_certs.get(slave_id)
+        if cert is not None:
+            return cert
+        return self.find_slave_cert(slave_id)
+
+    def deliver_exclusion(self, payload: BcastExcludeSlave) -> None:
+        if payload.slave_id in self.excluded_slaves:
+            return
+        self.excluded_slaves.add(payload.slave_id)
+        if payload.owning_master == self.node_id or (
+                payload.owning_master not in self.broadcast.alive_view
+                and self.broadcast.alive_view
+                and self.broadcast.alive_view[0] == self.node_id):
+            # Count each exclusion once systemwide: at the owning master
+            # (or the lead survivor when the owner is gone).
+            self.metrics.incr("exclusions")
+            self.metrics.incr(f"exclusions_{payload.discovery}")
+        if payload.slave_id in self.slaves:
+            self.slaves.remove(payload.slave_id)
+            # Contact every client of ours assigned to the excluded slave
+            # and move it to a replacement (Section 3.5).
+            for client_id, assigned in list(self.client_assignments.items()):
+                if payload.slave_id not in assigned:
+                    continue
+                replacement = self._make_assignment(client_id)
+                if replacement is None:
+                    self.send(client_id, SetupFailed(
+                        reason="no replacement slaves"))
+                    continue
+                self.send(client_id, ExclusionNotice(
+                    excluded_slave_id=payload.slave_id,
+                    replacement=replacement))
+                self.metrics.incr("clients_reassigned")
+
+    def on_trusted_member_recovered(self, member_id: str) -> None:
+        """A recovered auditor rejoins the failover rotation."""
+        if member_id in self._dead_auditors:
+            self._dead_auditors.discard(member_id)
+            self.metrics.incr("auditor_recovery_noticed")
+
+    # -- slave-list gossip and crash takeover (Section 3.1) --------------------
+
+    def _slave_list_loop(self, epoch: int = 0) -> None:
+        if self.crashed or epoch != self._loop_epoch:
+            return
+        certs = tuple(self.slave_certs[s] for s in self.slaves
+                      if s not in self.excluded_slaves)
+        self.broadcast.broadcast(BcastSlaveList(
+            master_id=self.node_id,
+            slave_ids=tuple(c.subject_id for c in certs)))
+        # Certificates ride outside the envelope: deliver_slave_list only
+        # records ids; certs are synced point-to-point to keep broadcast
+        # payloads canonical.  Simpler: attach via announced map directly.
+        self._announce_certs(certs)
+        self.after(self.config.slave_list_broadcast_interval,
+                   self._slave_list_loop, epoch)
+
+    def _announce_certs(self, certs: tuple[Certificate, ...]) -> None:
+        """Point-to-point cert dissemination accompanying the broadcast."""
+        for member in self.broadcast.ranked_members:
+            if member != self.node_id:
+                self.send(member, CertAnnouncement(
+                    master_id=self.node_id, certs=certs), size_bytes=2048)
+
+    def on_trusted_member_crashed(self, member_id: str) -> None:
+        """Divide a crashed master's slave set among the survivors.
+
+        Section 3.1: "in the event of a master crash, the remaining ones
+        will divide its slave set."  The division is deterministic
+        (rank-ordered round-robin over the crashed master's last announced
+        list), so every survivor adopts a disjoint share without extra
+        coordination.
+        """
+        if member_id in self.auditor_ids:
+            # Auditor failover: clients whose pledge stream targeted the
+            # crashed auditor are re-pointed at a surviving one so their
+            # reads stay auditable.  (Pledges in flight to the dead node
+            # are lost -- the paper's statistical guarantee is unaffected
+            # because those reads were already accepted; coverage resumes
+            # with the next read.)
+            self.metrics.incr("auditor_crash_noticed")
+            self._dead_auditors.add(member_id)
+            for client_id in list(self.client_assignments):
+                if self._auditor_for_static(client_id) == member_id:
+                    replacement = self._make_assignment(client_id)
+                    if replacement is not None:
+                        self.send(client_id, ExclusionNotice(
+                            excluded_slave_id="", replacement=replacement))
+                        self.metrics.incr("clients_auditor_failover")
+            return
+        orphan_certs = self.announced_lists.pop(member_id, ())
+        survivors = sorted(m for m in self.broadcast.alive_view
+                           if m not in self.auditor_ids)
+        if not survivors or self.node_id not in survivors:
+            return
+        my_rank = survivors.index(self.node_id)
+        for index, cert in enumerate(orphan_certs):
+            if index % len(survivors) != my_rank:
+                continue
+            slave_id = cert.subject_id
+            if slave_id in self.excluded_slaves or slave_id in self.slaves:
+                continue
+            self.slaves.append(slave_id)
+            self.slave_certs[slave_id] = cert
+            self.master_of[slave_id] = self.node_id
+            self.metrics.incr("slaves_adopted")
+            # The adopted slave hears our next keep-alive, notices the
+            # version gap (if any) and resyncs from us.
+            self.send(slave_id, KeepAlive(stamp=self.current_stamp()))

@@ -1,0 +1,364 @@
+"""The wire protocol: every message type exchanged between principals.
+
+The load-bearing structures are :class:`VersionStamp` (the signed,
+timestamped ``content_version`` from Section 3.1) and :class:`Pledge`
+(Section 3.2's "pledge" packet).  Both carry their signatures alongside a
+canonical signed payload, so any party holding the right public key can
+verify them -- which is what makes a pledge "an irrefutable proof" of a
+slave's dishonesty (Section 3.3) and lets clients reject keep-alives a
+malicious slave tries to forge.
+
+All other messages are plain envelopes; in the simulation they are Python
+objects handed across the network fabric, with ``size_bytes`` charged at
+the sender for byte-count accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.hashing import canonical_bytes
+from repro.crypto.keys import KeyPair
+
+
+# -- version stamps (Section 3.1) --------------------------------------
+
+
+@dataclass(frozen=True)
+class VersionStamp:
+    """A master-signed, timestamped ``content_version`` value.
+
+    Travels in slave updates, keep-alives and pledges.  Clients accept a
+    read only if the stamp verifies under a certified master key and is
+    younger than ``max_latency``.
+    """
+
+    version: int
+    timestamp: float
+    master_id: str
+    signature: Any
+
+    @staticmethod
+    def _payload(version: int, timestamp: float, master_id: str) -> bytes:
+        return canonical_bytes({
+            "kind": "version_stamp",
+            "version": version,
+            "timestamp": timestamp,
+            "master_id": master_id,
+        })
+
+    @classmethod
+    def make(cls, keys: KeyPair, version: int,
+             timestamp: float) -> "VersionStamp":
+        payload = cls._payload(version, timestamp, keys.owner_id)
+        return cls(version=version, timestamp=timestamp,
+                   master_id=keys.owner_id, signature=keys.sign(payload))
+
+    def verify(self, verifier_keys: KeyPair, master_public_key: Any) -> bool:
+        payload = self._payload(self.version, self.timestamp, self.master_id)
+        return verifier_keys.verify(master_public_key, payload,
+                                    self.signature)
+
+    def age(self, now: float) -> float:
+        return now - self.timestamp
+
+
+# -- pledges (Section 3.2) -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class Pledge:
+    """The slave's signed commitment: request, result hash, version stamp.
+
+    Contains "a copy of the request, the secure hash (SHA-1) of the
+    result, and the latest time-stamped content_version value received
+    from the master", signed by the slave (Section 3.2).
+    """
+
+    query_wire: Any
+    result_hash: str
+    stamp: VersionStamp
+    slave_id: str
+    request_id: str
+    signature: Any
+
+    @staticmethod
+    def _payload(query_wire: Any, result_hash: str, stamp: VersionStamp,
+                 slave_id: str, request_id: str) -> bytes:
+        return canonical_bytes({
+            "kind": "pledge",
+            "query": query_wire,
+            "result_hash": result_hash,
+            "stamp_version": stamp.version,
+            "stamp_timestamp": stamp.timestamp,
+            "stamp_master": stamp.master_id,
+            "stamp_signature": repr(stamp.signature),
+            "slave_id": slave_id,
+            "request_id": request_id,
+        })
+
+    @classmethod
+    def make(cls, keys: KeyPair, query_wire: Any, result_hash: str,
+             stamp: VersionStamp, request_id: str) -> "Pledge":
+        payload = cls._payload(query_wire, result_hash, stamp,
+                               keys.owner_id, request_id)
+        return cls(query_wire=query_wire, result_hash=result_hash,
+                   stamp=stamp, slave_id=keys.owner_id,
+                   request_id=request_id, signature=keys.sign(payload))
+
+    def verify(self, verifier_keys: KeyPair, slave_public_key: Any) -> bool:
+        payload = self._payload(self.query_wire, self.result_hash,
+                                self.stamp, self.slave_id, self.request_id)
+        return verifier_keys.verify(slave_public_key, payload,
+                                    self.signature)
+
+
+# -- setup phase (Section 2) ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class DirectoryLookup:
+    """Client -> directory: list master certificates for a content key."""
+
+    content_key_fingerprint: str
+
+
+@dataclass(frozen=True)
+class DirectoryListing:
+    """Directory -> client: all master certificates for the content."""
+
+    certificates: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class ClientHello:
+    """Client -> chosen master: request a slave assignment."""
+
+    client_id: str
+
+
+@dataclass(frozen=True)
+class SlaveAssignment:
+    """Master -> client: slave certificate(s) plus the auditor's address.
+
+    ``slave_certificates`` carries ``read_quorum`` entries (one in the
+    base protocol).  The auditor id tells the client where to forward
+    pledges.
+    """
+
+    slave_certificates: tuple[Any, ...]
+    auditor_id: str
+
+
+# -- write path (Section 3.1) -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class WriteRequest:
+    """Client -> master: apply a write operation."""
+
+    client_id: str
+    request_id: str
+    op_wire: Any
+
+
+@dataclass(frozen=True)
+class WriteReply:
+    """Master -> client: commit confirmation (or rejection)."""
+
+    request_id: str
+    committed: bool
+    version: int
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class SlaveUpdate:
+    """Master -> slave: committed write(s) plus the new signed stamp.
+
+    Sent only after the masters have committed the write ("lazy" update,
+    Section 3).  ``ops_wire`` is a batch to allow catch-up after slave
+    recovery; in the steady state it holds one write.
+    """
+
+    from_version: int
+    ops_wire: tuple[Any, ...]
+    stamp: VersionStamp
+
+
+@dataclass(frozen=True)
+class SlaveSnapshot:
+    """Master -> slave: a full state transfer.
+
+    Sent when a slave is so far behind that the incremental op log no
+    longer reaches its version (crash longer than ``ops_log_depth``
+    writes).  ``store`` is an independent clone at ``stamp.version``.
+    """
+
+    store: Any
+    stamp: "VersionStamp"
+
+
+@dataclass(frozen=True)
+class KeepAlive:
+    """Master -> slave: periodic re-signed stamp for the current version."""
+
+    stamp: VersionStamp
+
+
+@dataclass(frozen=True)
+class ResyncRequest:
+    """Slave -> master: I detected a version gap; resend from ``have``."""
+
+    have_version: int
+
+
+# -- read path (Sections 3.2-3.3) -----------------------------------------
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """Client -> slave: execute a read query."""
+
+    client_id: str
+    request_id: str
+    query_wire: Any
+
+
+@dataclass(frozen=True)
+class ReadReply:
+    """Slave -> client: the result plus the signed pledge.
+
+    ``in_sync=False`` signals the honest-slave refusal from Section 3:
+    a slave whose keep-alive is older than ``max_latency`` "should stop
+    handling user requests until they are back in sync".
+    """
+
+    request_id: str
+    result: Any
+    pledge: Pledge | None
+    in_sync: bool = True
+
+
+@dataclass(frozen=True)
+class DoubleCheckRequest:
+    """Client -> master: re-execute this query on trusted state."""
+
+    client_id: str
+    request_id: str
+    query_wire: Any
+    pledge: Pledge | None = None
+    #: True for Section 4 "sensitive" reads executed only on the master:
+    #: the client needs the result itself, not just the hash.
+    want_result: bool = False
+
+
+@dataclass(frozen=True)
+class DoubleCheckReply:
+    """Master -> client: trusted result hash (and result, for sensitive
+    reads executed only on the master) at the master's current version."""
+
+    request_id: str
+    result_hash: str
+    version: int
+    result: Any = None
+    include_result: bool = False
+
+
+# -- audit path (Section 3.4) -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AuditSubmission:
+    """Client -> auditor: pledge for background verification."""
+
+    pledge: Pledge
+
+
+# -- corrective action (Section 3.5) -------------------------------------------
+
+
+@dataclass(frozen=True)
+class Accusation:
+    """Client/auditor -> master: signed evidence of slave misbehaviour."""
+
+    pledge: Pledge
+    accuser_id: str
+    discovery: str  # "immediate" (double-check) | "audit" (delayed)
+
+
+@dataclass(frozen=True)
+class ExclusionNotice:
+    """Master -> client: your slave was excluded; here is a new one."""
+
+    excluded_slave_id: str
+    replacement: SlaveAssignment
+
+
+@dataclass(frozen=True)
+class SetupFailed:
+    """Master -> client: cannot serve (no slaves / shutting down)."""
+
+    reason: str
+
+
+# -- master <-> master broadcast payloads (plain dicts would do, but typed
+#    payloads keep delivery handlers explicit) ------------------------------
+
+
+@dataclass(frozen=True)
+class BcastWrite:
+    """Totally-ordered write submission."""
+
+    origin_master: str
+    client_id: str
+    request_id: str
+    op_wire: Any
+
+
+@dataclass(frozen=True)
+class BcastElectAuditor:
+    """First delivered election message fixes the auditor set.
+
+    Section 3.4: "If the auditor is over-used, the solution is to either
+    add extra auditors, or weaken the security guarantees" -- the set may
+    therefore contain several auditors; each client is assigned exactly
+    one, so every pledge is audited exactly once.
+    """
+
+    auditor_ids: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class BcastSlaveList:
+    """Periodic slave-list announcement (enables crash takeover)."""
+
+    master_id: str
+    slave_ids: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class BcastExcludeSlave:
+    """Totally-ordered exclusion of a proven-malicious slave."""
+
+    slave_id: str
+    owning_master: str
+    evidence_request_id: str
+    discovery: str
+
+
+@dataclass(frozen=True)
+class BroadcastWrapper:
+    """Envelope distinguishing broadcast-engine traffic on the wire."""
+
+    envelope: Any
+
+
+@dataclass
+class TimestampedPledge:
+    """Auditor-side queue entry: pledge plus arrival time (for lag stats)."""
+
+    pledge: Pledge
+    received_at: float
+    audited: bool = field(default=False)

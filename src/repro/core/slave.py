@@ -1,0 +1,236 @@
+"""Slave servers: untrusted replicas that execute reads.
+
+A slave (Section 2) holds a copy of the content but is "only marginally
+trusted".  Honest behaviour, per Sections 3.1-3.2:
+
+* apply lazy state updates from its master strictly in version order,
+  requesting a resync when it detects a gap;
+* refuse reads while its latest keep-alive stamp is older than
+  ``max_latency`` ("if they behave correctly they should stop handling
+  user requests until they are back in sync");
+* for each read: execute the query, build a pledge containing the
+  request, the SHA-1 of the result and the latest master-signed stamp,
+  sign the pledge, and return result + pledge.
+
+Byzantine behaviour is injected through an
+:class:`~repro.core.adversary.AdversaryStrategy`: the strategy may corrupt
+the *result* (the pledge then hashes the corrupted result -- a slave that
+pledged one thing and served another would be trivially caught by the
+client's own hash check), serve from stale state, or drop requests.  It
+can never forge another principal's signature.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.content.queries import ReadQuery, operation_from_wire
+from repro.content.store import ContentStore
+from repro.core.adversary import AdversaryStrategy, Honest, StaleServe
+from repro.core.config import ProtocolConfig
+from repro.core.messages import (
+    KeepAlive,
+    Pledge,
+    ReadReply,
+    ReadRequest,
+    ResyncRequest,
+    SlaveSnapshot,
+    SlaveUpdate,
+    VersionStamp,
+)
+from repro.core.trusted import WorkQueue
+from repro.crypto.certificates import Certificate
+from repro.crypto.hashing import sha1_hex
+from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import new_signer
+from repro.metrics import MetricsRegistry
+from repro.sim.network import Network, Node
+from repro.sim.simulator import Simulator
+
+
+class SlaveServer(Node):
+    """One untrusted replica."""
+
+    def __init__(self, node_id: str, simulator: Simulator, network: Network,
+                 config: ProtocolConfig, store: ContentStore,
+                 master_certs: dict[str, Certificate],
+                 metrics: MetricsRegistry,
+                 strategy: AdversaryStrategy | None = None) -> None:
+        super().__init__(node_id, simulator, network)
+        self.config = config
+        self.metrics = metrics
+        self.keys = KeyPair(node_id, new_signer(
+            config.signer_scheme, rng=simulator.fork_rng(f"keys:{node_id}"),
+            rsa_bits=config.rsa_bits))
+        self.store = store
+        self.version = 0
+        #: All certified master public keys (from the public directory);
+        #: the slave accepts stamps from any trusted master, which is what
+        #: makes crash takeover by a different master transparent.
+        self.master_keys = {m: c.subject_public_key
+                            for m, c in master_certs.items()}
+        self.latest_stamp: VersionStamp | None = None
+        self._pending_updates: dict[int, SlaveUpdate] = {}
+        self.strategy = strategy or Honest()
+        if isinstance(self.strategy, StaleServe):
+            self.strategy.frozen_store = store.clone()
+        self.work = WorkQueue(self)
+        self.reads_served = 0
+        self.reads_refused_stale = 0
+
+    @property
+    def public_key(self) -> Any:
+        return self.keys.public_key
+
+    # -- message handling ---------------------------------------------------
+
+    def on_message(self, src_id: str, message: Any) -> None:
+        if isinstance(message, SlaveUpdate):
+            self._handle_update(src_id, message)
+        elif isinstance(message, SlaveSnapshot):
+            self._handle_snapshot(src_id, message)
+        elif isinstance(message, KeepAlive):
+            self._handle_keepalive(src_id, message)
+        elif isinstance(message, ReadRequest):
+            self._handle_read(src_id, message)
+        else:
+            raise TypeError(
+                f"slave {self.node_id} got unexpected "
+                f"{type(message).__name__} from {src_id}"
+            )
+
+    # -- lazy state updates (Section 3.1) --------------------------------------
+
+    def _handle_update(self, master_id: str, update: SlaveUpdate) -> None:
+        if not self._stamp_ok(update.stamp):
+            self.metrics.incr("slave_bad_stamps")
+            return
+        self._pending_updates[update.from_version] = update
+        self._apply_ready_updates()
+        # Version gap (reordered or lost update): ask the sender to resync.
+        if self._pending_updates and min(self._pending_updates) > self.version:
+            self.send(master_id, ResyncRequest(have_version=self.version))
+
+    def _apply_ready_updates(self) -> None:
+        mangle = getattr(self.strategy, "mangle_write", None)
+        while self.version in self._pending_updates:
+            update = self._pending_updates.pop(self.version)
+            for op_wire in update.ops_wire:
+                op = operation_from_wire(op_wire)
+                if mangle is not None:
+                    op = mangle(op)  # CorruptState adversary
+                self.store.apply_write(op)
+                self.version += 1
+            self._adopt_stamp(update.stamp)
+        # Drop superseded buffered updates.
+        for key in [k for k in self._pending_updates if k < self.version]:
+            del self._pending_updates[key]
+
+    def _handle_snapshot(self, master_id: str,
+                         message: SlaveSnapshot) -> None:
+        """Full state transfer: replace everything, adopt the new stamp."""
+        if not self._stamp_ok(message.stamp):
+            self.metrics.incr("slave_bad_stamps")
+            return
+        if message.stamp.version <= self.version:
+            return  # stale snapshot (raced with an incremental resync)
+        self.store = message.store.clone()
+        self.version = message.stamp.version
+        self.latest_stamp = message.stamp
+        self._pending_updates.clear()
+        self.metrics.incr("slave_snapshots_installed")
+        if isinstance(self.strategy, StaleServe) \
+                and self.strategy.frozen_store is None:
+            self.strategy.frozen_store = self.store.clone()
+
+    def _handle_keepalive(self, master_id: str, message: KeepAlive) -> None:
+        if not self._stamp_ok(message.stamp):
+            self.metrics.incr("slave_bad_stamps")
+            return
+        if message.stamp.version > self.version:
+            # We missed at least one update; resync from whoever signed.
+            self.send(master_id, ResyncRequest(have_version=self.version))
+            return
+        if message.stamp.version == self.version:
+            self._adopt_stamp(message.stamp)
+
+    def _stamp_ok(self, stamp: VersionStamp) -> bool:
+        master_key = self.master_keys.get(stamp.master_id)
+        if master_key is None:
+            return False
+        return stamp.verify(self.keys, master_key)
+
+    def _adopt_stamp(self, stamp: VersionStamp) -> None:
+        if stamp.version != self.version:
+            return
+        if (self.latest_stamp is None
+                or stamp.timestamp > self.latest_stamp.timestamp):
+            self.latest_stamp = stamp
+
+    def is_fresh(self) -> bool:
+        """Can this slave honestly serve reads right now?
+
+        "A slave can handle client requests only if the most recently
+        received keep-alive packet is less than max_latency old."
+        """
+        return (self.latest_stamp is not None
+                and self.latest_stamp.age(self.now) < self.config.max_latency)
+
+    # -- read protocol (Section 3.2) ----------------------------------------------
+
+    def _handle_read(self, client_id: str, message: ReadRequest) -> None:
+        query = operation_from_wire(message.query_wire)
+        if not isinstance(query, ReadQuery):
+            raise TypeError("read request payload must be a read query")
+        if self.strategy.should_refuse(query, client_id):
+            self.metrics.incr("slave_reads_dropped")
+            return
+        if not self.is_fresh():
+            # Honest refusal: out of sync.  (A malicious slave could answer
+            # anyway, but its stale stamp would fail the client's freshness
+            # check, so lying here buys the adversary nothing.)
+            self.reads_refused_stale += 1
+            self.metrics.incr("slave_reads_refused_stale")
+            self.send(client_id, ReadReply(request_id=message.request_id,
+                                           result=None, pledge=None,
+                                           in_sync=False))
+            return
+        # Answer-substitution attack: execute and pledge a decoy query
+        # instead of the requested one (the pledge itself stays honest --
+        # valid signature over a truthful result -- just for the wrong
+        # query; the client's binding check must reject it).
+        pledged_wire = message.query_wire
+        substitute = getattr(self.strategy, "substitute_query", None)
+        if substitute is not None:
+            decoy = substitute(query)
+            if decoy is not None:
+                query = decoy
+                pledged_wire = decoy.to_wire()
+                self.metrics.incr("slave_substituted_queries")
+        outcome = self.store.execute_read(query)
+        served_result = self.strategy.corrupt(query, outcome.result,
+                                              self.version, client_id)
+        if served_result != outcome.result:
+            self.metrics.incr("slave_lies_served")
+        assert self.latest_stamp is not None
+        pledge = Pledge.make(
+            self.keys,
+            query_wire=pledged_wire,
+            result_hash=sha1_hex(served_result),
+            stamp=self.latest_stamp,
+            request_id=message.request_id,
+        )
+        garble = getattr(self.strategy, "garble_signature", None)
+        if garble is not None and garble():
+            # A malicious slave withholding its real signature: clients
+            # will reject the reply, but there is nothing to incriminate.
+            pledge = dataclasses.replace(pledge, signature=b"\x00garbage")
+            self.metrics.incr("slave_garbled_signatures")
+        service = (outcome.cost_units * self.config.service_time_per_unit
+                   + self.config.hash_time + self.config.sign_time)
+        self.reads_served += 1
+        self.metrics.incr("slave_reads_served")
+        reply = ReadReply(request_id=message.request_id,
+                          result=served_result, pledge=pledge)
+        self.work.submit(service, self.send, client_id, reply, 2048)

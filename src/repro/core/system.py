@@ -1,0 +1,365 @@
+"""Deployment builder: the whole system wired onto one simulator.
+
+:class:`ReplicationSystem` assembles the full Section 2 cast -- content
+owner, public directory, master set, auditor, slave sets, clients -- on a
+single discrete-event simulator, runs workloads against it, and provides
+the offline oracle used to classify accepted reads as correct or wrong
+(the harness-side ground truth the experiments report).
+
+Topology notes:
+
+* ``num_masters`` serving masters plus one additional trusted server that
+  the masters elect as auditor at startup (the paper has the masters
+  "elect one of them to function as an auditor"; the elected one serves
+  no slaves, so provisioning it as a dedicated node is the same thing
+  from the protocol's point of view).
+* Slaves are distributed round-robin: ``slaves_per_master`` each.
+* Byzantine behaviour is injected per slave index via ``adversaries``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.content.kvstore import KeyValueStore
+from repro.content.queries import Operation, ReadQuery, operation_from_wire
+from repro.content.store import ContentStore
+from repro.core.adversary import AdversaryStrategy
+from repro.core.auditor import AuditorServer
+from repro.core.client import Client
+from repro.core.config import ProtocolConfig
+from repro.core.directory import DirectoryServer
+from repro.core.master import MasterServer
+from repro.core.owner import ContentOwner
+from repro.core.slave import SlaveServer
+from repro.crypto.hashing import sha1_hex
+from repro.metrics import MetricsRegistry
+from repro.sim.failures import FailureInjector
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.network import Network
+from repro.sim.simulator import Simulator
+from repro.sim.tracing import MessageTracer
+
+AUDITOR_NODE_ID = "zz-auditor-00"  # sorts last: master-00 stays sequencer
+
+
+def auditor_node_id(index: int) -> str:
+    return f"zz-auditor-{index:02d}"
+
+
+@dataclass
+class DeploymentSpec:
+    """Everything needed to build one deployment."""
+
+    num_masters: int = 3
+    slaves_per_master: int = 4
+    num_clients: int = 8
+    #: Section 3.4: "the solution is to either add extra auditors, or
+    #: weaken the security guarantees".  Clients hash-partition across
+    #: the auditor set, so each pledge is still audited exactly once.
+    num_auditors: int = 1
+    seed: int = 0
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    latency: LatencyModel | None = None
+    loss_probability: float = 0.0
+    #: Record every wire message in ``system.tracer`` (debugging aid and
+    #: message-count accounting; modest memory cost, bounded buffer).
+    trace_messages: bool = False
+    #: Builds the initial content; all replicas start from clones of it.
+    store_factory: Callable[[], ContentStore] | None = None
+    #: Global slave index -> adversary strategy (honest when absent).
+    adversaries: dict[int, AdversaryStrategy] = field(default_factory=dict)
+    #: Client index -> double-check probability override (greedy clients).
+    client_double_check_overrides: dict[int, float] = field(
+        default_factory=dict)
+    #: Client index -> personal max_latency (slow clients relaxing bounds).
+    client_max_latency_overrides: dict[int, float] = field(
+        default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_masters < 1:
+            raise ValueError("need at least one master")
+        if self.slaves_per_master < 1:
+            raise ValueError("need at least one slave per master")
+        if self.num_clients < 0:
+            raise ValueError("client count cannot be negative")
+
+
+class ReplicationSystem:
+    """A fully wired deployment plus harness conveniences."""
+
+    def __init__(self, spec: DeploymentSpec) -> None:
+        self.spec = spec
+        self.config = spec.protocol
+        self.metrics = MetricsRegistry()
+        self.simulator = Simulator(seed=spec.seed)
+        self.tracer = MessageTracer() if spec.trace_messages else None
+        self.network = Network(
+            self.simulator,
+            latency=spec.latency or ConstantLatency(0.01),
+            loss_probability=spec.loss_probability,
+            tracer=self.tracer,
+        )
+        self.failures = FailureInjector(self.simulator)
+
+        store_factory = spec.store_factory or (lambda: KeyValueStore())
+        self.initial_store = store_factory()
+
+        # -- owner and directory -----------------------------------------
+        self.owner = ContentOwner(
+            "content-owner", signer_scheme=self.config.signer_scheme,
+            rsa_bits=self.config.rsa_bits,
+            rng=self.simulator.fork_rng("keys:owner"))
+        self.directory = DirectoryServer("directory", self.simulator,
+                                         self.network)
+
+        # -- trusted set: masters + auditors -------------------------------
+        member_ids = [f"master-{i:02d}" for i in range(spec.num_masters)]
+        member_ids.extend(auditor_node_id(i)
+                          for i in range(spec.num_auditors))
+        self.masters: list[MasterServer] = []
+        for i in range(spec.num_masters):
+            master = MasterServer(
+                f"master-{i:02d}", self.simulator, self.network,
+                self.config, self.initial_store.clone(), member_ids,
+                self.metrics)
+            self.masters.append(master)
+        self.auditors: list[AuditorServer] = [
+            AuditorServer(
+                auditor_node_id(i), self.simulator, self.network,
+                self.config, self.initial_store.clone(), member_ids,
+                self.metrics)
+            for i in range(spec.num_auditors)
+        ]
+        #: Convenience handle for the common single-auditor deployment.
+        self.auditor = self.auditors[0]
+
+        # Owner certifies every trusted server and publishes the masters.
+        self.master_certs = {}
+        for server in [*self.masters, *self.auditors]:
+            cert = self.owner.certify_master(
+                server.node_id, f"addr:{server.node_id}",
+                server.keys.public_key)
+            self.master_certs[server.node_id] = cert
+        # Auditor certificates are not *serving* master entries; only
+        # serving masters go into the directory listing clients use.
+        fingerprint = self.owner.content_key_fingerprint()
+        for master in self.masters:
+            self.directory.publish(fingerprint,
+                                   self.master_certs[master.node_id])
+
+        # -- slaves ---------------------------------------------------------
+        self.slaves: list[SlaveServer] = []
+        global_index = 0
+        for i, master in enumerate(self.masters):
+            for j in range(spec.slaves_per_master):
+                slave_id = f"slave-{i:02d}-{j:02d}"
+                strategy = spec.adversaries.get(global_index)
+                slave = SlaveServer(
+                    slave_id, self.simulator, self.network, self.config,
+                    self.initial_store.clone(), self.master_certs,
+                    self.metrics, strategy=strategy)
+                master.register_slave(slave_id, f"addr:{slave_id}",
+                                      slave.keys.public_key)
+                self.slaves.append(slave)
+                global_index += 1
+
+        # -- clients ----------------------------------------------------------
+        self.clients: list[Client] = []
+        for i in range(spec.num_clients):
+            client = Client(
+                f"client-{i:02d}", self.simulator, self.network,
+                self.config, directory_id="directory",
+                owner_public_key=self.owner.content_public_key,
+                metrics=self.metrics,
+                double_check_override=(
+                    spec.client_double_check_overrides.get(i)),
+                max_latency_override=(
+                    spec.client_max_latency_overrides.get(i)))
+            self.clients.append(client)
+
+        self._started = False
+
+    # -- construction conveniences -------------------------------------------
+
+    @classmethod
+    def build(cls, spec: DeploymentSpec | None = None,
+              **spec_kwargs: Any) -> "ReplicationSystem":
+        """Build from a spec, or from keyword arguments directly."""
+        if spec is None:
+            spec = DeploymentSpec(**spec_kwargs)
+        elif spec_kwargs:
+            raise TypeError("pass either a spec or keyword args, not both")
+        return cls(spec)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self, settle: float = 3.0) -> None:
+        """Start every node, run the auditor election, let things settle.
+
+        ``settle`` seconds of simulated time give the election, the first
+        keep-alives and the first slave-list gossip time to propagate, so
+        clients connecting afterwards get complete assignments.
+        """
+        if self._started:
+            raise RuntimeError("system already started")
+        self._started = True
+        for master in self.masters:
+            master.start()
+        for auditor in self.auditors:
+            auditor.start()
+        for slave in self.slaves:
+            slave.start()
+        # Rank-0 master proposes the dedicated trusted nodes as auditors.
+        self.masters[0].elect_auditors(
+            tuple(a.node_id for a in self.auditors))
+        self.simulator.run_for(settle)
+        for client in self.clients:
+            client.start()
+        self.simulator.run_for(1.0)
+
+    def run_for(self, duration: float) -> None:
+        """Advance simulated time."""
+        self.simulator.run_for(duration)
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    # -- workload driving -----------------------------------------------------------
+
+    def schedule_op(self, client: Client, at: float, op: Operation,
+                    level: str | None = None,
+                    callback: Callable[[dict], None] | None = None) -> None:
+        """Schedule one operation submission at absolute time ``at``."""
+        self.simulator.schedule_at(at, client.submit, op, level, callback)
+
+    def schedule_workload(self, operations: Iterable[Operation],
+                          arrival_times: Iterable[float],
+                          clients: Sequence[Client] | None = None) -> int:
+        """Spread (operation, time) pairs round-robin across clients.
+
+        Returns the number of operations scheduled.
+        """
+        clients = list(clients if clients is not None else self.clients)
+        if not clients:
+            raise ValueError("no clients to schedule onto")
+        count = 0
+        for index, (op, at) in enumerate(zip(operations, arrival_times)):
+            self.schedule_op(clients[index % len(clients)], at, op)
+            count += 1
+        return count
+
+    # -- ground-truth oracle ---------------------------------------------------------
+
+    def trusted_version_stores(self) -> dict[int, ContentStore]:
+        """Reconstruct the content at every committed version.
+
+        Replays the rank-0 master's (trusted, totally ordered) op log from
+        the initial content.  Used only by the offline harness -- the
+        protocol itself never consults it.
+        """
+        reference = self.masters[0]
+        stores: dict[int, ContentStore] = {}
+        current = self.initial_store.clone()
+        stores[0] = current.clone()
+        version = 0
+        while version in reference._ops_archive:
+            current.apply_write(
+                operation_from_wire(reference._ops_archive[version]))
+            version += 1
+            stores[version] = current.clone()
+        return stores
+
+    def classify_accepted_reads(self) -> dict[str, Any]:
+        """Compare every accepted read against trusted history.
+
+        Returns counts plus the individual wrong acceptances.  A read is
+        *correct* when its accepted result hash equals the hash of the
+        trusted re-execution at the accepted version -- the same check the
+        auditor performs online.
+        """
+        stores = self.trusted_version_stores()
+        cache: dict[tuple[int, str], str] = {}
+        correct = 0
+        wrong: list[dict[str, Any]] = []
+        for client in self.clients:
+            for record in client.accepted_log:
+                key = (record.version, sha1_hex(record.query_wire))
+                trusted_hash = cache.get(key)
+                if trusted_hash is None:
+                    store = stores.get(record.version)
+                    if store is None:
+                        continue  # version beyond trusted history
+                    query = operation_from_wire(record.query_wire)
+                    assert isinstance(query, ReadQuery)
+                    trusted_hash = sha1_hex(store.execute_read(query).result)
+                    cache[key] = trusted_hash
+                if record.result_hash == trusted_hash:
+                    correct += 1
+                else:
+                    wrong.append({
+                        "client": record.request_id.split(":")[0],
+                        "request_id": record.request_id,
+                        "version": record.version,
+                        "double_checked": record.double_checked,
+                        "slaves": record.slave_ids,
+                    })
+        return {
+            "accepted_total": correct + len(wrong),
+            "accepted_correct": correct,
+            "accepted_wrong": len(wrong),
+            "wrong_records": wrong,
+        }
+
+    def check_consistency_window(self, slack: float = 1e-9) -> list[dict]:
+        """Verify the paper's max_latency guarantee over the whole run.
+
+        Section 3.1: "a client is guaranteed that once max_latency time
+        has elapsed since committing a write, no other client will accept
+        a read that is not dependent on that write."  Concretely: a read
+        accepted at version ``v`` is a violation if some version ``v+1``
+        was committed more than ``max_latency`` before the acceptance
+        time.  Returns the (ideally empty) list of violations.
+        """
+        commit_times = self.masters[0].commit_times
+        bound = self.config.effective_client_max_latency()
+        violations: list[dict] = []
+        for client in self.clients:
+            client_bound = client.max_latency
+            for record in client.accepted_log:
+                next_commit = commit_times.get(record.version + 1)
+                if next_commit is None:
+                    continue  # read was at the newest version
+                if record.accepted_at > next_commit + max(bound, client_bound) + slack:
+                    violations.append({
+                        "client": client.node_id,
+                        "request_id": record.request_id,
+                        "version": record.version,
+                        "accepted_at": record.accepted_at,
+                        "next_commit_at": next_commit,
+                    })
+        return violations
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        """One-stop run summary for benchmarks and examples."""
+        classification = self.classify_accepted_reads()
+        return {
+            "time": self.now,
+            "counters": self.metrics.snapshot(),
+            "classification": {k: v for k, v in classification.items()
+                               if k != "wrong_records"},
+            "auditor": {
+                "pledges_received": sum(a.pledges_received
+                                        for a in self.auditors),
+                "pledges_audited": sum(a.pledges_audited
+                                       for a in self.auditors),
+                "detections": sum(a.detections for a in self.auditors),
+                "cache_hit_rate": self.auditor.cache_hit_rate(),
+                "version": self.auditor.version,
+            },
+            "versions": {m.node_id: m.version for m in self.masters},
+        }

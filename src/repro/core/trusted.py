@@ -1,0 +1,253 @@
+"""Shared machinery of trusted servers (masters and the auditor).
+
+Everything in Section 3 that is common to the whole trusted set lives
+here:
+
+* membership in the totally-ordered broadcast and the dispatch of
+  delivered payloads (writes, auditor election, slave lists, exclusions);
+* the signed ``content_version`` state and bounded version history used
+  to verify accusations against past versions;
+* the single-server work queue that turns content-store cost units and
+  crypto operations into simulated service time (so saturation and lag
+  are observable, which experiments E4/E5 need).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.broadcast.totalorder import BroadcastEnvelope, TotalOrderBroadcast
+from repro.content.queries import operation_from_wire
+from repro.content.store import ContentStore
+from repro.core.config import ProtocolConfig
+from repro.core.messages import (
+    BcastElectAuditor,
+    BcastExcludeSlave,
+    BcastSlaveList,
+    BcastWrite,
+    BroadcastWrapper,
+    VersionStamp,
+)
+from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import new_signer
+from repro.metrics import MetricsRegistry
+from repro.sim.network import Network, Node
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class CertAnnouncement:
+    """Master -> trusted set: certificates backing a slave-list broadcast.
+
+    Certificates travel point-to-point (not in the broadcast payload) so
+    broadcast payloads stay small; the ordered :class:`BcastSlaveList`
+    remains the authoritative ownership record.
+    """
+
+    master_id: str
+    certs: tuple
+
+
+class WorkQueue:
+    """FIFO single-server queue converting work into simulated latency.
+
+    ``submit`` schedules ``callback`` after the server has finished all
+    previously queued work plus ``service_time``.  ``backlog`` exposes how
+    far behind the server currently is, which is the auditor-lag metric.
+    """
+
+    def __init__(self, node: Node) -> None:
+        self._node = node
+        self._busy_until = 0.0
+        self.total_busy = 0.0
+
+    def submit(self, service_time: float, callback: Callable[..., None],
+               *args: Any) -> None:
+        if service_time < 0:
+            raise ValueError(f"negative service time {service_time}")
+        now = self._node.now
+        start = max(now, self._busy_until)
+        self._busy_until = start + service_time
+        self.total_busy += service_time
+        self._node.after(self._busy_until - now, callback, *args)
+
+    def backlog(self) -> float:
+        """Seconds of queued work not yet completed."""
+        return max(0.0, self._busy_until - self._node.now)
+
+    def utilisation(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` spent busy (may exceed 1 if saturated)."""
+        if elapsed <= 0:
+            return 0.0
+        return self.total_busy / elapsed
+
+
+class TrustedServer(Node):
+    """Base class for master servers and the auditor.
+
+    Subclasses implement the ``deliver_*`` hooks, which the broadcast
+    invokes in the same total order on every trusted server.
+    """
+
+    def __init__(self, node_id: str, simulator: Simulator, network: Network,
+                 config: ProtocolConfig, store: ContentStore,
+                 member_ids: list[str], metrics: MetricsRegistry) -> None:
+        super().__init__(node_id, simulator, network)
+        self.config = config
+        self.metrics = metrics
+        self.keys = KeyPair(node_id, new_signer(
+            config.signer_scheme, rng=simulator.fork_rng(f"keys:{node_id}"),
+            rsa_bits=config.rsa_bits))
+        self.store = store
+        self.version = 0
+        #: version -> store snapshot, bounded to ``version_history_depth``.
+        self.version_history: OrderedDict[int, ContentStore] = OrderedDict()
+        self.version_history[0] = store.clone()
+        #: version v -> wire op whose commit moved v -> v+1 (for resyncs;
+        #: pruned to ``ops_log_depth``).
+        self.ops_log: dict[int, Any] = {}
+        #: Unpruned op archive, used only by the offline measurement
+        #: oracle (never consulted by protocol code).
+        self._ops_archive: dict[int, Any] = {}
+        self.commit_times: dict[int, float] = {0: 0.0}
+        #: The elected auditor set (empty until the election delivers).
+        self.auditor_ids: tuple[str, ...] = ()
+        #: slave -> owning master, systemwide (from slave-list broadcasts).
+        self.master_of: dict[str, str] = {}
+        #: master -> its announced slave certificates (point-to-point
+        #: dissemination accompanying the slave-list broadcasts).
+        self.announced_lists: dict[str, tuple] = {}
+        #: Every slave certificate ever seen, kept forever so historical
+        #: pledge signatures stay verifiable after exclusions/takeovers.
+        self._cert_archive: dict[str, Any] = {}
+        self.work = WorkQueue(self)
+        self.broadcast = TotalOrderBroadcast(
+            self,
+            members=member_ids,
+            on_deliver=self._on_deliver,
+            request_timeout=config.broadcast_request_timeout,
+            heartbeat_interval=config.broadcast_heartbeat_interval,
+            suspect_after=config.broadcast_suspect_after,
+            on_member_removed=self.on_trusted_member_crashed,
+            on_member_readmitted=self.on_trusted_member_recovered,
+        )
+        self.rng = simulator.fork_rng(f"server:{node_id}")
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        self.broadcast.start()
+
+    def on_crash(self) -> None:
+        self.broadcast.stop()
+
+    def on_recover(self) -> None:
+        self.broadcast.announce_recovery()
+
+    # -- message routing ----------------------------------------------------
+
+    def on_message(self, src_id: str, message: Any) -> None:
+        if isinstance(message, BroadcastWrapper):
+            self.broadcast.handle_message(src_id, message.envelope)
+        elif isinstance(message, CertAnnouncement):
+            self.announced_lists[message.master_id] = message.certs
+            # Archive permanently: pledges signed by a since-excluded
+            # slave must remain verifiable (the pledge is the evidence).
+            for cert in message.certs:
+                self._cert_archive[cert.subject_id] = cert
+        else:
+            self.handle_protocol_message(src_id, message)
+
+    def handle_protocol_message(self, src_id: str, message: Any) -> None:
+        """Role-specific traffic (clients, slaves).  Subclasses override."""
+        raise NotImplementedError
+
+    # Transport shim: the broadcast engine sends raw envelopes; wrap them
+    # so on_message can distinguish engine traffic from protocol traffic.
+    def send(self, dst_id: str, message: Any, size_bytes: int = 256) -> None:
+        if isinstance(message, BroadcastEnvelope):
+            message = BroadcastWrapper(envelope=message)
+        super().send(dst_id, message, size_bytes)
+
+    # -- broadcast delivery dispatch ---------------------------------------
+
+    def _on_deliver(self, seq: int, origin: str, payload: Any) -> None:
+        if isinstance(payload, BcastWrite):
+            self.deliver_write(seq, origin, payload)
+        elif isinstance(payload, BcastElectAuditor):
+            self.deliver_auditor_election(payload)
+        elif isinstance(payload, BcastSlaveList):
+            self.deliver_slave_list(payload)
+        elif isinstance(payload, BcastExcludeSlave):
+            self.deliver_exclusion(payload)
+        else:
+            raise TypeError(
+                f"unexpected broadcast payload {type(payload).__name__}"
+            )
+
+    def deliver_write(self, seq: int, origin: str, payload: BcastWrite) -> None:
+        raise NotImplementedError
+
+    def deliver_auditor_election(self, payload: BcastElectAuditor) -> None:
+        """Record the elected auditors; first delivery fixes the set."""
+        if not self.auditor_ids:
+            self.auditor_ids = tuple(payload.auditor_ids)
+
+    def deliver_slave_list(self, payload: BcastSlaveList) -> None:
+        """Track slave ownership systemwide (enables accusation routing
+        and crash takeover)."""
+        for slave_id in payload.slave_ids:
+            self.master_of[slave_id] = payload.master_id
+
+    def find_slave_cert(self, slave_id: str) -> Any:
+        """Locate a slave's certificate (archived forever), or None."""
+        cert = self._cert_archive.get(slave_id)
+        if cert is not None:
+            return cert
+        for certs in self.announced_lists.values():
+            for candidate in certs:
+                if candidate.subject_id == slave_id:
+                    return candidate
+        return None
+
+    def deliver_exclusion(self, payload: BcastExcludeSlave) -> None:
+        """A slave was proven malicious; subclasses react."""
+
+    def on_trusted_member_crashed(self, member_id: str) -> None:
+        """Broadcast layer suspects ``member_id`` crashed; subclasses react."""
+
+    def on_trusted_member_recovered(self, member_id: str) -> None:
+        """A previously-suspected member rejoined; subclasses react."""
+
+    # -- version state ----------------------------------------------------------
+
+    def current_stamp(self) -> VersionStamp:
+        """A freshly signed stamp for the current version."""
+        return VersionStamp.make(self.keys, self.version, self.now)
+
+    def commit_op(self, op_wire: Any) -> None:
+        """Apply a committed write locally and archive the snapshot."""
+        op = operation_from_wire(op_wire)
+        self.store.apply_write(op)
+        self.ops_log[self.version] = op_wire
+        self._ops_archive[self.version] = op_wire
+        self.version += 1
+        self.commit_times[self.version] = self.now
+        self.version_history[self.version] = self.store.clone()
+        while len(self.version_history) > self.config.version_history_depth:
+            self.version_history.popitem(last=False)
+        # Prune the incremental-resync log; slaves further behind than
+        # this receive a full snapshot instead (see master._handle_resync).
+        floor = self.version - self.config.ops_log_depth
+        for old in [v for v in self.ops_log if v < floor]:
+            del self.ops_log[old]
+
+    def store_at(self, version: int) -> ContentStore | None:
+        """Historical snapshot, or None if outside the retained window."""
+        return self.version_history.get(version)
+
+    def execution_time(self, cost_units: float) -> float:
+        """Simulated compute time for executing a query of given cost."""
+        return cost_units * self.config.service_time_per_unit

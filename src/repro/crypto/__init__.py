@@ -1,0 +1,46 @@
+"""Cryptographic substrate for the secure replication system.
+
+The paper relies on four primitives, all implemented here from scratch:
+
+* **SHA-1** result hashing (the paper cites FIPS 180-1 [1]) -- wrapped in
+  :mod:`repro.crypto.hashing` together with a canonical serialiser so that
+  structurally equal query results hash identically.
+* **Public-key signatures** for pledge packets, keep-alives and
+  certificates -- a pure-Python RSA implementation in
+  :mod:`repro.crypto.rsa`, plus a fast HMAC-based signer for large-scale
+  simulations in :mod:`repro.crypto.signatures`.
+* **Digital certificates** binding a server's contact address to its public
+  key, issued under the content key (Section 2) --
+  :mod:`repro.crypto.certificates`.
+* **Merkle hash trees** used by the state-signing baseline (Section 5,
+  citation [12]) -- :mod:`repro.crypto.merkle`.
+"""
+
+from repro.crypto.hashing import canonical_bytes, sha1_hex, sha1_digest
+from repro.crypto.keys import KeyPair
+from repro.crypto.rsa import RSAKeyPair, generate_rsa_keypair
+from repro.crypto.signatures import (
+    HMACSigner,
+    RSASigner,
+    Signer,
+    new_signer,
+)
+from repro.crypto.certificates import Certificate, CertificateError
+from repro.crypto.merkle import MerkleTree, MerkleProof
+
+__all__ = [
+    "canonical_bytes",
+    "sha1_hex",
+    "sha1_digest",
+    "KeyPair",
+    "RSAKeyPair",
+    "generate_rsa_keypair",
+    "Signer",
+    "RSASigner",
+    "HMACSigner",
+    "new_signer",
+    "Certificate",
+    "CertificateError",
+    "MerkleTree",
+    "MerkleProof",
+]

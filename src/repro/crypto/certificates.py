@@ -1,0 +1,94 @@
+"""Digital certificates binding server addresses to public keys.
+
+Section 2 of the paper: "The master servers' public keys are certified
+through digital certificates issued by the content owner (and signed with
+the content key).  These certificates bind each server's contact address
+(IP address and port number) to its public key, and are stored in a public
+directory, indexed by content public key."
+
+:class:`Certificate` is exactly that binding.  The same structure is reused
+for slave keys handed from a master to a client during the setup phase --
+there the *issuer* is the master rather than the content owner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.hashing import canonical_bytes
+from repro.crypto.keys import KeyPair
+
+
+class CertificateError(Exception):
+    """Raised when a certificate fails verification."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed (subject, address, public key, validity) binding."""
+
+    subject_id: str
+    address: str
+    subject_public_key: Any
+    issuer_id: str
+    issued_at: float
+    expires_at: float
+    signature: Any
+
+    @staticmethod
+    def _signed_payload(subject_id: str, address: str, subject_public_key: Any,
+                        issuer_id: str, issued_at: float,
+                        expires_at: float) -> bytes:
+        return canonical_bytes({
+            "kind": "certificate",
+            "subject_id": subject_id,
+            "address": address,
+            "public_key": repr(subject_public_key),
+            "issuer_id": issuer_id,
+            "issued_at": issued_at,
+            "expires_at": expires_at,
+        })
+
+    @classmethod
+    def issue(cls, issuer_keys: KeyPair, subject_id: str, address: str,
+              subject_public_key: Any, issued_at: float,
+              lifetime: float = float("inf")) -> "Certificate":
+        """Issue a certificate signed with ``issuer_keys``.
+
+        ``lifetime`` defaults to infinite because the paper does not discuss
+        expiry; benchmarks that rotate keys pass a finite lifetime.
+        """
+        expires_at = issued_at + lifetime
+        payload = cls._signed_payload(subject_id, address, subject_public_key,
+                                      issuer_keys.owner_id, issued_at, expires_at)
+        return cls(
+            subject_id=subject_id,
+            address=address,
+            subject_public_key=subject_public_key,
+            issuer_id=issuer_keys.owner_id,
+            issued_at=issued_at,
+            expires_at=expires_at,
+            signature=issuer_keys.sign(payload),
+        )
+
+    def verify(self, verifier_keys: KeyPair, issuer_public_key: Any,
+               now: float | None = None) -> None:
+        """Validate signature (and expiry, if ``now`` is given).
+
+        Raises :class:`CertificateError` on any failure so callers cannot
+        accidentally ignore a bad certificate.
+        """
+        payload = self._signed_payload(self.subject_id, self.address,
+                                       self.subject_public_key, self.issuer_id,
+                                       self.issued_at, self.expires_at)
+        if not verifier_keys.verify(issuer_public_key, payload, self.signature):
+            raise CertificateError(
+                f"certificate for {self.subject_id!r} has an invalid signature "
+                f"(claimed issuer {self.issuer_id!r})"
+            )
+        if now is not None and now > self.expires_at:
+            raise CertificateError(
+                f"certificate for {self.subject_id!r} expired at "
+                f"{self.expires_at} (now {now})"
+            )

@@ -1,0 +1,119 @@
+"""SHA-1 hashing and canonical serialisation.
+
+The read protocol (Section 3.2) has the slave place "the secure hash (SHA-1)
+of the result" in the pledge packet, and the client recompute that hash over
+the result it received.  For this comparison to be meaningful the two sides
+must serialise the result identically, so every value that can appear as a
+query result is first reduced to *canonical bytes*:
+
+* containers are serialised recursively with unambiguous framing;
+* dict keys are emitted in sorted order;
+* integers, floats, strings and bytes each get a distinct type tag so that
+  ``1``, ``1.0`` and ``"1"`` never collide.
+
+The auditor and the double-check path reuse the same canonicalisation, which
+is what makes a pledge packet "an irrefutable proof" (Section 3.3): a hash
+mismatch cannot be explained away by encoding differences.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+# Type tags keep differently-typed but similarly-printed values apart.
+_TAG_NONE = b"N"
+_TAG_BOOL = b"B"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"F"
+_TAG_STR = b"S"
+_TAG_BYTES = b"Y"
+_TAG_LIST = b"L"
+_TAG_TUPLE = b"T"
+_TAG_DICT = b"D"
+_TAG_SET = b"E"
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Serialise ``value`` to a canonical, injective byte string.
+
+    Supports ``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes`` and
+    arbitrarily nested ``list``/``tuple``/``dict``/``set``/``frozenset``
+    containers of those.  Raises :class:`TypeError` for anything else, which
+    surfaces protocol bugs (e.g. a query result leaking a live object)
+    instead of silently hashing its ``repr``.
+    """
+    out: list[bytes] = []
+    _serialise(value, out)
+    return b"".join(out)
+
+
+def _serialise(value: Any, out: list[bytes]) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif isinstance(value, bool):
+        # bool before int: bool is an int subclass.
+        out.append(_TAG_BOOL + (b"1" if value else b"0"))
+    elif isinstance(value, int):
+        encoded = str(value).encode("ascii")
+        out.append(_TAG_INT + _frame(encoded))
+    elif isinstance(value, float):
+        if value == 0.0:
+            value = 0.0  # canonicalise -0.0: equal values, equal bytes
+        # repr() round-trips floats exactly in Python 3.
+        encoded = repr(value).encode("ascii")
+        out.append(_TAG_FLOAT + _frame(encoded))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(_TAG_STR + _frame(encoded))
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_TAG_BYTES + _frame(bytes(value)))
+    elif isinstance(value, list):
+        out.append(_TAG_LIST + _frame_count(len(value)))
+        for item in value:
+            _serialise(item, out)
+    elif isinstance(value, tuple):
+        out.append(_TAG_TUPLE + _frame_count(len(value)))
+        for item in value:
+            _serialise(item, out)
+    elif isinstance(value, dict):
+        out.append(_TAG_DICT + _frame_count(len(value)))
+        for key in sorted(value, key=_sort_key):
+            _serialise(key, out)
+            _serialise(value[key], out)
+    elif isinstance(value, (set, frozenset)):
+        out.append(_TAG_SET + _frame_count(len(value)))
+        for item in sorted(value, key=_sort_key):
+            _serialise(item, out)
+    else:
+        raise TypeError(
+            f"cannot canonically serialise {type(value).__name__!r}; "
+            "query results must be built from plain data types"
+        )
+
+
+def _sort_key(value: Any) -> tuple[str, str]:
+    """Total order across mixed-type keys: by type name, then by repr."""
+    return (type(value).__name__, repr(value))
+
+
+def _frame(payload: bytes) -> bytes:
+    """Length-prefix framing so concatenations cannot be ambiguous."""
+    return str(len(payload)).encode("ascii") + b":" + payload
+
+
+def _frame_count(count: int) -> bytes:
+    return str(count).encode("ascii") + b";"
+
+
+def sha1_digest(value: Any) -> bytes:
+    """Return the 20-byte SHA-1 digest of ``value``'s canonical form."""
+    return hashlib.sha1(canonical_bytes(value)).digest()
+
+
+def sha1_hex(value: Any) -> str:
+    """Return the 40-hex-character SHA-1 of ``value``'s canonical form.
+
+    This is the hash that travels inside pledge packets.
+    """
+    return hashlib.sha1(canonical_bytes(value)).hexdigest()

@@ -1,0 +1,50 @@
+"""Key material abstractions shared by every server role.
+
+The paper's Section 2 assigns a public/private key pair to the content
+(the *content key*), to each master, and to each slave.  :class:`KeyPair`
+wraps whichever concrete signer backs those keys, so protocol code can say
+``server.keys.sign(payload)`` without caring whether the deployment uses
+real RSA (tests, micro-benchmarks) or the fast HMAC signer (large-scale
+simulations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.signatures import Signer
+
+
+@dataclass
+class KeyPair:
+    """A named keypair bound to one principal (owner, master or slave).
+
+    ``owner_id`` exists purely for diagnostics -- signatures are validated
+    against the public key, never against the name.
+    """
+
+    owner_id: str
+    signer: Signer
+    signatures_made: int = field(default=0, repr=False)
+    verifications_done: int = field(default=0, repr=False)
+
+    @property
+    def public_key(self) -> Any:
+        """Opaque public-key object to embed in certificates/directories."""
+        return self.signer.public_key
+
+    def sign(self, message: bytes) -> Any:
+        """Sign raw bytes with this principal's private key."""
+        self.signatures_made += 1
+        return self.signer.sign(message)
+
+    def verify(self, public_key: Any, message: bytes, signature: Any) -> bool:
+        """Verify a signature made by *another* principal's key.
+
+        Verification is a static property of the signature scheme, but the
+        call is routed through a keypair so per-node crypto-operation counts
+        (used by experiment E4) land on the node doing the work.
+        """
+        self.verifications_done += 1
+        return self.signer.verify_with(public_key, message, signature)

@@ -1,0 +1,149 @@
+"""Merkle hash trees for the state-signing baseline.
+
+Section 5: "With state signing, the data content is divided into small
+(disjunct) subsets which are signed with a content private key ... some
+form of hash-tree authentication [12] is normally used in this context."
+
+The state-signing baseline (:mod:`repro.baselines.state_signing`) publishes
+a Merkle root signed with the content key; untrusted storage serves items
+with membership proofs that clients verify against the signed root.  The
+tree supports incremental updates so the baseline can model writes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.crypto.hashing import canonical_bytes
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+_EMPTY_ROOT = hashlib.sha1(b"merkle-empty").digest()
+
+
+def _hash_leaf(key: str, value: object) -> bytes:
+    return hashlib.sha1(
+        _LEAF_PREFIX + canonical_bytes(key) + canonical_bytes(value)
+    ).digest()
+
+
+def _hash_node(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha1(_NODE_PREFIX + left + right).digest()
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Membership proof: the leaf's index plus sibling hashes to the root."""
+
+    key: str
+    value: object
+    index: int
+    siblings: tuple[bytes, ...]
+    leaf_count: int
+
+    def verify(self, root: bytes) -> bool:
+        """Recompute the root from the leaf and siblings; compare."""
+        if not 0 <= self.index < self.leaf_count:
+            return False
+        digest = _hash_leaf(self.key, self.value)
+        position = self.index
+        count = self.leaf_count
+        for sibling in self.siblings:
+            if position % 2 == 1:
+                digest = _hash_node(sibling, digest)
+            else:
+                # A right sibling may be a duplicate of ``digest`` when the
+                # level had odd width; either way the hash is the same maths.
+                digest = _hash_node(digest, sibling)
+            position //= 2
+            count = (count + 1) // 2
+        return count == 1 and digest == root
+
+
+class MerkleTree:
+    """A Merkle tree over an ordered set of (key, value) leaves.
+
+    Keys are kept sorted so that the tree is a deterministic function of
+    the key-value map, independent of insertion order -- a requirement for
+    the publisher and storage nodes in the baseline to agree on the root.
+    """
+
+    def __init__(self, items: Iterable[tuple[str, object]] = ()) -> None:
+        self._items: dict[str, object] = dict(items)
+        self._levels: list[list[bytes]] | None = None
+        self._keys: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    def set(self, key: str, value: object) -> None:
+        """Insert or update a leaf; invalidates the cached tree."""
+        self._items[key] = value
+        self._levels = None
+
+    def delete(self, key: str) -> None:
+        """Remove a leaf; raises KeyError if absent."""
+        del self._items[key]
+        self._levels = None
+
+    def get(self, key: str) -> object:
+        return self._items[key]
+
+    def keys(self) -> Sequence[str]:
+        self._ensure_built()
+        return tuple(self._keys)
+
+    def _ensure_built(self) -> None:
+        if self._levels is not None:
+            return
+        self._keys = sorted(self._items)
+        leaves = [_hash_leaf(key, self._items[key]) for key in self._keys]
+        levels = [leaves]
+        current = leaves
+        while len(current) > 1:
+            nxt: list[bytes] = []
+            for i in range(0, len(current), 2):
+                left = current[i]
+                right = current[i + 1] if i + 1 < len(current) else current[i]
+                nxt.append(_hash_node(left, right))
+            levels.append(nxt)
+            current = nxt
+        self._levels = levels
+
+    @property
+    def root(self) -> bytes:
+        """The 20-byte root hash; a fixed sentinel for the empty tree."""
+        self._ensure_built()
+        assert self._levels is not None
+        if not self._levels[0]:
+            return _EMPTY_ROOT
+        return self._levels[-1][0]
+
+    def prove(self, key: str) -> MerkleProof:
+        """Build a membership proof for ``key``; raises KeyError if absent."""
+        self._ensure_built()
+        assert self._levels is not None
+        try:
+            index = self._keys.index(key)
+        except ValueError:
+            raise KeyError(key) from None
+        siblings: list[bytes] = []
+        position = index
+        for level in self._levels[:-1]:
+            sibling_index = position - 1 if position % 2 == 1 else position + 1
+            if sibling_index >= len(level):
+                sibling_index = position  # odd level width: sibling is self
+            siblings.append(level[sibling_index])
+            position //= 2
+        return MerkleProof(
+            key=key,
+            value=self._items[key],
+            index=index,
+            siblings=tuple(siblings),
+            leaf_count=len(self._keys),
+        )

@@ -1,0 +1,136 @@
+"""Signature schemes: real RSA and a fast HMAC stand-in.
+
+Two interchangeable signers implement the :class:`Signer` protocol:
+
+:class:`RSASigner`
+    Pure-Python RSA-FDH (see :mod:`repro.crypto.rsa`).  Used wherever the
+    *cost* of signing matters -- the crypto micro-benchmarks (experiment
+    E10) and the auditor-throughput experiment (E4) that reproduce the
+    paper's claim that the auditor wins by not signing.
+
+:class:`HMACSigner`
+    An HMAC-SHA1 "signature" where the verification key equals the signing
+    key.  Within a simulation this is sound because adversary code never
+    reads other nodes' key material -- exactly the paper's model, where a
+    malicious slave can lie about *results* but cannot forge another
+    party's signature.  It makes 100k-read simulations fast.
+
+``new_signer`` picks a scheme by name so system configs can select one with
+a string.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+from typing import Any, Protocol
+
+from repro.crypto import rsa as _rsa
+
+
+class Signer(Protocol):
+    """Minimal signature-scheme interface used by all protocol code."""
+
+    @property
+    def public_key(self) -> Any:
+        """Public half, safe to publish."""
+
+    def sign(self, message: bytes) -> Any:
+        """Produce a signature over ``message`` with the private half."""
+
+    def verify_with(self, public_key: Any, message: bytes, signature: Any) -> bool:
+        """Check ``signature`` over ``message`` against ``public_key``."""
+
+
+class RSASigner:
+    """RSA-FDH signer; the production-faithful scheme."""
+
+    scheme = "rsa"
+
+    def __init__(self, keypair: _rsa.RSAKeyPair | None = None,
+                 bits: int = _rsa.DEFAULT_KEY_BITS,
+                 rng: random.Random | None = None) -> None:
+        self._keypair = keypair or _rsa.generate_rsa_keypair(bits=bits, rng=rng)
+
+    @property
+    def public_key(self) -> _rsa.RSAPublicKey:
+        return self._keypair.public_key
+
+    def sign(self, message: bytes) -> int:
+        return _rsa.rsa_sign(self._keypair, message)
+
+    def verify_with(self, public_key: Any, message: bytes, signature: Any) -> bool:
+        if not isinstance(public_key, _rsa.RSAPublicKey):
+            return False
+        return _rsa.rsa_verify(public_key, message, signature)
+
+
+class HMACPublicKey:
+    """Wrapper marking an HMAC key as the 'public' verification handle.
+
+    Simulation-only: possession of this object allows verification *and*
+    forgery, so protocol code must never hand a node another node's key
+    except through the certified channels the paper defines.  Honest and
+    adversarial node implementations in :mod:`repro.core` uphold this.
+    """
+
+    __slots__ = ("key_bytes",)
+
+    def __init__(self, key_bytes: bytes) -> None:
+        self.key_bytes = key_bytes
+
+    def fingerprint(self) -> str:
+        return hashlib.sha1(self.key_bytes).hexdigest()[:16]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HMACPublicKey) and other.key_bytes == self.key_bytes
+
+    def __hash__(self) -> int:
+        return hash(self.key_bytes)
+
+    def __repr__(self) -> str:
+        return f"HMACPublicKey({self.fingerprint()})"
+
+
+class HMACSigner:
+    """HMAC-SHA1 'signature' scheme for fast large-scale simulation."""
+
+    scheme = "hmac"
+
+    def __init__(self, key_bytes: bytes | None = None,
+                 rng: random.Random | None = None) -> None:
+        if key_bytes is None:
+            rng = rng or random.Random()
+            key_bytes = rng.getrandbits(256).to_bytes(32, "big")
+        self._key = key_bytes
+
+    @property
+    def public_key(self) -> HMACPublicKey:
+        return HMACPublicKey(self._key)
+
+    def sign(self, message: bytes) -> bytes:
+        return hmac.new(self._key, message, hashlib.sha1).digest()
+
+    def verify_with(self, public_key: Any, message: bytes, signature: Any) -> bool:
+        if not isinstance(public_key, HMACPublicKey):
+            return False
+        if not isinstance(signature, (bytes, bytearray)):
+            return False
+        expected = hmac.new(public_key.key_bytes, message, hashlib.sha1).digest()
+        return hmac.compare_digest(expected, bytes(signature))
+
+
+_SCHEMES = {"rsa": RSASigner, "hmac": HMACSigner}
+
+
+def new_signer(scheme: str, rng: random.Random | None = None,
+               rsa_bits: int = _rsa.DEFAULT_KEY_BITS) -> Signer:
+    """Instantiate a signer by scheme name (``"rsa"`` or ``"hmac"``)."""
+    if scheme == "rsa":
+        return RSASigner(bits=rsa_bits, rng=rng)
+    if scheme == "hmac":
+        return HMACSigner(rng=rng)
+    raise ValueError(
+        f"unknown signature scheme {scheme!r}; expected one of {sorted(_SCHEMES)}"
+    )

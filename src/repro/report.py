@@ -1,0 +1,154 @@
+"""Markdown run reports: one readable document per simulation run.
+
+``render_markdown_report(system)`` turns a finished
+:class:`~repro.core.system.ReplicationSystem` run into a self-contained
+markdown document: deployment shape, traffic and defence counters,
+latency percentiles, auditor statistics with backlog sparkline, the
+accepted-read classification and the consistency-window verdict.
+
+The CLI exposes it as ``repro-sim run --report FILE``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.system import ReplicationSystem
+from repro.metrics import summarize
+
+
+def _table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def render_markdown_report(system: ReplicationSystem,
+                           title: str = "Simulation run report") -> str:
+    """Render the run's outcome as a markdown document."""
+    counters = system.metrics.snapshot()
+
+    def c(name: str) -> int:
+        return int(counters.get(name, 0))
+
+    classification = system.classify_accepted_reads()
+    violations = system.check_consistency_window()
+    config = system.config
+    sections: list[str] = [f"# {title}", ""]
+
+    # -- deployment ------------------------------------------------------
+    spec = system.spec
+    sections += [
+        "## Deployment",
+        "",
+        _table(["masters", "slaves", "auditors", "clients", "seed",
+                "max_latency", "p(double-check)", "read quorum",
+                "audit fraction"],
+               [(spec.num_masters,
+                 spec.num_masters * spec.slaves_per_master,
+                 spec.num_auditors, spec.num_clients, spec.seed,
+                 config.max_latency, config.double_check_probability,
+                 config.read_quorum, config.audit_fraction)]),
+        "",
+        f"Simulated time: **{system.now:.1f} s** — "
+        f"{system.simulator.events_processed} events, "
+        f"{system.network.messages_delivered} messages delivered, "
+        f"{system.network.messages_dropped} dropped.",
+        "",
+    ]
+
+    # -- traffic ---------------------------------------------------------
+    latency = summarize(system.metrics.samples.get("read_latency", []))
+    sections += [
+        "## Traffic",
+        "",
+        _table(["reads accepted", "reads failed", "writes committed",
+                "double-checks served", "sensitive reads"],
+               [(c("reads_accepted"), c("reads_failed"),
+                 c("writes_committed"), c("double_checks_served"),
+                 c("sensitive_reads"))]),
+        "",
+    ]
+    if latency["count"]:
+        sections += [
+            _table(["read latency", "mean", "p50", "p90", "p99", "max"],
+                   [("seconds", latency["mean"], latency["p50"],
+                     latency["p90"], latency["p99"], latency["max"])]),
+            "",
+        ]
+
+    # -- defence -----------------------------------------------------------
+    sections += [
+        "## Defence",
+        "",
+        _table(["lies served", "caught red-handed", "caught by audit",
+                "slaves excluded", "clients reassigned", "reads tainted"],
+               [(c("slave_lies_served"), c("immediate_detections"),
+                 sum(a.detections for a in system.auditors),
+                 c("exclusions"), c("clients_reassigned"),
+                 c("reads_tainted"))]),
+        "",
+    ]
+
+    # -- audit ---------------------------------------------------------------
+    received = sum(a.pledges_received for a in system.auditors)
+    audited = sum(a.pledges_audited for a in system.auditors)
+    skipped = sum(a.pledges_skipped for a in system.auditors)
+    sections += [
+        "## Audit",
+        "",
+        _table(["auditors", "pledges received", "audited", "skipped",
+                "coverage", "cache hit rate"],
+               [(len(system.auditors), received, audited, skipped,
+                 f"{audited / received:.1%}" if received else "n/a",
+                 f"{system.auditor.cache_hit_rate():.2f}")]),
+        "",
+    ]
+    backlog = system.metrics.timelines.get("auditor_backlog_seconds")
+    if backlog is not None and backlog.points and (backlog.max() or 0) > 0:
+        sections += [
+            f"Audit backlog over time (peak "
+            f"{backlog.max():.2f} s of work):",
+            "",
+            "```",
+            backlog.sparkline(width=72),
+            "```",
+            "",
+        ]
+
+    # -- verdict ------------------------------------------------------------
+    wrong = classification["accepted_wrong"]
+    detections = sum(a.detections for a in system.auditors)
+    sections += [
+        "## Verdict",
+        "",
+        _table(["accepted total", "accepted wrong",
+                "wrong known to audit", "window violations"],
+               [(classification["accepted_total"], wrong,
+                 min(wrong, detections), len(violations))]),
+        "",
+    ]
+    if violations:
+        sections += ["**CONSISTENCY VIOLATIONS:**", ""]
+        sections.append(_table(
+            ["client", "request", "version", "accepted at",
+             "next commit at"],
+            [(v["client"], v["request_id"], v["version"],
+              v["accepted_at"], v["next_commit_at"])
+             for v in violations]))
+        sections.append("")
+    healthy = (len(violations) == 0 and detections >= wrong)
+    sections.append(
+        "**Run verdict: "
+        + ("SAFE — the accountability guarantee held.**" if healthy
+           else "UNSAFE — see violations above.**"))
+    sections.append("")
+    return "\n".join(sections)

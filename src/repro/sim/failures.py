@@ -1,0 +1,83 @@
+"""Crash-failure injection for benign (non-Byzantine) faults.
+
+The paper's trust split is precise: masters and the auditor are trusted but
+may *crash benignly* (Section 3: the broadcast protocol "can tolerate
+benign (non-malicious) server failures"; Section 3.1 describes dividing a
+crashed master's slave set).  Byzantine behaviour is reserved for slaves
+and is modelled separately in :mod:`repro.core.adversary`.
+
+:class:`FailureInjector` schedules crash/recovery points against any set of
+nodes, either from an explicit script or from an exponential failure /
+repair process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.network import Node
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class FailureEvent:
+    """One scheduled crash or recovery, for post-run inspection."""
+
+    at: float
+    node_id: str
+    kind: str  # "crash" | "recover"
+
+
+@dataclass
+class FailureInjector:
+    """Schedules benign crash/recovery events on simulation nodes."""
+
+    simulator: Simulator
+    log: list[FailureEvent] = field(default_factory=list)
+
+    def crash_at(self, node: Node, when: float) -> None:
+        """Crash ``node`` at absolute simulated time ``when``."""
+        self.simulator.schedule_at(when, self._crash, node)
+
+    def recover_at(self, node: Node, when: float) -> None:
+        """Recover ``node`` at absolute simulated time ``when``."""
+        self.simulator.schedule_at(when, self._recover, node)
+
+    def crash_for(self, node: Node, when: float, duration: float) -> None:
+        """Crash ``node`` at ``when`` and recover it ``duration`` later."""
+        self.crash_at(node, when)
+        self.recover_at(node, when + duration)
+
+    def exponential_churn(self, node: Node, mtbf: float, mttr: float,
+                          until: float, seed_label: str = "") -> None:
+        """Drive ``node`` through an exponential crash/repair process.
+
+        ``mtbf`` is the mean time between failures while up, ``mttr`` the
+        mean time to repair while down; the process stops at ``until``.
+        """
+        if mtbf <= 0 or mttr <= 0:
+            raise ValueError("mtbf and mttr must be positive")
+        rng = self.simulator.fork_rng(f"churn:{node.node_id}:{seed_label}")
+        t = self.simulator.now
+        up = True
+        while True:
+            t += rng.expovariate(1.0 / (mtbf if up else mttr))
+            if t >= until:
+                break
+            if up:
+                self.crash_at(node, t)
+            else:
+                self.recover_at(node, t)
+            up = not up
+
+    def _crash(self, node: Node) -> None:
+        if not node.crashed:
+            self.log.append(FailureEvent(self.simulator.now, node.node_id,
+                                         "crash"))
+            node.crash()
+
+    def _recover(self, node: Node) -> None:
+        if node.crashed:
+            self.log.append(FailureEvent(self.simulator.now, node.node_id,
+                                         "recover"))
+            node.recover()

@@ -1,0 +1,102 @@
+"""Link latency models for the simulated WAN.
+
+Section 3 of the paper leans on "the asynchronous nature of the WAN
+environment": answers fresh at the slave can be stale at the client, and
+updates can take arbitrarily long to reach a slave.  These models let the
+benchmarks sweep that asynchrony:
+
+* :class:`ConstantLatency` -- fixed one-way delay (LAN-like, used in unit
+  tests where timing must be exact).
+* :class:`UniformLatency` -- bounded jitter.
+* :class:`LogNormalLatency` -- heavy-tailed WAN delays; the default for
+  experiments E5/E6.
+* :class:`LatencyMatrix` -- per-(src, dst) overrides over a base model, for
+  scenarios such as "one client behind a slow link" (Section 3.2's slow
+  client that can never get fresh answers).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Protocol
+
+
+class LatencyModel(Protocol):
+    """Produces one-way message delays in seconds."""
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        """Delay for one message from ``src`` to ``dst``."""
+
+
+class ConstantLatency:
+    """Every message takes exactly ``delay`` seconds."""
+
+    def __init__(self, delay: float = 0.01) -> None:
+        if delay < 0:
+            raise ValueError(f"latency must be non-negative, got {delay}")
+        self.delay = delay
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        return self.delay
+
+
+class UniformLatency:
+    """Delays drawn uniformly from [low, high]."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 <= low <= high:
+            raise ValueError(f"invalid latency range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class LogNormalLatency:
+    """Heavy-tailed delays: ``median * exp(sigma * N(0,1))``.
+
+    Parametrised by the median rather than the mean because protocol
+    constants (keep-alive interval vs ``max_latency``) are naturally chosen
+    against typical-case delay.
+    """
+
+    def __init__(self, median: float = 0.05, sigma: float = 0.5) -> None:
+        if median <= 0:
+            raise ValueError(f"median latency must be positive, got {median}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.median = median
+        self.sigma = sigma
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        return self.median * math.exp(self.sigma * rng.gauss(0.0, 1.0))
+
+
+class LatencyMatrix:
+    """Per-directed-pair overrides falling back to a base model.
+
+    Overrides are themselves latency models, so a single slow client can be
+    given, say, a wide :class:`UniformLatency` while everyone else keeps
+    the base WAN model.
+    """
+
+    def __init__(self, base: LatencyModel) -> None:
+        self.base = base
+        self._overrides: dict[tuple[str, str], LatencyModel] = {}
+
+    def set_pair(self, src: str, dst: str, model: LatencyModel) -> None:
+        """Override latency for messages from ``src`` to ``dst`` only."""
+        self._overrides[(src, dst)] = model
+
+    def set_node(self, node: str, model: LatencyModel,
+                 peers: list[str]) -> None:
+        """Override both directions between ``node`` and each peer."""
+        for peer in peers:
+            self._overrides[(node, peer)] = model
+            self._overrides[(peer, node)] = model
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        model = self._overrides.get((src, dst), self.base)
+        return model.sample(src, dst, rng)

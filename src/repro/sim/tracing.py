@@ -1,0 +1,95 @@
+"""Message tracing: record every delivery crossing the simulated WAN.
+
+Attach a :class:`MessageTracer` to a :class:`~repro.sim.network.Network`
+to capture ``(time, src, dst, message-type)`` tuples for delivered and
+dropped messages.  Used by tests asserting protocol message flows, by
+the A1 ablation's message accounting, and for debugging ("what did the
+client actually hear before it retried?").
+
+The trace is bounded (``capacity``, default 100k events, oldest dropped)
+so long simulations cannot exhaust memory.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One message observed on the wire."""
+
+    at: float
+    src: str
+    dst: str
+    kind: str       # message class name (plus envelope kind for broadcast)
+    outcome: str    # "delivered" | "dropped"
+
+
+def _kind_of(message: Any) -> str:
+    name = type(message).__name__
+    envelope = getattr(message, "envelope", None)
+    if envelope is not None and hasattr(envelope, "kind"):
+        return f"{name}:{envelope.kind}"
+    return name
+
+
+class MessageTracer:
+    """Bounded recorder of network message events."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.total_recorded = 0
+
+    def record(self, at: float, src: str, dst: str, message: Any,
+               outcome: str) -> None:
+        self._events.append(TraceEvent(at=at, src=src, dst=dst,
+                                       kind=_kind_of(message),
+                                       outcome=outcome))
+        self.total_recorded += 1
+
+    # -- querying ---------------------------------------------------------
+
+    def events(self, kind: str | None = None, src: str | None = None,
+               dst: str | None = None,
+               outcome: str | None = None) -> list[TraceEvent]:
+        """Filtered view of the retained events, oldest first."""
+        out = []
+        for event in self._events:
+            if kind is not None and not event.kind.startswith(kind):
+                continue
+            if src is not None and event.src != src:
+                continue
+            if dst is not None and event.dst != dst:
+                continue
+            if outcome is not None and event.outcome != outcome:
+                continue
+            out.append(event)
+        return out
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Delivered-message counts per message kind."""
+        return dict(Counter(e.kind for e in self._events
+                            if e.outcome == "delivered"))
+
+    def between(self, start: float, end: float) -> list[TraceEvent]:
+        return [e for e in self._events if start <= e.at < end]
+
+    def format(self, events: Iterable[TraceEvent] | None = None,
+               limit: int = 50) -> str:
+        """Human-readable trace lines (for debugging sessions)."""
+        chosen = list(events if events is not None else self._events)
+        lines = [
+            f"{e.at:10.4f}  {e.src:>14} -> {e.dst:<14} "
+            f"{e.kind}{' (dropped)' if e.outcome == 'dropped' else ''}"
+            for e in chosen[-limit:]
+        ]
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite.
+
+``small_system`` builds the default integration deployment: 2 masters,
+2 slaves each, 4 clients, constant 10 ms links, HMAC signatures (fast),
+seeded for reproducibility.  Tests needing other topologies build their
+own spec via ``make_system``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.content.kvstore import KeyValueStore
+from repro.core.config import ProtocolConfig
+from repro.core.system import DeploymentSpec, ReplicationSystem
+
+
+def default_store() -> KeyValueStore:
+    return KeyValueStore({f"k{i:03d}": i for i in range(100)})
+
+
+def make_system(**overrides) -> ReplicationSystem:
+    """Build (but do not start) a deployment with sensible test defaults."""
+    protocol = overrides.pop("protocol", None) or ProtocolConfig(
+        double_check_probability=0.1)
+    spec_kwargs = {
+        "num_masters": 2,
+        "slaves_per_master": 2,
+        "num_clients": 4,
+        "seed": 42,
+        "protocol": protocol,
+        "store_factory": default_store,
+    }
+    spec_kwargs.update(overrides)
+    return ReplicationSystem.build(DeploymentSpec(**spec_kwargs))
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_system() -> ReplicationSystem:
+    system = make_system()
+    system.start()
+    return system

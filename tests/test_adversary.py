@@ -1,0 +1,144 @@
+"""Unit tests for adversary strategies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.content.kvstore import KVGet, KVPut, KeyValueStore
+from repro.core.adversary import (
+    AlwaysLie,
+    Colluding,
+    Honest,
+    ProbabilisticLie,
+    StaleServe,
+    TargetedLie,
+    Unresponsive,
+)
+
+
+QUERY = KVGet(key="x")
+CORRECT = {"found": True, "value": 42}
+
+
+class TestHonest:
+    def test_passes_through(self):
+        strategy = Honest()
+        assert strategy.corrupt(QUERY, CORRECT, 0, "client-00") is CORRECT
+        assert not strategy.should_refuse(QUERY, "client-00")
+        assert strategy.lies_told == 0
+
+
+class TestAlwaysLie:
+    def test_always_corrupts(self):
+        strategy = AlwaysLie()
+        for _ in range(5):
+            result = strategy.corrupt(QUERY, CORRECT, 0, "client-00")
+            assert result != CORRECT
+        assert strategy.lies_told == 5
+
+    def test_lie_is_deterministic_per_query(self):
+        a = AlwaysLie().corrupt(QUERY, CORRECT, 0, "c")
+        b = AlwaysLie().corrupt(QUERY, CORRECT, 0, "c")
+        assert a == b
+
+    def test_different_queries_different_lies(self):
+        strategy = AlwaysLie()
+        a = strategy.corrupt(KVGet(key="x"), CORRECT, 0, "c")
+        b = strategy.corrupt(KVGet(key="y"), CORRECT, 0, "c")
+        assert a != b
+
+
+class TestProbabilisticLie:
+    def test_rate_zero_never_lies(self):
+        strategy = ProbabilisticLie(0.0, rng=random.Random(1))
+        for _ in range(100):
+            assert strategy.corrupt(QUERY, CORRECT, 0, "c") is CORRECT
+
+    def test_rate_one_always_lies(self):
+        strategy = ProbabilisticLie(1.0, rng=random.Random(1))
+        for _ in range(20):
+            assert strategy.corrupt(QUERY, CORRECT, 0, "c") != CORRECT
+
+    def test_intermediate_rate_statistics(self):
+        strategy = ProbabilisticLie(0.3, rng=random.Random(7))
+        lies = sum(strategy.corrupt(QUERY, CORRECT, 0, "c") != CORRECT
+                   for _ in range(2000))
+        assert 500 < lies < 700  # ~600 expected
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ProbabilisticLie(1.5)
+
+
+class TestTargetedLie:
+    def test_only_victims_get_lies(self):
+        strategy = TargetedLie({"victim"}, rng=random.Random(1))
+        assert strategy.corrupt(QUERY, CORRECT, 0, "victim") != CORRECT
+        assert strategy.corrupt(QUERY, CORRECT, 0, "bystander") is CORRECT
+
+
+class TestStaleServe:
+    def test_serves_from_frozen_snapshot(self):
+        store = KeyValueStore({"x": "old"})
+        strategy = StaleServe()
+        strategy.frozen_store = store.clone()
+        store.apply_write(KVPut(key="x", value="new"))
+        fresh = store.execute_read(QUERY.__class__(key="x")).result
+        served = strategy.corrupt(KVGet(key="x"), fresh, 1, "c")
+        assert served == {"found": True, "value": "old"}
+        assert strategy.lies_told == 1
+
+    def test_honest_before_divergence(self):
+        store = KeyValueStore({"x": 1})
+        strategy = StaleServe()
+        strategy.frozen_store = store.clone()
+        fresh = store.execute_read(KVGet(key="x")).result
+        assert strategy.corrupt(KVGet(key="x"), fresh, 0, "c") == fresh
+        assert strategy.lies_told == 0
+
+    def test_inactive_without_snapshot(self):
+        strategy = StaleServe()
+        assert strategy.corrupt(QUERY, CORRECT, 0, "c") is CORRECT
+
+
+class TestUnresponsive:
+    def test_full_drop(self):
+        strategy = Unresponsive(1.0, rng=random.Random(1))
+        assert all(strategy.should_refuse(QUERY, "c") for _ in range(20))
+
+    def test_partial_drop(self):
+        strategy = Unresponsive(0.5, rng=random.Random(2))
+        drops = sum(strategy.should_refuse(QUERY, "c") for _ in range(1000))
+        assert 400 < drops < 600
+
+    def test_never_corrupts(self):
+        strategy = Unresponsive(0.5, rng=random.Random(3))
+        assert strategy.corrupt(QUERY, CORRECT, 0, "c") is CORRECT
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Unresponsive(-0.1)
+
+
+class TestColluding:
+    def test_group_members_agree_on_lies(self):
+        """Colluders must produce identical wrong answers regardless of
+        the order they serve requests in -- the quorum-defeating property."""
+        a = Colluding(group_seed=99)
+        b = Colluding(group_seed=99)
+        queries = [KVGet(key=f"k{i}") for i in range(10)]
+        answers_a = [a.corrupt(q, CORRECT, 0, "c1") for q in queries]
+        # b serves the same queries in reverse order.
+        answers_b = [b.corrupt(q, CORRECT, 0, "c2")
+                     for q in reversed(queries)]
+        assert answers_a == list(reversed(answers_b))
+
+    def test_partial_lie_rate_consistent_across_members(self):
+        a = Colluding(group_seed=5, lie_rate=0.5)
+        b = Colluding(group_seed=5, lie_rate=0.5)
+        queries = [KVGet(key=f"k{i}") for i in range(50)]
+        for q in queries:
+            assert (a.corrupt(q, CORRECT, 0, "x")
+                    == b.corrupt(q, CORRECT, 0, "y"))

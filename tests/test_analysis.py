@@ -1,0 +1,211 @@
+"""Unit tests for the closed-form analytic models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    collusion_pass_probability,
+    detection_cdf,
+    expected_audit_detection_delay,
+    expected_reads_until_detection,
+    expected_stamp_age,
+    inconsistency_window,
+    master_load_fraction,
+    max_write_rate,
+    our_per_read_costs,
+    smr_per_read_costs,
+    staleness_rejection_probability,
+    state_signing_per_read_costs,
+    undetected_lie_probability,
+)
+from repro.analysis.writes import min_read_write_ratio_for_load
+from repro.sim.latency import ConstantLatency, LogNormalLatency
+
+
+class TestDetectionModel:
+    def test_geometric_mean(self):
+        assert expected_reads_until_detection(0.1, 0.5) == pytest.approx(20.0)
+        assert expected_reads_until_detection(1.0, 1.0) == 1.0
+
+    def test_zero_probability_never_detects(self):
+        assert expected_reads_until_detection(0.0, 0.5) == float("inf")
+        assert expected_reads_until_detection(0.5, 0.0) == float("inf")
+
+    def test_cdf_monotone_and_bounded(self):
+        values = [detection_cdf(n, 0.05, 0.5) for n in (0, 10, 100, 1000)]
+        assert values[0] == 0.0
+        assert all(a <= b for a, b in zip(values, values[1:]))
+        assert values[-1] <= 1.0
+
+    def test_cdf_matches_mean_scale(self):
+        # By n = 3/(pq), detection probability is ~95%.
+        p, q = 0.1, 0.5
+        n = int(3 / (p * q))
+        assert detection_cdf(n, p, q) > 0.94
+
+    def test_audit_detection_delay(self):
+        delay = expected_audit_detection_delay(
+            lie_rate=0.1, read_rate=10.0, audit_fraction=1.0, audit_lag=7.0)
+        assert delay == pytest.approx(1.0 + 7.0)
+
+    def test_audit_never_detects_with_zero_fraction(self):
+        assert expected_audit_detection_delay(0.1, 10.0, 0.0, 7.0) == \
+            float("inf")
+
+    def test_master_load_fraction(self):
+        assert master_load_fraction(0.05) == 0.05
+        assert master_load_fraction(0.05, sensitive_fraction=0.2) == \
+            pytest.approx(0.2 + 0.8 * 0.05)
+        assert master_load_fraction(1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_reads_until_detection(1.5, 0.5)
+        with pytest.raises(ValueError):
+            detection_cdf(-1, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            expected_audit_detection_delay(0.1, 0.0, 1.0, 1.0)
+
+
+class TestStalenessModel:
+    def test_constant_delay_below_bound_never_rejects(self):
+        p = staleness_rejection_probability(
+            keepalive_interval=1.0, max_latency=5.0,
+            delay_model=ConstantLatency(0.1), samples=2000)
+        assert p == 0.0
+
+    def test_keepalive_beyond_bound_always_rejects_tail(self):
+        # Keep-alive of 10s against max_latency 5s: ~half the stamps are
+        # already older than the bound at the slave.
+        p = staleness_rejection_probability(
+            keepalive_interval=10.0, max_latency=5.0,
+            delay_model=ConstantLatency(0.0), samples=20_000)
+        assert 0.45 < p < 0.55
+
+    def test_monotone_in_max_latency(self):
+        model = LogNormalLatency(median=0.5, sigma=1.0)
+        probabilities = [
+            staleness_rejection_probability(1.0, bound, model, samples=5000)
+            for bound in (1.0, 2.0, 4.0, 8.0)
+        ]
+        assert all(a >= b for a, b in zip(probabilities, probabilities[1:]))
+
+    def test_deterministic_given_seed(self):
+        model = LogNormalLatency(median=0.5, sigma=1.0)
+        a = staleness_rejection_probability(1.0, 2.0, model, samples=1000)
+        b = staleness_rejection_probability(1.0, 2.0, model, samples=1000)
+        assert a == b
+
+    def test_expected_stamp_age(self):
+        assert expected_stamp_age(2.0, 0.05, 0.01) == pytest.approx(1.06)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            staleness_rejection_probability(0, 1.0, ConstantLatency(0.1))
+        with pytest.raises(ValueError):
+            expected_stamp_age(0, 0.1)
+
+
+class TestWriteModel:
+    def test_max_rate(self):
+        assert max_write_rate(5.0) == 0.2
+        assert max_write_rate(0.5) == 2.0
+
+    def test_inconsistency_window(self):
+        assert inconsistency_window(5.0) == 5.0
+
+    def test_ratio(self):
+        assert min_read_write_ratio_for_load(100.0, 5.0) == 500.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_write_rate(0)
+        with pytest.raises(ValueError):
+            inconsistency_window(-1)
+
+
+class TestCostModel:
+    def test_ours_scales_with_p_without_audit(self):
+        low = our_per_read_costs(0.01, audit_fraction=0.0)
+        high = our_per_read_costs(0.5, audit_fraction=0.0)
+        assert low["trusted_units"] < high["trusted_units"]
+        assert low["untrusted_units"] == high["untrusted_units"] == 1.0
+        assert low["signatures"] == 1.0
+
+    def test_full_audit_means_one_trusted_execution_per_read(self):
+        """With full auditing and a cold cache every read is eventually
+        executed once on trusted hardware; the advantage over SMR is that
+        the execution is deferred, unsigned and cacheable."""
+        costs = our_per_read_costs(0.05, audit_fraction=1.0)
+        assert costs["trusted_units"] == pytest.approx(1.0)
+
+    def test_ours_cache_discount(self):
+        cold = our_per_read_costs(0.05, audit_cache_hit_rate=0.0)
+        warm = our_per_read_costs(0.05, audit_cache_hit_rate=0.9)
+        assert warm["trusted_units"] < cold["trusted_units"]
+
+    def test_smr_quorum_factor(self):
+        f1 = smr_per_read_costs(1)
+        f2 = smr_per_read_costs(2)
+        assert f1["untrusted_units"] == 3.0
+        assert f2["untrusted_units"] == 5.0
+        assert f2["signatures"] == 5.0
+
+    def test_smr_vs_ours_headline(self):
+        """The paper's headline: our scheme avoids most SMR overhead."""
+        ours = our_per_read_costs(0.05)
+        smr = smr_per_read_costs(1)
+        total_ours = ours["untrusted_units"] + ours["trusted_units"]
+        total_smr = smr["untrusted_units"] + smr["trusted_units"]
+        assert total_ours < total_smr / 1.4
+
+    def test_state_signing_dynamic_penalty(self):
+        static = state_signing_per_read_costs(1000, dynamic_fraction=0.0)
+        dynamic = state_signing_per_read_costs(1000, dynamic_fraction=0.2)
+        assert static["trusted_units"] == 0.0
+        assert dynamic["trusted_units"] > 100  # fetch-verify-execute blowup
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            smr_per_read_costs(-1)
+        with pytest.raises(ValueError):
+            state_signing_per_read_costs(0, 0.1)
+        with pytest.raises(ValueError):
+            our_per_read_costs(2.0)
+
+
+class TestQuorumModel:
+    def test_all_colluding_certain(self):
+        assert collusion_pass_probability(10, 10, 3) == 1.0
+
+    def test_fewer_colluders_than_quorum_impossible(self):
+        assert collusion_pass_probability(10, 2, 3) == 0.0
+
+    def test_hypergeometric_value(self):
+        # 5 colluders of 10, quorum 2: C(5,2)/C(10,2) = 10/45.
+        assert collusion_pass_probability(10, 5, 2) == \
+            pytest.approx(10 / 45)
+
+    def test_monotone_decreasing_in_quorum(self):
+        values = [collusion_pass_probability(20, 10, q) for q in (1, 2, 3, 4)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_undetected_zero_with_full_audit(self):
+        assert undetected_lie_probability(10, 10, 1, 0.0,
+                                          audit_fraction=1.0) == 0.0
+
+    def test_undetected_with_sampled_audit(self):
+        p = undetected_lie_probability(10, 5, 2, 0.1, audit_fraction=0.5)
+        expected = (10 / 45) * 0.9 * 0.5
+        assert p == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            collusion_pass_probability(5, 6, 2)
+        with pytest.raises(ValueError):
+            collusion_pass_probability(5, 3, 0)
+        with pytest.raises(ValueError):
+            collusion_pass_probability(5, 3, 6)

@@ -1,0 +1,137 @@
+"""Tests: the state-signing baseline over file-system content.
+
+The paper's Section 5 citations ([7] SFSRO, [11] SUNDR-style Byzantine
+storage) are *file systems*: hash-tree-authenticated ``read FileName``
+works from untrusted storage, but ``grep Expression Path`` -- the
+dynamic query the paper leads with -- forces the trusted-host fallback.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    StateSigningClient,
+    StateSigningPublisher,
+    StateSigningStorage,
+)
+from repro.baselines.state_signing import leaf_items_of, point_key_of
+from repro.content.filesystem import (
+    FSGrep,
+    FSRead,
+    FSWrite,
+    MemoryFileSystem,
+)
+from repro.content.kvstore import KVAggregate, KVGet
+from repro.content.minidb import MiniDB
+
+
+@pytest.fixture
+def publisher():
+    fs = MemoryFileSystem({
+        "/site/index.html": "<h1>hello</h1>",
+        "/site/docs/a.txt": "TODO alpha",
+        "/site/docs/b.txt": "beta",
+    })
+    return StateSigningPublisher(fs, rng=random.Random(1))
+
+
+@pytest.fixture
+def storage(publisher):
+    return StateSigningStorage(publisher)
+
+
+@pytest.fixture
+def client(publisher):
+    return StateSigningClient(publisher.keys.public_key,
+                              rng=random.Random(2))
+
+
+class TestPointKeyMapping:
+    def test_kv_get_is_point(self):
+        assert point_key_of(KVGet(key="a")) == "a"
+
+    def test_fs_read_is_point(self):
+        assert point_key_of(FSRead(path="/site/index.html")) == \
+            "/site/index.html"
+
+    def test_dynamic_queries_are_not(self):
+        assert point_key_of(FSGrep(pattern="x", path="/")) is None
+        assert point_key_of(KVAggregate(prefix="", func="count")) is None
+
+    def test_leaf_items_of_rejects_minidb(self):
+        with pytest.raises(TypeError, match="cannot authenticate"):
+            StateSigningPublisher(MiniDB())
+
+
+class TestFSPointReads:
+    def test_read_verifies_from_untrusted_storage(self, publisher,
+                                                  storage, client):
+        outcome = client.read(FSRead(path="/site/index.html"),
+                              storage, publisher)
+        assert outcome == {"result": {"found": True,
+                                      "content": "<h1>hello</h1>"},
+                           "verified": True, "path": "storage"}
+
+    def test_tampered_page_rejected(self, publisher, client):
+        evil = StateSigningStorage(
+            publisher, tamper_keys={"/site/index.html": "<h1>pwned</h1>"})
+        outcome = client.read(FSRead(path="/site/index.html"),
+                              evil, publisher)
+        assert outcome["verified"] is False
+        assert client.ledger.rejected == 1
+
+    def test_missing_file(self, publisher, storage, client):
+        outcome = client.read(FSRead(path="/nope.txt"), storage, publisher)
+        assert outcome["result"]["found"] is False
+
+    def test_update_propagates(self, publisher, storage, client):
+        publisher.apply_write(FSWrite(path="/site/docs/a.txt",
+                                      content="TODO rewritten"))
+        storage.receive_update(publisher)
+        outcome = client.read(FSRead(path="/site/docs/a.txt"),
+                              storage, publisher)
+        assert outcome["verified"]
+        assert outcome["result"]["content"] == "TODO rewritten"
+
+    def test_stale_storage_rejected_after_publish(self, publisher,
+                                                  storage, client):
+        publisher.apply_write(FSWrite(path="/site/new.txt", content="x"))
+        # storage kept the old tree but presents the new signed root.
+        storage.signed_root = publisher.signed_root
+        outcome = client.read(FSRead(path="/site/index.html"),
+                              storage, publisher)
+        assert outcome["verified"] is False
+
+
+class TestFSGrepFallback:
+    def test_grep_runs_on_trusted_host(self, publisher, storage, client):
+        outcome = client.read(FSGrep(pattern="TODO", path="/site"),
+                              storage, publisher)
+        assert outcome["path"] == "trusted"
+        assert outcome["result"] == [("/site/docs/a.txt", 1, "TODO alpha")]
+        assert client.ledger.unsupported == 1
+
+    def test_grep_charges_full_fetch_verify(self, publisher, storage,
+                                            client):
+        before = publisher.ledger.verifications
+        client.read(FSGrep(pattern="beta", path="/"), storage, publisher)
+        # Trusted host verified every one of the three files first.
+        assert publisher.ledger.verifications - before == 3
+
+
+class TestLeafExtraction:
+    def test_fs_leaves_are_files(self, publisher):
+        leaves = leaf_items_of(publisher.store)
+        assert set(leaves) == {"/site/index.html", "/site/docs/a.txt",
+                               "/site/docs/b.txt"}
+
+    def test_dict_content_still_supported(self):
+        publisher = StateSigningPublisher({"a": 1}, rng=random.Random(3))
+        storage = StateSigningStorage(publisher)
+        client = StateSigningClient(publisher.keys.public_key,
+                                    rng=random.Random(4))
+        outcome = client.read(KVGet(key="a"), storage, publisher)
+        assert outcome["verified"] and outcome["result"]["value"] == 1

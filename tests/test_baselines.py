@@ -1,0 +1,196 @@
+"""Unit tests for the Section 5 baselines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    CostLedger,
+    QuorumClient,
+    QuorumReplicaGroup,
+    StateSigningClient,
+    StateSigningPublisher,
+    StateSigningStorage,
+)
+from repro.content.kvstore import (
+    KVAggregate,
+    KVDelete,
+    KVGet,
+    KVPut,
+    KVRange,
+    KeyValueStore,
+)
+
+
+@pytest.fixture
+def publisher():
+    return StateSigningPublisher({f"k{i}": i for i in range(20)},
+                                 rng=random.Random(1))
+
+
+@pytest.fixture
+def storage(publisher):
+    return StateSigningStorage(publisher)
+
+
+@pytest.fixture
+def ss_client(publisher):
+    return StateSigningClient(publisher.keys.public_key,
+                              rng=random.Random(2))
+
+
+class TestStateSigningHonest:
+    def test_point_read_verified(self, publisher, storage, ss_client):
+        outcome = ss_client.read(KVGet(key="k3"), storage, publisher)
+        assert outcome == {"result": {"found": True, "value": 3},
+                           "verified": True, "path": "storage"}
+
+    def test_missing_key(self, publisher, storage, ss_client):
+        outcome = ss_client.read(KVGet(key="ghost"), storage, publisher)
+        assert outcome["result"]["found"] is False
+
+    def test_no_per_read_signatures(self, publisher, storage, ss_client):
+        before = publisher.ledger.signatures
+        for i in range(10):
+            ss_client.read(KVGet(key=f"k{i}"), storage, publisher)
+        assert publisher.ledger.signatures == before
+
+    def test_write_re_signs_root(self, publisher, storage):
+        before_sigs = publisher.ledger.signatures
+        before_root = publisher.signed_root.root
+        publisher.apply_write(KVPut(key="k3", value=999))
+        assert publisher.ledger.signatures == before_sigs + 1
+        assert publisher.signed_root.root != before_root
+
+    def test_storage_update_propagates(self, publisher, storage, ss_client):
+        publisher.apply_write(KVPut(key="k3", value=999))
+        storage.receive_update(publisher)
+        outcome = ss_client.read(KVGet(key="k3"), storage, publisher)
+        assert outcome["result"]["value"] == 999
+        assert outcome["verified"]
+
+    def test_delete_write(self, publisher, storage, ss_client):
+        publisher.apply_write(KVDelete(key="k3"))
+        storage.receive_update(publisher)
+        outcome = ss_client.read(KVGet(key="k3"), storage, publisher)
+        assert outcome["result"]["found"] is False
+
+
+class TestStateSigningTampering:
+    def test_tampered_value_rejected(self, publisher, ss_client):
+        evil = StateSigningStorage(publisher, tamper_keys={"k3": 666})
+        outcome = ss_client.read(KVGet(key="k3"), evil, publisher)
+        assert outcome["verified"] is False
+        assert outcome["result"] is None
+        assert ss_client.ledger.rejected == 1
+
+    def test_untampered_keys_still_verify(self, publisher, ss_client):
+        evil = StateSigningStorage(publisher, tamper_keys={"k3": 666})
+        outcome = ss_client.read(KVGet(key="k5"), evil, publisher)
+        assert outcome["verified"] is True
+
+    def test_stale_root_rejected(self, publisher, ss_client):
+        storage = StateSigningStorage(publisher)
+        publisher.apply_write(KVPut(key="new", value=1))
+        # storage kept the old tree but got handed the NEW signed root:
+        # proofs against the old tree no longer match.
+        storage.signed_root = publisher.signed_root
+        outcome = ss_client.read(KVGet(key="k3"), storage, publisher)
+        assert outcome["verified"] is False
+
+
+class TestStateSigningDynamicFallback:
+    def test_dynamic_query_runs_on_trusted_host(self, publisher, storage,
+                                                ss_client):
+        outcome = ss_client.read(KVAggregate(prefix="k", func="count"),
+                                 storage, publisher)
+        assert outcome["path"] == "trusted"
+        assert outcome["result"]["value"] == 20
+
+    def test_dynamic_query_charges_full_fetch(self, publisher, storage,
+                                              ss_client):
+        before = publisher.ledger.verifications
+        ss_client.read(KVRange(start="k0", end="k9"), storage, publisher)
+        # The trusted host verified every one of the 20 stored items.
+        assert publisher.ledger.verifications - before == 20
+
+    def test_unsupported_counter(self, publisher, storage, ss_client):
+        ss_client.read(KVAggregate(prefix="k", func="sum"),
+                       storage, publisher)
+        assert ss_client.ledger.unsupported == 1
+
+
+class TestQuorumSMR:
+    def store(self):
+        return KeyValueStore({"x": 42, "y": 1})
+
+    def test_honest_quorum_correct(self):
+        group = QuorumReplicaGroup(self.store(), f=1, seed=1)
+        outcome = QuorumClient(group).read(KVGet(key="x"))
+        assert outcome["accepted"] and outcome["correct"]
+        assert outcome["result"]["value"] == 42
+
+    def test_f_byzantine_still_correct(self):
+        group = QuorumReplicaGroup(self.store(), f=1, num_byzantine=1,
+                                   seed=2)
+        outcome = QuorumClient(group).read(KVGet(key="x"))
+        assert outcome["accepted"] and outcome["correct"]
+
+    def test_f_plus_one_colluders_defeat_quorum(self):
+        group = QuorumReplicaGroup(self.store(), f=1, num_byzantine=2,
+                                   seed=3)
+        outcome = QuorumClient(group).read(KVGet(key="x"))
+        assert outcome["accepted"] and not outcome["correct"]
+
+    def test_read_costs_quorum_executions(self):
+        group = QuorumReplicaGroup(self.store(), f=2, seed=4)
+        QuorumClient(group).read(KVGet(key="x"))
+        assert group.ledger.untrusted_compute_units == 5.0  # 2f+1
+        assert group.ledger.signatures == 5
+
+    def test_write_applies_to_all_replicas(self):
+        group = QuorumReplicaGroup(self.store(), f=1, seed=5)
+        QuorumClient(group).write(KVPut(key="x", value=0))
+        for replica in group.replicas:
+            assert replica.execute_read(KVGet(key="x")).result["value"] == 0
+
+    def test_latency_is_max_of_quorum(self):
+        group = QuorumReplicaGroup(self.store(), f=3, seed=6)
+        single = QuorumReplicaGroup(self.store(), f=0, seed=6)
+        multi_latency = [QuorumClient(group).read(KVGet(key="x"))["latency"]
+                         for _ in range(50)]
+        single_latency = [QuorumClient(single).read(KVGet(key="x"))["latency"]
+                          for _ in range(50)]
+        assert (sum(multi_latency) / len(multi_latency)
+                > sum(single_latency) / len(single_latency))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuorumReplicaGroup(self.store(), f=-1)
+        with pytest.raises(ValueError):
+            QuorumReplicaGroup(self.store(), f=1, num_byzantine=5)
+
+
+class TestCostLedger:
+    def test_merge(self):
+        a = CostLedger(trusted_compute_units=1.0, operations=2,
+                       latencies=[0.1])
+        b = CostLedger(trusted_compute_units=2.0, operations=1,
+                       latencies=[0.3], signatures=4)
+        a.merge(b)
+        assert a.trusted_compute_units == 3.0
+        assert a.operations == 3
+        assert a.signatures == 4
+        assert a.latencies == [0.1, 0.3]
+
+    def test_per_operation(self):
+        ledger = CostLedger(untrusted_compute_units=10.0, operations=5,
+                            latencies=[0.1, 0.2])
+        per_op = ledger.per_operation()
+        assert per_op["untrusted_units"] == 2.0
+        assert per_op["mean_latency"] == pytest.approx(0.15)
+
+    def test_per_operation_empty_safe(self):
+        assert CostLedger().per_operation()["mean_latency"] == 0.0

@@ -1,0 +1,80 @@
+"""Unit tests for certificate issuance and verification."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.crypto.certificates import Certificate, CertificateError
+from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import HMACSigner
+
+
+@pytest.fixture
+def owner():
+    return KeyPair("content-owner", HMACSigner(rng=random.Random(1)))
+
+
+@pytest.fixture
+def verifier():
+    return KeyPair("client", HMACSigner(rng=random.Random(2)))
+
+
+@pytest.fixture
+def master_key():
+    return HMACSigner(rng=random.Random(3)).public_key
+
+
+def issue(owner, master_key, **kwargs):
+    defaults = dict(subject_id="master-00", address="10.0.0.1:7000",
+                    subject_public_key=master_key, issued_at=0.0)
+    defaults.update(kwargs)
+    return Certificate.issue(owner, **defaults)
+
+
+class TestCertificates:
+    def test_valid_certificate_verifies(self, owner, verifier, master_key):
+        cert = issue(owner, master_key)
+        cert.verify(verifier, owner.public_key)  # no exception
+
+    def test_binds_address(self, owner, verifier, master_key):
+        cert = issue(owner, master_key)
+        forged = dataclasses.replace(cert, address="6.6.6.6:666")
+        with pytest.raises(CertificateError, match="invalid signature"):
+            forged.verify(verifier, owner.public_key)
+
+    def test_binds_subject(self, owner, verifier, master_key):
+        cert = issue(owner, master_key)
+        forged = dataclasses.replace(cert, subject_id="evil-master")
+        with pytest.raises(CertificateError):
+            forged.verify(verifier, owner.public_key)
+
+    def test_binds_public_key(self, owner, verifier, master_key):
+        other_key = HMACSigner(rng=random.Random(9)).public_key
+        cert = issue(owner, master_key)
+        forged = dataclasses.replace(cert, subject_public_key=other_key)
+        with pytest.raises(CertificateError):
+            forged.verify(verifier, owner.public_key)
+
+    def test_wrong_issuer_key_fails(self, owner, verifier, master_key):
+        cert = issue(owner, master_key)
+        wrong_issuer = HMACSigner(rng=random.Random(10)).public_key
+        with pytest.raises(CertificateError):
+            cert.verify(verifier, wrong_issuer)
+
+    def test_expiry_enforced_when_now_given(self, owner, verifier,
+                                            master_key):
+        cert = issue(owner, master_key, lifetime=100.0)
+        cert.verify(verifier, owner.public_key, now=50.0)
+        with pytest.raises(CertificateError, match="expired"):
+            cert.verify(verifier, owner.public_key, now=150.0)
+
+    def test_infinite_lifetime_by_default(self, owner, verifier, master_key):
+        cert = issue(owner, master_key)
+        cert.verify(verifier, owner.public_key, now=1e12)
+
+    def test_issuer_recorded(self, owner, master_key):
+        cert = issue(owner, master_key)
+        assert cert.issuer_id == "content-owner"

@@ -1,0 +1,130 @@
+"""Tests for the command-line front-end."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.cli import build_parser, cmd_run, main, parse_adversary
+from repro.core.adversary import (
+    AlwaysLie,
+    BrokenSignature,
+    Colluding,
+    ProbabilisticLie,
+    Unresponsive,
+)
+
+
+class TestAdversaryParsing:
+    @pytest.fixture
+    def rng(self):
+        return random.Random(1)
+
+    def test_always_lie(self, rng):
+        index, strategy = parse_adversary("0:always-lie", rng)
+        assert index == 0 and isinstance(strategy, AlwaysLie)
+
+    def test_probabilistic_with_param(self, rng):
+        index, strategy = parse_adversary("3:probabilistic:0.4", rng)
+        assert index == 3
+        assert isinstance(strategy, ProbabilisticLie)
+        assert strategy.lie_rate == 0.4
+
+    def test_colluding(self, rng):
+        _index, strategy = parse_adversary("1:colluding:9", rng)
+        assert isinstance(strategy, Colluding)
+
+    def test_unresponsive(self, rng):
+        _index, strategy = parse_adversary("2:unresponsive:0.3", rng)
+        assert isinstance(strategy, Unresponsive)
+        assert strategy.drop_rate == 0.3
+
+    def test_broken_signature(self, rng):
+        _index, strategy = parse_adversary("2:broken-signature", rng)
+        assert isinstance(strategy, BrokenSignature)
+
+    def test_bad_specs_rejected(self, rng):
+        import argparse
+
+        for bad in ("noindex", "x:always-lie", "0:made-up"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                parse_adversary(bad, rng)
+
+
+class TestRunCommand:
+    def run_cli(self, *extra: str) -> tuple[int, str]:
+        import contextlib
+        import io
+
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = main(["run", "--reads", "60", "--seed", "5",
+                         "--clients", "4", "--slaves-per-master", "2",
+                         "--masters", "2", *extra])
+        return code, out.getvalue()
+
+    def test_honest_run_exits_zero(self):
+        code, output = self.run_cli()
+        assert code == 0
+        assert "reads accepted          : 60" in output
+        assert "window violations       : 0" in output
+
+    def test_json_output(self):
+        code, output = self.run_cli("--json")
+        assert code == 0
+        summary = json.loads(output)
+        assert summary["classification"]["accepted_total"] == 60
+        assert summary["consistency_window_violations"] == 0
+
+    def test_adversarial_run_detected(self):
+        code, output = self.run_cli("--adversary", "0:always-lie",
+                                    "--adversary", "1:always-lie",
+                                    "--adversary", "2:always-lie",
+                                    "--adversary", "3:always-lie",
+                                    "-p", "0.3")
+        assert code == 0  # everything wrong was detected
+        assert "slaves excluded" in output
+
+    def test_writes(self):
+        code, output = self.run_cli("--write-every", "20",
+                                    "--max-latency", "2.0",
+                                    "--keepalive-interval", "0.5")
+        assert code == 0
+        assert "writes committed        : 3" in output
+
+    def test_content_types(self):
+        for content in ("fs", "db", "catalog"):
+            code, _out = self.run_cli("--content", content,
+                                      "--content-size", "40")
+            assert code == 0, content
+
+    def test_multi_auditor(self):
+        code, output = self.run_cli("--auditors", "2", "-p", "0.0")
+        assert code == 0
+        assert "auditor coverage        : 60/60" in output
+
+
+class TestDemoCommand:
+    def test_all_scenarios_run(self):
+        import contextlib
+        import io
+
+        for scenario in ("cdn", "byzantine", "quorum"):
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                code = main(["demo", "--scenario", scenario])
+            assert code == 0, (scenario, out.getvalue())
+            assert "scenario:" in out.getvalue()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.masters == 3
+        assert args.double_check_probability == 0.05

@@ -1,0 +1,67 @@
+"""Unit tests for protocol configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = ProtocolConfig()
+        assert config.max_latency > 0
+        assert 0 <= config.double_check_probability <= 1
+
+    def test_max_latency_positive(self):
+        with pytest.raises(ValueError, match="max_latency"):
+            ProtocolConfig(max_latency=0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(max_latency=-1)
+
+    def test_keepalive_bounded_by_max_latency(self):
+        with pytest.raises(ValueError, match="keepalive_interval"):
+            ProtocolConfig(max_latency=1.0, keepalive_interval=2.0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(keepalive_interval=0)
+        # Equal is allowed (boundary).
+        ProtocolConfig(max_latency=1.0, keepalive_interval=1.0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="double_check_probability"):
+            ProtocolConfig(double_check_probability=1.5)
+        with pytest.raises(ValueError):
+            ProtocolConfig(double_check_probability=-0.1)
+        ProtocolConfig(double_check_probability=0.0)
+        ProtocolConfig(double_check_probability=1.0)
+
+    def test_audit_fraction_bounds(self):
+        with pytest.raises(ValueError, match="audit_fraction"):
+            ProtocolConfig(audit_fraction=2.0)
+        ProtocolConfig(audit_fraction=0.0)
+
+    def test_read_quorum_at_least_one(self):
+        with pytest.raises(ValueError, match="read_quorum"):
+            ProtocolConfig(read_quorum=0)
+
+    def test_security_level_probabilities_validated(self):
+        with pytest.raises(ValueError, match="security level"):
+            ProtocolConfig(security_levels={"weird": 1.5})
+
+    def test_version_history_depth(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(version_history_depth=0)
+
+
+class TestClientMaxLatency:
+    def test_defaults_to_system_value(self):
+        config = ProtocolConfig(max_latency=7.0)
+        assert config.effective_client_max_latency() == 7.0
+
+    def test_override(self):
+        config = ProtocolConfig(max_latency=7.0, client_max_latency=30.0)
+        assert config.effective_client_max_latency() == 30.0
+
+    def test_sensitive_level_is_full_probability(self):
+        config = ProtocolConfig()
+        assert config.security_levels["sensitive"] == 1.0

@@ -1,0 +1,147 @@
+"""Unit tests for the public directory and the content owner."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.directory import DirectoryServer
+from repro.core.messages import DirectoryListing, DirectoryLookup
+from repro.core.owner import ContentOwner
+from repro.crypto.certificates import CertificateError
+from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import HMACSigner
+from repro.sim.network import Network, Node
+from repro.sim.simulator import Simulator
+
+
+class Probe(Node):
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.listings = []
+
+    def on_message(self, src_id, message):
+        assert isinstance(message, DirectoryListing)
+        self.listings.append(message)
+
+
+@pytest.fixture
+def world():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    directory = DirectoryServer("directory", sim, net)
+    probe = Probe("probe", sim, net)
+    owner = ContentOwner("owner", rng=random.Random(2))
+    return sim, directory, probe, owner
+
+
+class TestContentOwner:
+    def test_certificates_verify_under_content_key(self, world):
+        _sim, _directory, _probe, owner = world
+        master_keys = KeyPair("master-00", HMACSigner(rng=random.Random(3)))
+        cert = owner.certify_master("master-00", "addr:m0",
+                                    master_keys.public_key)
+        verifier = KeyPair("client", HMACSigner(rng=random.Random(4)))
+        cert.verify(verifier, owner.content_public_key)  # no raise
+
+    def test_fingerprint_stable(self, world):
+        _sim, _directory, _probe, owner = world
+        assert owner.content_key_fingerprint() == \
+            owner.content_key_fingerprint()
+
+    def test_other_owner_cannot_issue_for_content(self, world):
+        _sim, _directory, _probe, owner = world
+        impostor = ContentOwner("impostor", rng=random.Random(5))
+        master_keys = KeyPair("master-00", HMACSigner(rng=random.Random(6)))
+        forged = impostor.certify_master("master-00", "addr:m0",
+                                         master_keys.public_key)
+        verifier = KeyPair("client", HMACSigner(rng=random.Random(7)))
+        with pytest.raises(CertificateError):
+            forged.verify(verifier, owner.content_public_key)
+
+    def test_publish_all(self, world):
+        _sim, directory, _probe, owner = world
+        keys = [KeyPair(f"master-{i:02d}", HMACSigner(rng=random.Random(i)))
+                for i in range(3)]
+        for kp in keys:
+            owner.certify_master(kp.owner_id, f"addr:{kp.owner_id}",
+                                 kp.public_key)
+        owner.publish_all(directory)
+        entries = directory._listings[owner.content_key_fingerprint()]
+        assert len(entries) == 3
+
+
+class TestDirectory:
+    def test_lookup_returns_published_certs(self, world):
+        sim, directory, probe, owner = world
+        master_keys = KeyPair("master-00", HMACSigner(rng=random.Random(8)))
+        owner.certify_master("master-00", "addr:m0",
+                             master_keys.public_key)
+        owner.publish_all(directory)
+        probe.send("directory", DirectoryLookup(
+            content_key_fingerprint=owner.content_key_fingerprint()))
+        sim.run_for(1.0)
+        assert len(probe.listings) == 1
+        certs = probe.listings[0].certificates
+        assert [c.subject_id for c in certs] == ["master-00"]
+
+    def test_unknown_content_key_yields_empty_listing(self, world):
+        sim, _directory, probe, _owner = world
+        probe.send("directory", DirectoryLookup(
+            content_key_fingerprint="deadbeef"))
+        sim.run_for(1.0)
+        assert probe.listings[0].certificates == ()
+
+    def test_republish_replaces_entry(self, world):
+        sim, directory, probe, owner = world
+        keys_a = KeyPair("master-00", HMACSigner(rng=random.Random(9)))
+        cert_a = owner.certify_master("master-00", "addr:old",
+                                      keys_a.public_key)
+        fingerprint = owner.content_key_fingerprint()
+        directory.publish(fingerprint, cert_a)
+        cert_b = owner.certify_master("master-00", "addr:new",
+                                      keys_a.public_key)
+        directory.publish(fingerprint, cert_b)
+        probe.send("directory",
+                   DirectoryLookup(content_key_fingerprint=fingerprint))
+        sim.run_for(1.0)
+        certs = probe.listings[0].certificates
+        assert len(certs) == 1
+        assert certs[0].address == "addr:new"
+
+    def test_withdraw(self, world):
+        sim, directory, probe, owner = world
+        keys = KeyPair("master-00", HMACSigner(rng=random.Random(10)))
+        cert = owner.certify_master("master-00", "addr:m0",
+                                    keys.public_key)
+        fingerprint = owner.content_key_fingerprint()
+        directory.publish(fingerprint, cert)
+        directory.withdraw(fingerprint, "master-00")
+        probe.send("directory",
+                   DirectoryLookup(content_key_fingerprint=fingerprint))
+        sim.run_for(1.0)
+        assert probe.listings[0].certificates == ()
+
+    def test_multi_tenancy(self, world):
+        """One directory serves several contents, keyed by content key."""
+        sim, directory, probe, owner = world
+        other = ContentOwner("owner-2", rng=random.Random(11))
+        keys = KeyPair("master-00", HMACSigner(rng=random.Random(12)))
+        directory.publish(owner.content_key_fingerprint(),
+                          owner.certify_master("master-00", "a",
+                                               keys.public_key))
+        directory.publish(other.content_key_fingerprint(),
+                          other.certify_master("master-99", "b",
+                                               keys.public_key))
+        probe.send("directory", DirectoryLookup(
+            content_key_fingerprint=other.content_key_fingerprint()))
+        sim.run_for(1.0)
+        assert [c.subject_id for c in probe.listings[0].certificates] == \
+            ["master-99"]
+
+    def test_rejects_unexpected_message(self, world):
+        sim, _directory, probe, _owner = world
+        probe.send("directory", "garbage")
+        with pytest.raises(TypeError):
+            sim.run_for(1.0)

@@ -1,0 +1,163 @@
+"""Unit tests for the in-memory file system engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.content.filesystem import (
+    FSGrep,
+    FSList,
+    FSMkdir,
+    FSRead,
+    FSRemove,
+    FSWrite,
+    MemoryFileSystem,
+)
+from repro.content.kvstore import KVGet
+from repro.content.queries import UnsupportedQueryError
+
+
+@pytest.fixture
+def fs():
+    return MemoryFileSystem({
+        "/docs/readme.txt": "hello world\nTODO fix this\nbye",
+        "/docs/notes/a.txt": "alpha\nbeta TODO\ngamma",
+        "/src/main.py": "print('hello')\n# TODO refactor",
+        "/empty.txt": "",
+    })
+
+
+class TestRead:
+    def test_read_file(self, fs):
+        outcome = fs.execute_read(FSRead(path="/docs/readme.txt"))
+        assert outcome.result["found"]
+        assert "hello world" in outcome.result["content"]
+
+    def test_read_missing_in_band(self, fs):
+        outcome = fs.execute_read(FSRead(path="/ghost.txt"))
+        assert outcome.result == {"found": False, "content": None}
+
+    def test_read_cost_scales_with_size(self, fs):
+        fs.apply_write(FSWrite(path="/big.txt", content="x" * 10_240))
+        small = fs.execute_read(FSRead(path="/empty.txt"))
+        big = fs.execute_read(FSRead(path="/big.txt"))
+        assert big.cost_units > small.cost_units
+
+    def test_relative_path_rejected(self, fs):
+        with pytest.raises(ValueError, match="absolute"):
+            fs.execute_read(FSRead(path="docs/readme.txt"))
+
+    def test_dotdot_rejected(self, fs):
+        with pytest.raises(ValueError, match="relative components"):
+            fs.execute_read(FSRead(path="/docs/../etc/passwd"))
+
+
+class TestGrep:
+    def test_matches_across_subtree(self, fs):
+        outcome = fs.execute_read(FSGrep(pattern="TODO", path="/"))
+        paths = [p for p, _n, _l in outcome.result]
+        assert paths == ["/docs/notes/a.txt", "/docs/readme.txt",
+                         "/src/main.py"]
+
+    def test_line_numbers_are_one_based(self, fs):
+        outcome = fs.execute_read(FSGrep(pattern="TODO",
+                                         path="/docs/readme.txt"))
+        assert outcome.result == [("/docs/readme.txt", 2, "TODO fix this")]
+
+    def test_scoped_to_subtree(self, fs):
+        outcome = fs.execute_read(FSGrep(pattern="TODO", path="/src"))
+        assert all(p.startswith("/src") for p, _n, _l in outcome.result)
+
+    def test_regex_patterns(self, fs):
+        outcome = fs.execute_read(FSGrep(pattern=r"^al.ha$", path="/docs"))
+        assert outcome.result == [("/docs/notes/a.txt", 1, "alpha")]
+
+    def test_no_matches(self, fs):
+        assert fs.execute_read(
+            FSGrep(pattern="zzz", path="/")).result == []
+
+    def test_bad_pattern_is_in_band_error(self, fs):
+        outcome = fs.execute_read(FSGrep(pattern="([", path="/"))
+        assert "error" in outcome.result
+
+    def test_grep_deterministic_order(self, fs):
+        a = fs.execute_read(FSGrep(pattern="TODO", path="/")).result
+        b = fs.clone().execute_read(FSGrep(pattern="TODO", path="/")).result
+        assert a == b
+
+
+class TestList:
+    def test_root_listing(self, fs):
+        outcome = fs.execute_read(FSList(path="/"))
+        assert outcome.result["entries"] == ["docs", "empty.txt", "src"]
+
+    def test_nested_listing(self, fs):
+        outcome = fs.execute_read(FSList(path="/docs"))
+        assert outcome.result["entries"] == ["notes", "readme.txt"]
+
+    def test_missing_directory_in_band(self, fs):
+        outcome = fs.execute_read(FSList(path="/nope"))
+        assert outcome.result["found"] is False
+
+
+class TestWrites:
+    def test_write_creates_parents(self, fs):
+        fs.apply_write(FSWrite(path="/a/b/c/deep.txt", content="x"))
+        assert fs.execute_read(FSRead(path="/a/b/c/deep.txt")).result["found"]
+        assert fs.execute_read(FSList(path="/a/b")).result["entries"] == ["c"]
+
+    def test_write_overwrites(self, fs):
+        fs.apply_write(FSWrite(path="/docs/readme.txt", content="new"))
+        assert fs.execute_read(
+            FSRead(path="/docs/readme.txt")).result["content"] == "new"
+
+    def test_write_over_directory_rejected(self, fs):
+        with pytest.raises(ValueError, match="is a directory"):
+            fs.apply_write(FSWrite(path="/docs", content="x"))
+
+    def test_mkdir_idempotent(self, fs):
+        fs.apply_write(FSMkdir(path="/newdir"))
+        fs.apply_write(FSMkdir(path="/newdir"))
+        assert fs.execute_read(FSList(path="/newdir")).result["found"]
+
+    def test_remove_file(self, fs):
+        outcome = fs.apply_write(FSRemove(path="/empty.txt"))
+        assert outcome.applied
+        assert not fs.execute_read(FSRead(path="/empty.txt")).result["found"]
+
+    def test_remove_directory_recursive(self, fs):
+        fs.apply_write(FSRemove(path="/docs"))
+        assert not fs.execute_read(FSRead(
+            path="/docs/readme.txt")).result["found"]
+        assert not fs.execute_read(FSList(path="/docs")).result["found"]
+        assert fs.execute_read(FSRead(path="/src/main.py")).result["found"]
+
+    def test_remove_missing_is_noop(self, fs):
+        outcome = fs.apply_write(FSRemove(path="/ghost"))
+        assert not outcome.applied
+
+    def test_remove_root_rejected(self, fs):
+        with pytest.raises(ValueError, match="root"):
+            fs.apply_write(FSRemove(path="/"))
+
+    def test_unsupported_query_raises(self, fs):
+        with pytest.raises(UnsupportedQueryError):
+            fs.execute_read(KVGet(key="x"))
+
+
+class TestCloneDigest:
+    def test_clone_independent(self, fs):
+        twin = fs.clone()
+        twin.apply_write(FSRemove(path="/docs"))
+        assert fs.execute_read(FSRead(path="/docs/readme.txt")).result["found"]
+
+    def test_same_state_same_digest(self, fs):
+        assert fs.state_digest() == fs.clone().state_digest()
+
+    def test_digest_tracks_content(self, fs):
+        before = fs.state_digest()
+        fs.apply_write(FSWrite(path="/docs/readme.txt", content="changed"))
+        assert fs.state_digest() != before
+
+    def test_file_count(self, fs):
+        assert fs.file_count() == 4

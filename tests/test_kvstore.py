@@ -1,0 +1,196 @@
+"""Unit tests for the key-value content engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.content.kvstore import (
+    KVAggregate,
+    KVDelete,
+    KVGet,
+    KVMultiGet,
+    KVPut,
+    KVRange,
+    KeyValueStore,
+)
+from repro.content.minidb import DBSelect
+from repro.content.queries import UnsupportedQueryError
+
+
+@pytest.fixture
+def store():
+    return KeyValueStore({"a": 1, "b": 2.5, "c": "text", "ba": 10, "bb": 20})
+
+
+class TestGet:
+    def test_hit(self, store):
+        outcome = store.execute_read(KVGet(key="a"))
+        assert outcome.result == {"found": True, "value": 1}
+        assert outcome.cost_units == 1.0
+
+    def test_miss_is_in_band(self, store):
+        outcome = store.execute_read(KVGet(key="ghost"))
+        assert outcome.result == {"found": False, "value": None}
+
+    def test_multiget(self, store):
+        outcome = store.execute_read(KVMultiGet(keys=("a", "ghost", "c")))
+        assert outcome.result == {"a": 1, "c": "text"}
+        assert outcome.cost_units == 3.0
+
+
+class TestRange:
+    def test_half_open_interval(self, store):
+        outcome = store.execute_read(KVRange(start="b", end="c"))
+        assert outcome.result == [("b", 2.5), ("ba", 10), ("bb", 20)]
+
+    def test_limit(self, store):
+        outcome = store.execute_read(KVRange(start="a", end="z", limit=2))
+        assert [k for k, _v in outcome.result] == ["a", "b"]
+
+    def test_empty_range(self, store):
+        assert store.execute_read(KVRange(start="x", end="y")).result == []
+
+    def test_negative_limit_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.execute_read(KVRange(start="a", end="z", limit=-1))
+
+    def test_cost_scales_with_selected(self, store):
+        small = store.execute_read(KVRange(start="a", end="b"))
+        large = store.execute_read(KVRange(start="a", end="z"))
+        assert large.cost_units > small.cost_units
+
+
+class TestAggregate:
+    def test_count_by_prefix(self, store):
+        outcome = store.execute_read(KVAggregate(prefix="b", func="count"))
+        assert outcome.result == {"func": "count", "value": 3}
+
+    def test_sum_skips_non_numeric(self, store):
+        outcome = store.execute_read(KVAggregate(prefix="", func="sum"))
+        assert outcome.result == {"func": "sum", "value": 33.5, "skipped": 1}
+
+    def test_min_max_avg(self, store):
+        assert store.execute_read(
+            KVAggregate(prefix="b", func="min")).result["value"] == 2.5
+        assert store.execute_read(
+            KVAggregate(prefix="b", func="max")).result["value"] == 20
+        assert store.execute_read(
+            KVAggregate(prefix="b", func="avg")).result["value"] == \
+            pytest.approx(32.5 / 3)
+
+    def test_empty_prefix_numeric_none(self):
+        store = KeyValueStore({"x": "only-text"})
+        outcome = store.execute_read(KVAggregate(prefix="x", func="sum"))
+        assert outcome.result["value"] is None
+
+    def test_bool_values_not_numeric(self):
+        store = KeyValueStore({"flag": True})
+        outcome = store.execute_read(KVAggregate(prefix="", func="sum"))
+        assert outcome.result == {"func": "sum", "value": None, "skipped": 1}
+
+    def test_unknown_func_rejected(self, store):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            store.execute_read(KVAggregate(prefix="", func="median"))
+
+
+class TestWrites:
+    def test_put_insert_and_overwrite(self, store):
+        store.apply_write(KVPut(key="new", value=7))
+        assert store.execute_read(KVGet(key="new")).result["value"] == 7
+        store.apply_write(KVPut(key="new", value=8))
+        assert store.execute_read(KVGet(key="new")).result["value"] == 8
+        assert len(store) == 6
+
+    def test_put_maintains_sorted_ranges(self, store):
+        store.apply_write(KVPut(key="aa", value=0))
+        outcome = store.execute_read(KVRange(start="a", end="b"))
+        assert [k for k, _v in outcome.result] == ["a", "aa"]
+
+    def test_delete(self, store):
+        outcome = store.apply_write(KVDelete(key="a"))
+        assert outcome.applied
+        assert store.execute_read(KVGet(key="a")).result["found"] is False
+
+    def test_delete_missing_is_deterministic_noop(self, store):
+        outcome = store.apply_write(KVDelete(key="ghost"))
+        assert not outcome.applied
+        assert outcome.detail == "missing key"
+
+    def test_unsupported_ops_raise(self, store):
+        with pytest.raises(UnsupportedQueryError):
+            store.execute_read(DBSelect(table="t"))
+        with pytest.raises(UnsupportedQueryError):
+            store.apply_write(DBSelect(table="t"))  # type: ignore[arg-type]
+
+
+class TestCloneAndDigest:
+    def test_clone_is_independent(self, store):
+        twin = store.clone()
+        twin.apply_write(KVPut(key="a", value=999))
+        assert store.execute_read(KVGet(key="a")).result["value"] == 1
+
+    def test_equal_state_equal_digest(self, store):
+        assert store.state_digest() == store.clone().state_digest()
+
+    def test_digest_changes_with_state(self, store):
+        before = store.state_digest()
+        store.apply_write(KVPut(key="z", value=1))
+        assert store.state_digest() != before
+
+    def test_digest_insensitive_to_history(self):
+        a = KeyValueStore()
+        a.apply_write(KVPut(key="x", value=1))
+        a.apply_write(KVDelete(key="x"))
+        b = KeyValueStore()
+        assert a.state_digest() == b.state_digest()
+
+
+class TestKVProperties:
+    @given(st.dictionaries(st.text(min_size=1, max_size=6),
+                           st.integers(), max_size=30),
+           st.text(min_size=1, max_size=6))
+    def test_get_matches_dict(self, items, probe):
+        store = KeyValueStore(items)
+        outcome = store.execute_read(KVGet(key=probe))
+        assert outcome.result["found"] == (probe in items)
+        if probe in items:
+            assert outcome.result["value"] == items[probe]
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=4),
+                           st.integers(), max_size=25),
+           st.text(max_size=4), st.text(max_size=4))
+    def test_range_matches_sorted_dict(self, items, start, end):
+        store = KeyValueStore(items)
+        expected = [(k, items[k]) for k in sorted(items)
+                    if start <= k < end][:1000]
+        assert store.execute_read(
+            KVRange(start=start, end=end)).result == expected
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=4),
+                           st.integers(min_value=-10**6, max_value=10**6),
+                           max_size=25),
+           st.text(max_size=3))
+    def test_prefix_sum_matches_python(self, items, prefix):
+        store = KeyValueStore(items)
+        expected = sum(v for k, v in items.items() if k.startswith(prefix))
+        outcome = store.execute_read(KVAggregate(prefix=prefix, func="sum"))
+        hits = [v for k, v in items.items() if k.startswith(prefix)]
+        if hits:
+            assert outcome.result["value"] == expected
+        else:
+            assert outcome.result["value"] is None
+
+    @given(st.lists(st.tuples(st.text(min_size=1, max_size=4),
+                              st.integers()), max_size=30))
+    def test_replay_on_clone_converges(self, ops):
+        """Applying the same writes to a clone keeps digests equal --
+        the property replica convergence rests on."""
+        base = KeyValueStore({"seed": 0})
+        twin = base.clone()
+        for key, value in ops:
+            op = KVPut(key=key, value=value)
+            base.apply_write(op)
+            twin.apply_write(op)
+        assert base.state_digest() == twin.state_digest()

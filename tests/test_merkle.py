@@ -1,0 +1,148 @@
+"""Unit and property tests for the Merkle hash tree."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import MerkleProof, MerkleTree
+
+
+class TestMerkleBasics:
+    def test_empty_tree_has_sentinel_root(self):
+        assert MerkleTree().root == MerkleTree().root
+        assert len(MerkleTree()) == 0
+
+    def test_single_leaf(self):
+        tree = MerkleTree([("a", 1)])
+        proof = tree.prove("a")
+        assert proof.verify(tree.root)
+        assert proof.siblings == ()
+
+    def test_two_leaves(self):
+        tree = MerkleTree([("a", 1), ("b", 2)])
+        assert tree.prove("a").verify(tree.root)
+        assert tree.prove("b").verify(tree.root)
+
+    def test_odd_leaf_count(self):
+        tree = MerkleTree([("a", 1), ("b", 2), ("c", 3)])
+        for key in ("a", "b", "c"):
+            assert tree.prove(key).verify(tree.root)
+
+    def test_root_independent_of_insertion_order(self):
+        a = MerkleTree([("x", 1), ("y", 2), ("z", 3)])
+        b = MerkleTree([("z", 3), ("x", 1), ("y", 2)])
+        assert a.root == b.root
+
+    def test_root_changes_on_update(self):
+        tree = MerkleTree([("a", 1), ("b", 2)])
+        before = tree.root
+        tree.set("a", 99)
+        assert tree.root != before
+
+    def test_root_changes_on_insert(self):
+        tree = MerkleTree([("a", 1)])
+        before = tree.root
+        tree.set("b", 2)
+        assert tree.root != before
+
+    def test_delete_restores_previous_root(self):
+        tree = MerkleTree([("a", 1)])
+        before = tree.root
+        tree.set("b", 2)
+        tree.delete("b")
+        assert tree.root == before
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            MerkleTree().delete("ghost")
+
+    def test_prove_missing_raises(self):
+        with pytest.raises(KeyError):
+            MerkleTree([("a", 1)]).prove("ghost")
+
+    def test_contains_and_get(self):
+        tree = MerkleTree([("a", 1)])
+        assert "a" in tree and "b" not in tree
+        assert tree.get("a") == 1
+
+
+class TestTamperResistance:
+    def test_substituted_value_fails(self):
+        tree = MerkleTree([(f"k{i}", i) for i in range(10)])
+        proof = tree.prove("k3")
+        forged = dataclasses.replace(proof, value=999)
+        assert not forged.verify(tree.root)
+
+    def test_substituted_key_fails(self):
+        tree = MerkleTree([(f"k{i}", i) for i in range(10)])
+        proof = tree.prove("k3")
+        forged = dataclasses.replace(proof, key="k4")
+        assert not forged.verify(tree.root)
+
+    def test_wrong_index_fails(self):
+        tree = MerkleTree([(f"k{i}", i) for i in range(10)])
+        proof = tree.prove("k3")
+        forged = dataclasses.replace(proof, index=4)
+        assert not forged.verify(tree.root)
+
+    def test_out_of_range_index_fails(self):
+        tree = MerkleTree([("a", 1), ("b", 2)])
+        proof = tree.prove("a")
+        assert not dataclasses.replace(proof, index=5).verify(tree.root)
+        assert not dataclasses.replace(proof, index=-1).verify(tree.root)
+
+    def test_proof_against_stale_root_fails(self):
+        tree = MerkleTree([(f"k{i}", i) for i in range(8)])
+        proof = tree.prove("k2")
+        tree.set("k5", 999)
+        assert not proof.verify(tree.root)
+
+    def test_truncated_siblings_fail(self):
+        tree = MerkleTree([(f"k{i}", i) for i in range(16)])
+        proof = tree.prove("k7")
+        forged = dataclasses.replace(proof, siblings=proof.siblings[:-1])
+        assert not forged.verify(tree.root)
+
+
+class TestMerkleProperties:
+    @given(st.dictionaries(st.text(min_size=1, max_size=8),
+                           st.integers(), min_size=1, max_size=40))
+    def test_every_key_provable(self, items):
+        tree = MerkleTree(items.items())
+        root = tree.root
+        for key in items:
+            assert tree.prove(key).verify(root)
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=8),
+                           st.integers(), min_size=2, max_size=30),
+           st.integers())
+    def test_value_substitution_always_detected(self, items, fake):
+        tree = MerkleTree(items.items())
+        key = sorted(items)[0]
+        if items[key] == fake:
+            return
+        proof = tree.prove(key)
+        forged = MerkleProof(key=proof.key, value=fake, index=proof.index,
+                             siblings=proof.siblings,
+                             leaf_count=proof.leaf_count)
+        assert not forged.verify(tree.root)
+
+    @given(st.lists(st.tuples(st.text(min_size=1, max_size=6),
+                              st.integers()), max_size=20))
+    def test_rebuild_equals_incremental(self, pairs):
+        incremental = MerkleTree()
+        for key, value in pairs:
+            incremental.set(key, value)
+        rebuilt = MerkleTree(dict(pairs).items())
+        assert incremental.root == rebuilt.root
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_proof_length_is_logarithmic(self, n):
+        tree = MerkleTree([(f"k{i:03d}", i) for i in range(n)])
+        proof = tree.prove("k000")
+        # ceil(log2(n)) siblings for a balanced-ish tree.
+        assert len(proof.siblings) <= max(0, (n - 1).bit_length())

@@ -1,0 +1,116 @@
+"""Unit tests for version stamps and pledge packets."""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.messages import Pledge, VersionStamp
+from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import HMACSigner
+
+
+@pytest.fixture
+def master():
+    return KeyPair("master-00", HMACSigner(rng=random.Random(1)))
+
+
+@pytest.fixture
+def slave():
+    return KeyPair("slave-00-00", HMACSigner(rng=random.Random(2)))
+
+
+@pytest.fixture
+def verifier():
+    return KeyPair("client-00", HMACSigner(rng=random.Random(3)))
+
+
+@pytest.fixture
+def stamp(master):
+    return VersionStamp.make(master, version=7, timestamp=100.0)
+
+
+def make_pledge(slave, stamp, **overrides):
+    defaults = dict(query_wire={"op": "kv.get", "key": "a"},
+                    result_hash="ab" * 20, stamp=stamp,
+                    request_id="client-00:r1")
+    defaults.update(overrides)
+    return Pledge.make(slave, **defaults)
+
+
+class TestVersionStamp:
+    def test_valid_stamp_verifies(self, stamp, verifier, master):
+        assert stamp.verify(verifier, master.public_key)
+
+    def test_tampered_version_fails(self, stamp, verifier, master):
+        forged = dataclasses.replace(stamp, version=8)
+        assert not forged.verify(verifier, master.public_key)
+
+    def test_tampered_timestamp_fails(self, stamp, verifier, master):
+        forged = dataclasses.replace(stamp, timestamp=999.0)
+        assert not forged.verify(verifier, master.public_key)
+
+    def test_wrong_master_key_fails(self, stamp, verifier):
+        impostor = KeyPair("impostor", HMACSigner(rng=random.Random(9)))
+        assert not stamp.verify(verifier, impostor.public_key)
+
+    def test_age(self, stamp):
+        assert stamp.age(103.5) == 3.5
+
+    def test_slave_cannot_mint_stamps(self, verifier, slave, master):
+        """A malicious slave signing its own 'stamp' fails verification
+        against any certified master key."""
+        fake = VersionStamp.make(slave, version=99, timestamp=0.0)
+        assert not fake.verify(verifier, master.public_key)
+
+
+class TestPledge:
+    def test_valid_pledge_verifies(self, slave, stamp, verifier):
+        pledge = make_pledge(slave, stamp)
+        assert pledge.verify(verifier, slave.public_key)
+
+    def test_tampered_result_hash_fails(self, slave, stamp, verifier):
+        pledge = make_pledge(slave, stamp)
+        forged = dataclasses.replace(pledge, result_hash="cd" * 20)
+        assert not forged.verify(verifier, slave.public_key)
+
+    def test_tampered_query_fails(self, slave, stamp, verifier):
+        pledge = make_pledge(slave, stamp)
+        forged = dataclasses.replace(
+            pledge, query_wire={"op": "kv.get", "key": "b"})
+        assert not forged.verify(verifier, slave.public_key)
+
+    def test_stamp_substitution_fails(self, slave, stamp, verifier, master):
+        pledge = make_pledge(slave, stamp)
+        other_stamp = VersionStamp.make(master, version=8, timestamp=200.0)
+        forged = dataclasses.replace(pledge, stamp=other_stamp)
+        assert not forged.verify(verifier, slave.public_key)
+
+    def test_client_cannot_frame_slave(self, slave, stamp, verifier):
+        """Section 3.3: framing requires faking the slave's signature.
+
+        A client fabricating a pledge with a wrong result hash cannot
+        produce a signature that verifies under the slave's public key.
+        """
+        fabricated = Pledge(
+            query_wire={"op": "kv.get", "key": "a"},
+            result_hash="00" * 20,
+            stamp=stamp,
+            slave_id=slave.owner_id,
+            request_id="client-00:r9",
+            signature=verifier.sign(b"anything"),
+        )
+        assert not fabricated.verify(verifier, slave.public_key)
+
+    def test_pledge_binds_slave_identity(self, slave, stamp, verifier):
+        pledge = make_pledge(slave, stamp)
+        forged = dataclasses.replace(pledge, slave_id="slave-99-99")
+        assert not forged.verify(verifier, slave.public_key)
+
+    def test_pledge_binds_request_id(self, slave, stamp, verifier):
+        """Replaying a pledge under a different request is detectable."""
+        pledge = make_pledge(slave, stamp)
+        forged = dataclasses.replace(pledge, request_id="client-01:r5")
+        assert not forged.verify(verifier, slave.public_key)

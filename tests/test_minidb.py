@@ -1,0 +1,261 @@
+"""Unit tests for the mini relational database engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.content.kvstore import KVGet
+from repro.content.minidb import (
+    DBAggregate,
+    DBCreateTable,
+    DBDelete,
+    DBInsert,
+    DBJoin,
+    DBSelect,
+    DBUpdate,
+    MiniDB,
+)
+from repro.content.queries import UnsupportedQueryError
+
+
+@pytest.fixture
+def db():
+    database = MiniDB()
+    database.apply_write(DBCreateTable(
+        table="authors", columns=("id", "name", "inst")))
+    database.apply_write(DBCreateTable(
+        table="papers", columns=("id", "title", "year", "author_id")))
+    database.apply_write(DBInsert.from_dicts("authors", [
+        {"id": 1, "name": "popescu", "inst": "vu"},
+        {"id": 2, "name": "crispo", "inst": "vu"},
+        {"id": 3, "name": "lamport", "inst": "msr"},
+    ]))
+    database.apply_write(DBInsert.from_dicts("papers", [
+        {"id": 10, "title": "secure replication", "year": 2003,
+         "author_id": 1},
+        {"id": 11, "title": "trust management", "year": 2001,
+         "author_id": 2},
+        {"id": 12, "title": "paxos", "year": 1998, "author_id": 3},
+        {"id": 13, "title": "byzantine generals", "year": 1982,
+         "author_id": 3},
+    ]))
+    return database
+
+
+def rows_as_dicts(result):
+    return [dict(row) for row in result]
+
+
+class TestSchema:
+    def test_create_duplicate_table_rejected(self, db):
+        outcome = db.apply_write(DBCreateTable(table="authors",
+                                               columns=("id",)))
+        assert not outcome.applied
+
+    def test_insert_unknown_column_raises(self, db):
+        with pytest.raises(ValueError, match="unknown columns"):
+            db.apply_write(DBInsert.from_dicts("authors",
+                                               [{"id": 9, "bogus": 1}]))
+
+    def test_missing_table_raises(self, db):
+        with pytest.raises(ValueError, match="no such table"):
+            db.execute_read(DBSelect(table="ghost"))
+
+    def test_table_names_sorted(self, db):
+        assert db.table_names() == ["authors", "papers"]
+
+
+class TestSelect:
+    def test_full_scan(self, db):
+        result = db.execute_read(DBSelect(table="authors")).result
+        assert len(result) == 3
+
+    def test_equality_predicate(self, db):
+        result = db.execute_read(DBSelect(
+            table="authors", where=(("inst", "==", "vu"),))).result
+        assert {dict(r)["name"] for r in result} == {"popescu", "crispo"}
+
+    def test_comparison_predicates(self, db):
+        result = db.execute_read(DBSelect(
+            table="papers", where=(("year", ">=", 2000),))).result
+        assert len(result) == 2
+
+    def test_conjunction(self, db):
+        result = db.execute_read(DBSelect(
+            table="papers",
+            where=(("year", ">", 1990), ("author_id", "==", 3)))).result
+        assert rows_as_dicts(result)[0]["title"] == "paxos"
+
+    def test_contains_and_startswith(self, db):
+        contains = db.execute_read(DBSelect(
+            table="papers", where=(("title", "contains", "general"),)))
+        starts = db.execute_read(DBSelect(
+            table="papers", where=(("title", "startswith", "secure"),)))
+        assert len(contains.result) == 1
+        assert len(starts.result) == 1
+
+    def test_projection(self, db):
+        result = db.execute_read(DBSelect(
+            table="authors", columns=("name",))).result
+        assert all(set(dict(r)) == {"name"} for r in result)
+
+    def test_order_by_and_limit(self, db):
+        result = db.execute_read(DBSelect(
+            table="papers", order_by="year", limit=2)).result
+        years = [dict(r)["year"] for r in result]
+        assert years == [1982, 1998]
+
+    def test_null_comparisons_never_match(self, db):
+        db.apply_write(DBInsert.from_dicts("papers", [
+            {"id": 14, "title": "untitled", "year": None, "author_id": 1}]))
+        result = db.execute_read(DBSelect(
+            table="papers", where=(("year", "<", 3000),))).result
+        assert all(dict(r)["year"] is not None for r in result)
+
+    def test_unknown_operator_raises(self, db):
+        with pytest.raises(ValueError, match="unknown predicate operator"):
+            db.execute_read(DBSelect(table="papers",
+                                     where=(("year", "~=", 2000),)))
+
+    def test_missing_column_projects_none(self, db):
+        result = db.execute_read(DBSelect(
+            table="authors", columns=("name", "ghost"))).result
+        assert all(dict(r)["ghost"] is None for r in result)
+
+
+class TestJoin:
+    def test_equijoin(self, db):
+        result = db.execute_read(DBJoin(
+            left="papers", right="authors",
+            left_col="author_id", right_col="id")).result
+        assert len(result) == 4
+        merged = rows_as_dicts(result)[0]
+        assert "papers.title" in merged and "authors.name" in merged
+
+    def test_join_with_predicate(self, db):
+        result = db.execute_read(DBJoin(
+            left="papers", right="authors",
+            left_col="author_id", right_col="id",
+            where=(("authors.inst", "==", "msr"),))).result
+        assert len(result) == 2
+
+    def test_join_projection_and_order(self, db):
+        result = db.execute_read(DBJoin(
+            left="papers", right="authors",
+            left_col="author_id", right_col="id",
+            columns=("papers.title", "authors.name"),
+            order_by="papers.title")).result
+        titles = [dict(r)["papers.title"] for r in result]
+        assert titles == sorted(titles)
+
+    def test_join_no_matches(self, db):
+        db.apply_write(DBCreateTable(table="empty", columns=("id",)))
+        result = db.execute_read(DBJoin(
+            left="papers", right="empty",
+            left_col="author_id", right_col="id")).result
+        assert result == []
+
+    def test_join_cost_exceeds_select_cost(self, db):
+        join_cost = db.execute_read(DBJoin(
+            left="papers", right="authors",
+            left_col="author_id", right_col="id")).cost_units
+        select_cost = db.execute_read(
+            DBSelect(table="papers")).cost_units
+        assert join_cost > select_cost
+
+
+class TestAggregate:
+    def test_count_all(self, db):
+        result = db.execute_read(DBAggregate(
+            table="papers", func="count")).result
+        assert result == [((), 4)]
+
+    def test_group_by(self, db):
+        result = db.execute_read(DBAggregate(
+            table="papers", func="count", group_by=("author_id",))).result
+        assert dict(result) == {(1,): 1, (2,): 1, (3,): 2}
+
+    def test_avg_with_where(self, db):
+        result = db.execute_read(DBAggregate(
+            table="papers", func="avg", column="year",
+            where=(("author_id", "==", 3),))).result
+        assert result == [((), (1998 + 1982) / 2)]
+
+    def test_sum_min_max(self, db):
+        assert db.execute_read(DBAggregate(
+            table="authors", func="sum", column="id")).result == [((), 6)]
+        assert db.execute_read(DBAggregate(
+            table="papers", func="min", column="year")).result == [((), 1982)]
+        assert db.execute_read(DBAggregate(
+            table="papers", func="max", column="year")).result == [((), 2003)]
+
+    def test_numeric_func_requires_column(self, db):
+        with pytest.raises(ValueError, match="requires a column"):
+            db.execute_read(DBAggregate(table="papers", func="sum"))
+
+    def test_unknown_func_rejected(self, db):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            db.execute_read(DBAggregate(table="papers", func="mode",
+                                        column="year"))
+
+    def test_non_numeric_column_gives_none(self, db):
+        result = db.execute_read(DBAggregate(
+            table="authors", func="sum", column="name")).result
+        assert result == [((), None)]
+
+
+class TestDBWrites:
+    def test_update(self, db):
+        outcome = db.apply_write(DBUpdate(
+            table="authors", where=(("inst", "==", "vu"),),
+            assignments=(("inst", "vrije"),)))
+        assert outcome.detail == {"updated": 2}
+        result = db.execute_read(DBSelect(
+            table="authors", where=(("inst", "==", "vrije"),))).result
+        assert len(result) == 2
+
+    def test_update_unknown_column_raises(self, db):
+        with pytest.raises(ValueError, match="unknown columns"):
+            db.apply_write(DBUpdate(table="authors", where=(),
+                                    assignments=(("ghost", 1),)))
+
+    def test_delete(self, db):
+        outcome = db.apply_write(DBDelete(
+            table="papers", where=(("year", "<", 2000),)))
+        assert outcome.detail == {"deleted": 2}
+        assert db.row_count("papers") == 2
+
+    def test_delete_all_with_empty_where(self, db):
+        db.apply_write(DBDelete(table="papers", where=()))
+        assert db.row_count("papers") == 0
+
+    def test_unsupported_raises(self, db):
+        with pytest.raises(UnsupportedQueryError):
+            db.execute_read(KVGet(key="x"))
+
+
+class TestDBCloneDigest:
+    def test_clone_independent(self, db):
+        twin = db.clone()
+        twin.apply_write(DBDelete(table="papers", where=()))
+        assert db.row_count("papers") == 4
+
+    def test_same_state_same_digest(self, db):
+        assert db.state_digest() == db.clone().state_digest()
+
+    def test_digest_tracks_rows(self, db):
+        before = db.state_digest()
+        db.apply_write(DBDelete(table="papers", where=(("id", "==", 10),)))
+        assert db.state_digest() != before
+
+    def test_deterministic_across_replicas(self, db):
+        """The same query on equal replicas must hash identically --
+        what pledge verification relies on."""
+        from repro.crypto.hashing import sha1_hex
+
+        query = DBJoin(left="papers", right="authors",
+                       left_col="author_id", right_col="id",
+                       order_by="papers.id")
+        a = db.execute_read(query).result
+        b = db.clone().execute_read(query).result
+        assert sha1_hex(a) == sha1_hex(b)

@@ -1,0 +1,102 @@
+"""Property tests for the baseline systems."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    QuorumClient,
+    QuorumReplicaGroup,
+    StateSigningClient,
+    StateSigningPublisher,
+    StateSigningStorage,
+)
+from repro.content.kvstore import KVDelete, KVGet, KVPut, KeyValueStore
+
+quick = settings(max_examples=25, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestQuorumProperties:
+    @quick
+    @given(f=st.integers(min_value=0, max_value=3),
+           byzantine=st.integers(min_value=0, max_value=10),
+           seed=st.integers(min_value=0, max_value=10**6))
+    def test_correct_iff_colluders_at_most_f(self, f, byzantine, seed):
+        """The SMR safety boundary: wrong answers require > f colluders
+        in the contacted quorum; with byzantine <= f the answer is always
+        correct."""
+        n = 3 * f + 1
+        byzantine = min(byzantine, n)
+        group = QuorumReplicaGroup(KeyValueStore({"x": 42}), f=f,
+                                   num_byzantine=byzantine, seed=seed)
+        outcome = QuorumClient(group).read(KVGet(key="x"))
+        if byzantine <= f:
+            assert outcome["accepted"] and outcome["correct"]
+        elif byzantine >= f + 1 and outcome["accepted"]:
+            # The colluders vote identically, so with >= f+1 of them in
+            # the first 2f+1 replicas the forged answer wins.
+            assert not outcome["correct"]
+
+    @quick
+    @given(ops=st.lists(st.tuples(st.text(min_size=1, max_size=4),
+                                  st.integers()), max_size=10),
+           f=st.integers(min_value=0, max_value=2),
+           seed=st.integers(min_value=0, max_value=10**6))
+    def test_writes_keep_replicas_identical(self, ops, f, seed):
+        group = QuorumReplicaGroup(KeyValueStore({"seed": 0}), f=f,
+                                   seed=seed)
+        client = QuorumClient(group)
+        for key, value in ops:
+            client.write(KVPut(key=key, value=value))
+        digests = {replica.state_digest() for replica in group.replicas}
+        assert len(digests) == 1
+
+
+class TestStateSigningProperties:
+    @quick
+    @given(items=st.dictionaries(st.text(min_size=1, max_size=6),
+                                 st.integers(), min_size=1, max_size=20),
+           tamper_index=st.integers(min_value=0, max_value=100),
+           fake=st.integers(),
+           seed=st.integers(min_value=0, max_value=10**6))
+    def test_tampering_always_detected(self, items, tamper_index, fake,
+                                       seed):
+        key = sorted(items)[tamper_index % len(items)]
+        if items[key] == fake:
+            return
+        publisher = StateSigningPublisher(items,
+                                          rng=random.Random(seed))
+        evil = StateSigningStorage(publisher, tamper_keys={key: fake})
+        client = StateSigningClient(publisher.keys.public_key,
+                                    rng=random.Random(seed + 1))
+        outcome = client.read(KVGet(key=key), evil, publisher)
+        assert outcome["verified"] is False
+
+    @quick
+    @given(items=st.dictionaries(st.text(min_size=1, max_size=6),
+                                 st.integers(), min_size=1, max_size=15),
+           writes=st.lists(st.tuples(st.text(min_size=1, max_size=6),
+                                     st.integers(), st.booleans()),
+                           max_size=8),
+           seed=st.integers(min_value=0, max_value=10**6))
+    def test_honest_reads_always_verify_after_any_writes(self, items,
+                                                         writes, seed):
+        publisher = StateSigningPublisher(items, rng=random.Random(seed))
+        storage = StateSigningStorage(publisher)
+        client = StateSigningClient(publisher.keys.public_key,
+                                    rng=random.Random(seed + 1))
+        for key, value, delete in writes:
+            if delete:
+                publisher.apply_write(KVDelete(key=key))
+            else:
+                publisher.apply_write(KVPut(key=key, value=value))
+            storage.receive_update(publisher)
+        for key in publisher.store.state_items():
+            outcome = client.read(KVGet(key=key), storage, publisher)
+            assert outcome["verified"] is True
+            assert outcome["result"]["value"] == \
+                publisher.store.state_items()[key]

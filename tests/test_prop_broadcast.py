@@ -1,0 +1,99 @@
+"""Property tests: total-order broadcast under random traffic and churn.
+
+The invariant that the write protocol rests on (Section 3): every member
+that delivers messages delivers them in the *same order*, and after the
+network quiesces every live member has delivered everything any member
+delivered.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.latency import UniformLatency
+
+from .test_totalorder import build_group, payloads
+
+slow = settings(max_examples=15, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestBroadcastProperties:
+    @slow
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        submissions=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=3),  # member
+                      st.floats(min_value=0.0, max_value=5.0)),  # time
+            min_size=1, max_size=25),
+    )
+    def test_same_order_under_jitter(self, seed, submissions):
+        sim, _net, members = build_group(
+            n=4, latency=UniformLatency(0.005, 0.4), seed=seed)
+        for index, (member, at) in enumerate(submissions):
+            sim.schedule_at(sim.now + at,
+                            members[member].engine.broadcast, index)
+        sim.run_for(30.0)
+        reference = payloads(members[0])
+        assert sorted(reference) == sorted(range(len(submissions)))
+        for member in members[1:]:
+            assert payloads(member) == reference
+
+    @slow
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        crash_member=st.integers(min_value=0, max_value=2),
+        crash_at=st.floats(min_value=0.1, max_value=4.0),
+        recover_after=st.floats(min_value=3.0, max_value=10.0),
+        submissions=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=2),
+                      st.floats(min_value=0.0, max_value=8.0)),
+            min_size=1, max_size=15),
+    )
+    def test_prefix_agreement_under_crash_recovery(
+            self, seed, crash_member, crash_at, recover_after, submissions):
+        sim, _net, members = build_group(
+            n=3, latency=UniformLatency(0.005, 0.1), seed=seed)
+        target = members[crash_member]
+        sim.schedule_at(sim.now + crash_at, target.crash)
+        sim.schedule_at(sim.now + crash_at + recover_after, target.recover)
+        for index, (member, at) in enumerate(submissions):
+            def submit(member=member, index=index):
+                node = members[member]
+                if not node.crashed:
+                    node.engine.broadcast(index)
+            sim.schedule_at(sim.now + at, submit)
+        sim.run_for(60.0)
+        # All live members agree exactly; payload sets may exclude
+        # submissions attempted while their submitter was crashed.
+        live = [m for m in members if not m.crashed]
+        reference = payloads(live[0])
+        for member in live[1:]:
+            assert payloads(member) == reference
+        # No duplicates ever.
+        assert len(reference) == len(set(reference))
+
+    @slow
+    @given(seed=st.integers(min_value=0, max_value=10**6),
+           drop=st.floats(min_value=0.0, max_value=0.15),
+           count=st.integers(min_value=1, max_value=12))
+    def test_lossy_network_converges(self, seed, drop, count):
+        from repro.sim.network import Network
+        from repro.sim.simulator import Simulator
+        from .test_totalorder import Member
+
+        sim = Simulator(seed=seed)
+        net = Network(sim, latency=UniformLatency(0.005, 0.05),
+                      loss_probability=drop)
+        ids = [f"m{i}" for i in range(3)]
+        members = [Member(i, sim, net, ids) for i in ids]
+        for member in members:
+            member.start()
+        for index in range(count):
+            members[index % 3].engine.broadcast(index)
+        sim.run_for(120.0)
+        reference = payloads(members[0])
+        assert sorted(reference) == list(range(count))
+        for member in members[1:]:
+            assert payloads(member) == reference

@@ -1,0 +1,118 @@
+"""Property tests: MemoryFileSystem vs reference dict semantics."""
+
+from __future__ import annotations
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.content.filesystem import (
+    FSGrep,
+    FSList,
+    FSRead,
+    FSRemove,
+    FSWrite,
+    MemoryFileSystem,
+)
+
+# Path segments: short lowercase names; depth <= 3.
+segment = st.text(alphabet="abcd", min_size=1, max_size=3)
+path_strategy = st.builds(
+    lambda parts: "/" + "/".join(parts),
+    st.lists(segment, min_size=1, max_size=3),
+)
+content_strategy = st.text(alphabet="xyz TODO\n", max_size=40)
+
+
+class TestFSProperties:
+    @given(files=st.dictionaries(path_strategy, content_strategy,
+                                 max_size=10),
+           probe=path_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_read_matches_dict(self, files, probe):
+        # Building may legitimately fail when one path is a prefix
+        # directory of another file path; skip those shapes.
+        try:
+            fs = MemoryFileSystem(files)
+        except ValueError:
+            return
+        outcome = fs.execute_read(FSRead(path=probe)).result
+        if probe in files:
+            assert outcome == {"found": True, "content": files[probe]}
+        elif outcome["found"]:
+            # Normalisation may map distinct spellings to one path.
+            assert outcome["content"] in files.values()
+
+    @given(files=st.dictionaries(path_strategy, content_strategy,
+                                 min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_grep_matches_python_scan(self, files):
+        try:
+            fs = MemoryFileSystem(files)
+        except ValueError:
+            return
+        matches = fs.execute_read(FSGrep(pattern="TODO", path="/")).result
+        expected = []
+        for path in sorted(files):
+            for number, line in enumerate(files[path].splitlines(), 1):
+                if re.search("TODO", line):
+                    expected.append((path, number, line))
+        assert matches == expected
+
+    @given(files=st.dictionaries(path_strategy, content_strategy,
+                                 max_size=8),
+           extra_path=path_strategy, extra_content=content_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_write_then_read_roundtrip(self, files, extra_path,
+                                       extra_content):
+        try:
+            fs = MemoryFileSystem(files)
+            fs.apply_write(FSWrite(path=extra_path, content=extra_content))
+        except ValueError:
+            return
+        outcome = fs.execute_read(FSRead(path=extra_path)).result
+        assert outcome == {"found": True, "content": extra_content}
+
+    @given(files=st.dictionaries(path_strategy, content_strategy,
+                                 min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_remove_all_files_leaves_empty_grep(self, files):
+        try:
+            fs = MemoryFileSystem(files)
+        except ValueError:
+            return
+        for path in sorted(files):
+            fs.apply_write(FSRemove(path=path))
+        assert fs.execute_read(FSGrep(pattern=".", path="/")).result == []
+        assert fs.file_count() == 0
+
+    @given(files=st.dictionaries(path_strategy, content_strategy,
+                                 max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_listing_contains_every_file_head(self, files):
+        try:
+            fs = MemoryFileSystem(files)
+        except ValueError:
+            return
+        entries = fs.execute_read(FSList(path="/")).result["entries"]
+        for path in files:
+            head = path.lstrip("/").split("/")[0]
+            assert head in entries
+
+    @given(files=st.dictionaries(path_strategy, content_strategy,
+                                 max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_clone_replay_converges(self, files):
+        try:
+            fs = MemoryFileSystem(files)
+        except ValueError:
+            return
+        twin = fs.clone()
+        ops = [FSWrite(path="/zz/new.txt", content="TODO x")]
+        if files:
+            ops.append(FSRemove(path=sorted(files)[0]))
+        for op in ops:
+            fs.apply_write(op)
+            twin.apply_write(op)
+        assert fs.state_digest() == twin.state_digest()

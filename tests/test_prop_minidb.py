@@ -1,0 +1,173 @@
+"""Property tests: MiniDB queries vs plain-Python reference semantics."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.content.minidb import (
+    DBAggregate,
+    DBCreateTable,
+    DBDelete,
+    DBInsert,
+    DBJoin,
+    DBSelect,
+    DBUpdate,
+    MiniDB,
+)
+
+rows_strategy = st.lists(
+    st.fixed_dictionaries({
+        "id": st.integers(min_value=0, max_value=50),
+        "grp": st.integers(min_value=0, max_value=4),
+        "val": st.integers(min_value=-100, max_value=100),
+    }),
+    max_size=25,
+)
+
+
+def build_db(rows):
+    db = MiniDB()
+    db.apply_write(DBCreateTable(table="t", columns=("id", "grp", "val")))
+    if rows:
+        db.apply_write(DBInsert.from_dicts("t", rows))
+    return db
+
+
+class TestSelectProperties:
+    @given(rows=rows_strategy, threshold=st.integers(-100, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_where_matches_python_filter(self, rows, threshold):
+        db = build_db(rows)
+        result = db.execute_read(DBSelect(
+            table="t", where=(("val", ">=", threshold),))).result
+        expected = [row for row in rows if row["val"] >= threshold]
+        assert len(result) == len(expected)
+        assert sorted(dict(r)["val"] for r in result) == \
+            sorted(r["val"] for r in expected)
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_order_by_sorts(self, rows):
+        db = build_db(rows)
+        result = db.execute_read(DBSelect(table="t",
+                                          order_by="val")).result
+        values = [dict(r)["val"] for r in result]
+        assert values == sorted(values)
+
+    @given(rows=rows_strategy, limit=st.integers(0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_limit_truncates(self, rows, limit):
+        db = build_db(rows)
+        result = db.execute_read(DBSelect(table="t", limit=limit)).result
+        assert len(result) == min(limit, len(rows))
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_select_never_mutates(self, rows):
+        db = build_db(rows)
+        before = db.state_digest()
+        db.execute_read(DBSelect(table="t", where=(("grp", "==", 1),)))
+        db.execute_read(DBAggregate(table="t", func="sum", column="val"))
+        assert db.state_digest() == before
+
+
+class TestAggregateProperties:
+    @given(rows=rows_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_group_count_matches_python(self, rows):
+        db = build_db(rows)
+        result = dict(db.execute_read(DBAggregate(
+            table="t", func="count", group_by=("grp",))).result)
+        expected: dict = {}
+        for row in rows:
+            expected[(row["grp"],)] = expected.get((row["grp"],), 0) + 1
+        assert result == expected
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_sum_matches_python(self, rows):
+        db = build_db(rows)
+        result = db.execute_read(DBAggregate(
+            table="t", func="sum", column="val")).result
+        expected = sum(row["val"] for row in rows) if rows else None
+        assert result == [((), expected)]
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_min_max_bound_avg(self, rows):
+        if not rows:
+            return
+        db = build_db(rows)
+
+        def agg(func):
+            return db.execute_read(DBAggregate(
+                table="t", func=func, column="val")).result[0][1]
+
+        assert agg("min") <= agg("avg") <= agg("max")
+
+
+class TestJoinProperties:
+    @given(left=rows_strategy, right=rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_join_size_matches_python(self, left, right):
+        db = MiniDB()
+        db.apply_write(DBCreateTable(table="l",
+                                     columns=("id", "grp", "val")))
+        db.apply_write(DBCreateTable(table="r",
+                                     columns=("id", "grp", "val")))
+        if left:
+            db.apply_write(DBInsert.from_dicts("l", left))
+        if right:
+            db.apply_write(DBInsert.from_dicts("r", right))
+        result = db.execute_read(DBJoin(
+            left="l", right="r", left_col="grp", right_col="grp")).result
+        expected = sum(1 for a in left for b in right
+                       if a["grp"] == b["grp"])
+        assert len(result) == expected
+
+
+class TestWriteProperties:
+    @given(rows=rows_strategy, threshold=st.integers(-100, 100),
+           new_value=st.integers(-100, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_update_then_select_consistent(self, rows, threshold,
+                                           new_value):
+        db = build_db(rows)
+        db.apply_write(DBUpdate(
+            table="t", where=(("val", "<", threshold),),
+            assignments=(("val", new_value),)))
+        remaining = db.execute_read(DBSelect(table="t")).result
+        for row in remaining:
+            value = dict(row)["val"]
+            assert value >= threshold or value == new_value
+
+    @given(rows=rows_strategy, victim=st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_delete_removes_exactly_matching(self, rows, victim):
+        db = build_db(rows)
+        outcome = db.apply_write(DBDelete(
+            table="t", where=(("grp", "==", victim),)))
+        expected_deleted = sum(1 for row in rows if row["grp"] == victim)
+        assert outcome.detail == {"deleted": expected_deleted}
+        assert db.row_count("t") == len(rows) - expected_deleted
+
+    @given(rows=rows_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_replica_replay_converges(self, rows):
+        """Same op sequence on a clone gives the same digest -- the
+        protocol's replica-convergence requirement, on MiniDB."""
+        a = MiniDB()
+        a.apply_write(DBCreateTable(table="t",
+                                    columns=("id", "grp", "val")))
+        b = a.clone()
+        ops = []
+        if rows:
+            ops.append(DBInsert.from_dicts("t", rows))
+        ops.append(DBUpdate(table="t", where=(("grp", "==", 0),),
+                            assignments=(("val", 0),)))
+        ops.append(DBDelete(table="t", where=(("val", ">", 50),)))
+        for op in ops:
+            a.apply_write(op)
+            b.apply_write(op)
+        assert a.state_digest() == b.state_digest()

@@ -1,0 +1,133 @@
+"""Property-based tests over whole-system runs.
+
+Each property drives a randomly generated workload (and, where relevant,
+adversary placement) through a full deployment and asserts the paper's
+core invariants:
+
+* **Safety of double-checked reads**: a read confirmed against a master
+  is never wrong.
+* **Detectability**: every wrongly accepted read corresponds to an audit
+  detection (nothing escapes unnoticed with full auditing).
+* **Replica convergence**: after quiescence all masters and fresh slaves
+  hold identical state, whatever the write interleaving.
+* **Consistency window**: no accepted read violates the max_latency
+  bound.
+
+Runs are capped small (deadline=None, few examples) because each example
+simulates a full distributed system.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.content.kvstore import KVGet, KVPut
+from repro.core.adversary import ProbabilisticLie
+from repro.core.config import ProtocolConfig
+
+from .conftest import make_system
+
+# Compact op encoding: ("read"|"write", key_index, value).
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["read", "read", "read", "write"]),
+              st.integers(min_value=0, max_value=19),
+              st.integers(min_value=0, max_value=99)),
+    min_size=5, max_size=40,
+)
+
+slow_settings = settings(max_examples=10, deadline=None,
+                         suppress_health_check=[HealthCheck.too_slow])
+
+
+def run_workload(system, ops, spacing=0.4):
+    t = system.now
+    for index, (kind, key_index, value) in enumerate(ops):
+        t += spacing
+        client = system.clients[index % len(system.clients)]
+        if kind == "read":
+            system.schedule_op(client, t, KVGet(key=f"k{key_index:03d}"))
+        else:
+            system.schedule_op(client, t,
+                               KVPut(key=f"k{key_index:03d}", value=value))
+    # Generous drain: writes are spaced max_latency apart server-side.
+    writes = sum(1 for kind, _k, _v in ops if kind == "write")
+    system.run_for(len(ops) * spacing
+                   + writes * system.config.max_latency + 60.0)
+
+
+class TestProtocolProperties:
+    @slow_settings
+    @given(ops=ops_strategy, seed=st.integers(min_value=0, max_value=10**6))
+    def test_replicas_converge_and_reads_correct(self, ops, seed):
+        system = make_system(seed=seed, protocol=ProtocolConfig(
+            max_latency=2.0, keepalive_interval=0.5,
+            double_check_probability=0.1))
+        system.start()
+        run_workload(system, ops)
+        # Convergence of trusted replicas.
+        digests = {m.store.state_digest() for m in system.masters}
+        assert len(digests) == 1
+        # Fresh slaves converge too.
+        for slave in system.slaves:
+            assert slave.store.state_digest() in digests
+        # All honest: every accepted read correct, window respected.
+        result = system.classify_accepted_reads()
+        assert result["accepted_wrong"] == 0
+        assert system.check_consistency_window() == []
+        # Auditor never lags forever.
+        assert system.auditor.pledges_audited == \
+            system.auditor.pledges_received
+
+    @slow_settings
+    @given(ops=ops_strategy,
+           liar_index=st.integers(min_value=0, max_value=3),
+           lie_rate=st.floats(min_value=0.2, max_value=1.0),
+           seed=st.integers(min_value=0, max_value=10**6))
+    def test_lies_never_survive_unnoticed(self, ops, liar_index, lie_rate,
+                                          seed):
+        system = make_system(seed=seed, protocol=ProtocolConfig(
+            max_latency=2.0, keepalive_interval=0.5,
+            double_check_probability=0.2),
+            adversaries={liar_index: ProbabilisticLie(
+                lie_rate, rng=random.Random(seed))})
+        system.start()
+        run_workload(system, ops)
+        result = system.classify_accepted_reads()
+        # Invariant 1: double-checked accepts are never wrong.
+        for record in result["wrong_records"]:
+            assert not record["double_checked"]
+        # Invariant 2: full audit sees every wrongly accepted read.
+        assert system.auditor.detections >= result["accepted_wrong"]
+        # Invariant 3: if anything wrong was accepted, the slave was
+        # excluded by the end of the (long) drain.
+        if result["accepted_wrong"] > 0:
+            assert system.metrics.count("exclusions") >= 1
+
+    @slow_settings
+    @given(seed=st.integers(min_value=0, max_value=10**6),
+           crash_master=st.integers(min_value=0, max_value=2),
+           crash_at=st.floats(min_value=5.0, max_value=20.0),
+           ops=ops_strategy)
+    def test_safety_survives_any_single_master_crash(self, seed,
+                                                     crash_master,
+                                                     crash_at, ops):
+        system = make_system(
+            seed=seed, num_masters=3, num_clients=4,
+            protocol=ProtocolConfig(max_latency=2.0,
+                                    keepalive_interval=0.5,
+                                    slave_list_broadcast_interval=2.0,
+                                    double_check_probability=0.1))
+        system.start()
+        system.failures.crash_at(system.masters[crash_master],
+                                 system.now + crash_at)
+        run_workload(system, ops, spacing=0.6)
+        system.run_for(120.0)
+        survivors = [m for m in system.masters if not m.crashed]
+        digests = {m.store.state_digest() for m in survivors}
+        assert len(digests) == 1
+        result = system.classify_accepted_reads()
+        assert result["accepted_wrong"] == 0
+        assert system.check_consistency_window() == []

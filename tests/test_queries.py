@@ -1,0 +1,103 @@
+"""Unit tests for the serialisable operation model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.content.filesystem import FSGrep, FSWrite
+from repro.content.kvstore import KVGet, KVMultiGet, KVPut, KVRange
+from repro.content.minidb import DBInsert, DBJoin, DBSelect
+from repro.content.queries import (
+    Operation,
+    ReadQuery,
+    WriteOp,
+    operation_from_wire,
+    register_operation,
+)
+
+
+class TestWireRoundTrip:
+    @pytest.mark.parametrize("op", [
+        KVGet(key="a"),
+        KVMultiGet(keys=("a", "b")),
+        KVRange(start="a", end="z", limit=10),
+        KVPut(key="k", value={"nested": [1, 2]}),
+        FSGrep(pattern="TODO", path="/src"),
+        FSWrite(path="/a.txt", content="body"),
+        DBSelect(table="t", where=(("c", "==", 1),), columns=("c",),
+                 order_by="c", limit=5),
+        DBJoin(left="a", right="b", left_col="x", right_col="y"),
+    ])
+    def test_roundtrip_preserves_equality(self, op):
+        assert operation_from_wire(op.to_wire()) == op
+
+    def test_wire_form_is_plain_dict_with_op_tag(self):
+        wire = KVGet(key="a").to_wire()
+        assert wire["op"] == "kv.get"
+        assert wire["key"] == "a"
+
+    def test_roundtrip_preserves_request_hash(self):
+        op = DBInsert.from_dicts("t", [{"a": 1}])
+        assert operation_from_wire(op.to_wire()).request_hash() == \
+            op.request_hash()
+
+    def test_tuple_fields_survive_list_coercion(self):
+        # Simulate a JSON hop turning tuples into lists.
+        wire = DBSelect(table="t", where=(("c", "==", 1),),
+                        columns=("c", "d")).to_wire()
+        wire["where"] = [["c", "==", 1]]
+        wire["columns"] = ["c", "d"]
+        decoded = operation_from_wire(wire)
+        assert decoded.where == (("c", "==", 1),)
+        assert decoded.columns == ("c", "d")
+
+
+class TestRequestHash:
+    def test_deterministic(self):
+        assert KVGet(key="a").request_hash() == KVGet(key="a").request_hash()
+
+    def test_distinguishes_parameters(self):
+        assert KVGet(key="a").request_hash() != KVGet(key="b").request_hash()
+
+    def test_distinguishes_operation_types(self):
+        # Same field shape, different operation.
+        assert (KVGet(key="x").request_hash()
+                != KVPut(key="x", value=None).request_hash())
+
+
+class TestDecodeErrors:
+    def test_unknown_operation(self):
+        with pytest.raises(ValueError, match="unknown operation"):
+            operation_from_wire({"op": "kv.explode"})
+
+    def test_not_a_payload(self):
+        with pytest.raises(ValueError, match="not an operation"):
+            operation_from_wire({"foo": "bar"})
+        with pytest.raises(ValueError):
+            operation_from_wire(None)  # type: ignore[arg-type]
+
+    def test_duplicate_registration_rejected(self):
+        from dataclasses import dataclass
+        from typing import ClassVar
+
+        with pytest.raises(ValueError, match="duplicate operation name"):
+            @register_operation
+            @dataclass(frozen=True)
+            class Clash(ReadQuery):
+                op_name: ClassVar[str] = "kv.get"
+
+
+class TestMarkers:
+    def test_reads_are_read_queries(self):
+        assert isinstance(KVGet(key="a"), ReadQuery)
+        assert isinstance(DBSelect(table="t"), ReadQuery)
+        assert not isinstance(KVPut(key="a", value=1), ReadQuery)
+
+    def test_writes_are_write_ops(self):
+        assert isinstance(KVPut(key="a", value=1), WriteOp)
+        assert isinstance(FSWrite(path="/a", content=""), WriteOp)
+        assert not isinstance(KVGet(key="a"), WriteOp)
+
+    def test_all_ops_are_operations(self):
+        assert isinstance(KVGet(key="a"), Operation)
+        assert isinstance(FSWrite(path="/a", content=""), Operation)

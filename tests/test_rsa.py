@@ -1,0 +1,151 @@
+"""Unit tests for the pure-Python RSA implementation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.rsa import (
+    RSAPublicKey,
+    _full_domain_hash,
+    _generate_prime,
+    _is_probable_prime,
+    generate_rsa_keypair,
+    rsa_sign,
+    rsa_verify,
+)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_rsa_keypair(bits=512, rng=random.Random(7))
+
+
+class TestPrimality:
+    def test_known_primes(self, rng):
+        for p in (2, 3, 5, 7, 97, 101, 7919, 104729):
+            assert _is_probable_prime(p, rng)
+
+    def test_known_composites(self, rng):
+        for c in (0, 1, 4, 100, 561, 7917, 104730):
+            assert not _is_probable_prime(c, rng)
+
+    def test_carmichael_numbers_rejected(self, rng):
+        # Fermat pseudoprimes that fool weaker tests.
+        for c in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not _is_probable_prime(c, rng)
+
+    def test_generated_prime_has_exact_bits(self, rng):
+        for bits in (16, 32, 64):
+            p = _generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert p % 2 == 1
+
+    def test_tiny_prime_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            _generate_prime(4, rng)
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keypair):
+        assert 500 <= keypair.bits <= 512
+
+    def test_key_equation_holds(self, keypair):
+        phi = (keypair.p - 1) * (keypair.q - 1)
+        assert (keypair.e * keypair.d) % phi == 1
+
+    def test_crt_parameters(self, keypair):
+        assert keypair.d_p == keypair.d % (keypair.p - 1)
+        assert keypair.d_q == keypair.d % (keypair.q - 1)
+        assert (keypair.q_inv * keypair.q) % keypair.p == 1
+
+    def test_deterministic_given_seed(self):
+        a = generate_rsa_keypair(bits=256, rng=random.Random(9))
+        b = generate_rsa_keypair(bits=256, rng=random.Random(9))
+        assert a.n == b.n and a.d == b.d
+
+    def test_different_seeds_different_keys(self):
+        a = generate_rsa_keypair(bits=256, rng=random.Random(1))
+        b = generate_rsa_keypair(bits=256, rng=random.Random(2))
+        assert a.n != b.n
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            generate_rsa_keypair(bits=64)
+
+    def test_public_key_fingerprint_stable(self, keypair):
+        assert (keypair.public_key.fingerprint()
+                == keypair.public_key.fingerprint())
+        assert len(keypair.public_key.fingerprint()) == 16
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keypair):
+        message = b"pledge packet payload"
+        signature = rsa_sign(keypair, message)
+        assert rsa_verify(keypair.public_key, message, signature)
+
+    def test_tampered_message_fails(self, keypair):
+        signature = rsa_sign(keypair, b"original")
+        assert not rsa_verify(keypair.public_key, b"tampered", signature)
+
+    def test_tampered_signature_fails(self, keypair):
+        signature = rsa_sign(keypair, b"msg")
+        assert not rsa_verify(keypair.public_key, b"msg", signature + 1)
+
+    def test_wrong_key_fails(self, keypair):
+        other = generate_rsa_keypair(bits=512, rng=random.Random(8))
+        signature = rsa_sign(keypair, b"msg")
+        assert not rsa_verify(other.public_key, b"msg", signature)
+
+    def test_empty_message(self, keypair):
+        signature = rsa_sign(keypair, b"")
+        assert rsa_verify(keypair.public_key, b"", signature)
+
+    def test_large_message(self, keypair):
+        message = b"x" * 100_000
+        signature = rsa_sign(keypair, message)
+        assert rsa_verify(keypair.public_key, message, signature)
+
+    def test_signature_out_of_range_rejected(self, keypair):
+        assert not rsa_verify(keypair.public_key, b"msg", keypair.n + 5)
+        assert not rsa_verify(keypair.public_key, b"msg", -1)
+
+    def test_non_int_signature_rejected(self, keypair):
+        assert not rsa_verify(keypair.public_key, b"msg", "sig")
+        assert not rsa_verify(keypair.public_key, b"msg", None)
+
+    def test_signatures_deterministic(self, keypair):
+        # RSA-FDH is deterministic: same message, same signature.
+        assert rsa_sign(keypair, b"m") == rsa_sign(keypair, b"m")
+
+
+class TestFullDomainHash:
+    def test_in_range(self, keypair):
+        for message in (b"", b"a", b"long" * 100):
+            value = _full_domain_hash(message, keypair.n)
+            assert 0 <= value < keypair.n
+
+    def test_deterministic(self, keypair):
+        assert (_full_domain_hash(b"m", keypair.n)
+                == _full_domain_hash(b"m", keypair.n))
+
+    def test_distinct_messages_distinct_hashes(self, keypair):
+        assert (_full_domain_hash(b"a", keypair.n)
+                != _full_domain_hash(b"b", keypair.n))
+
+    def test_covers_full_width(self, keypair):
+        # FDH output should regularly exceed 160 bits (plain SHA-1 width).
+        wide = any(
+            _full_domain_hash(bytes([i]), keypair.n).bit_length() > 200
+            for i in range(8)
+        )
+        assert wide
+
+
+class TestRSAPublicKey:
+    def test_equality_and_hash(self, keypair):
+        a = RSAPublicKey(n=keypair.n, e=keypair.e)
+        assert a == keypair.public_key
+        assert a.bits == keypair.public_key.bits

@@ -1,0 +1,95 @@
+"""Unit tests for the signer abstraction (RSA and HMAC schemes)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import (
+    HMACPublicKey,
+    HMACSigner,
+    RSASigner,
+    new_signer,
+)
+
+
+class TestHMACSigner:
+    def test_roundtrip(self):
+        signer = HMACSigner(rng=random.Random(1))
+        sig = signer.sign(b"payload")
+        assert signer.verify_with(signer.public_key, b"payload", sig)
+
+    def test_tamper_fails(self):
+        signer = HMACSigner(rng=random.Random(1))
+        sig = signer.sign(b"payload")
+        assert not signer.verify_with(signer.public_key, b"other", sig)
+
+    def test_wrong_key_fails(self):
+        a = HMACSigner(rng=random.Random(1))
+        b = HMACSigner(rng=random.Random(2))
+        sig = a.sign(b"m")
+        assert not a.verify_with(b.public_key, b"m", sig)
+
+    def test_non_bytes_signature_rejected(self):
+        signer = HMACSigner(rng=random.Random(1))
+        assert not signer.verify_with(signer.public_key, b"m", 12345)
+
+    def test_public_key_equality(self):
+        signer = HMACSigner(key_bytes=b"k" * 32)
+        assert signer.public_key == HMACPublicKey(b"k" * 32)
+        assert hash(signer.public_key) == hash(HMACPublicKey(b"k" * 32))
+
+    def test_fingerprint_stable(self):
+        signer = HMACSigner(key_bytes=b"k" * 32)
+        assert signer.public_key.fingerprint() == \
+            signer.public_key.fingerprint()
+
+
+class TestRSASignerScheme:
+    @pytest.fixture(scope="class")
+    def signer(self):
+        return RSASigner(bits=512, rng=random.Random(3))
+
+    def test_roundtrip(self, signer):
+        sig = signer.sign(b"payload")
+        assert signer.verify_with(signer.public_key, b"payload", sig)
+
+    def test_cross_scheme_verification_fails(self, signer):
+        hmac_signer = HMACSigner(rng=random.Random(4))
+        sig = hmac_signer.sign(b"m")
+        # HMAC signature + RSA public key must not verify, and vice versa.
+        assert not signer.verify_with(hmac_signer.public_key, b"m", sig)
+        rsa_sig = signer.sign(b"m")
+        assert not hmac_signer.verify_with(signer.public_key, b"m", rsa_sig)
+
+
+class TestNewSigner:
+    def test_creates_rsa(self):
+        signer = new_signer("rsa", rng=random.Random(5), rsa_bits=256)
+        assert signer.scheme == "rsa"
+
+    def test_creates_hmac(self):
+        signer = new_signer("hmac", rng=random.Random(5))
+        assert signer.scheme == "hmac"
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ValueError, match="unknown signature scheme"):
+            new_signer("dsa")
+
+
+class TestKeyPair:
+    def test_sign_and_verify_counts(self):
+        keys = KeyPair("node-a", HMACSigner(rng=random.Random(6)))
+        sig = keys.sign(b"m")
+        assert keys.signatures_made == 1
+        assert keys.verify(keys.public_key, b"m", sig)
+        assert keys.verifications_done == 1
+
+    def test_verify_other_principals_signature(self):
+        alice = KeyPair("alice", HMACSigner(rng=random.Random(7)))
+        bob = KeyPair("bob", HMACSigner(rng=random.Random(8)))
+        sig = alice.sign(b"from alice")
+        assert bob.verify(alice.public_key, b"from alice", sig)
+        assert not bob.verify(alice.public_key, b"forged", sig)

@@ -1,0 +1,153 @@
+"""Unit tests for the discrete-event simulator core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, log.append, "c")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(2.0, log.append, "b")
+        sim.run_until(10.0)
+        assert log == ["a", "b", "c"]
+
+    def test_same_time_fires_in_scheduling_order(self):
+        sim = Simulator()
+        log = []
+        for tag in "abcde":
+            sim.schedule(1.0, log.append, tag)
+        sim.run_until(2.0)
+        assert log == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run_until(10.0)
+        assert seen == [5.0]
+        assert sim.now == 10.0
+
+    def test_run_until_excludes_later_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "early")
+        sim.schedule(5.0, log.append, "late")
+        sim.run_until(2.0)
+        assert log == ["early"]
+        sim.run_until(6.0)
+        assert log == ["early", "late"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="past"):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(ValueError):
+            sim.run_until(1.0)
+
+    def test_callback_can_schedule_more_events(self):
+        sim = Simulator()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run_until(10.0)
+        assert log == [0, 1, 2, 3]
+
+    def test_zero_delay_event_fires_same_time(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: sim.schedule(0.0, log.append, sim.now))
+        sim.run_until(2.0)
+        assert log == [1.0]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.run_until(3.0)
+        fired = []
+        sim.schedule_at(7.0, lambda: fired.append(sim.now))
+        sim.run_until(10.0)
+        assert fired == [7.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, log.append, "x")
+        handle.cancel()
+        sim.run_until(2.0)
+        assert log == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+
+    def test_pending_events_counts_uncancelled(self):
+        sim = Simulator()
+        h1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert sim.pending_events() == 1
+
+
+class TestRunToCompletion:
+    def test_drains_queue(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, 1)
+        sim.schedule(100.0, log.append, 2)
+        sim.run_to_completion()
+        assert log == [1, 2]
+        assert sim.now == 100.0
+
+    def test_runaway_fuse(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            sim.run_to_completion(max_events=100)
+
+
+class TestDeterminism:
+    def test_fork_rng_reproducible_across_runs(self):
+        a = Simulator(seed=5).fork_rng("x")
+        b = Simulator(seed=5).fork_rng("x")
+        assert [a.random() for _ in range(5)] == \
+            [b.random() for _ in range(5)]
+
+    def test_fork_rng_streams_independent(self):
+        sim = Simulator(seed=5)
+        a = sim.fork_rng("a")
+        b = sim.fork_rng("b")
+        assert [a.random() for _ in range(3)] != \
+            [b.random() for _ in range(3)]
+
+    def test_different_seeds_differ(self):
+        a = Simulator(seed=1).fork_rng("x")
+        b = Simulator(seed=2).fork_rng("x")
+        assert a.random() != b.random()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        assert sim.events_processed == 5

@@ -1,0 +1,79 @@
+"""Integration tests: auditor failover across a multi-auditor set."""
+
+from __future__ import annotations
+
+import random
+
+from repro.content.kvstore import KVGet
+from repro.core.adversary import ProbabilisticLie
+from repro.core.config import ProtocolConfig
+
+from .conftest import make_system
+
+
+def drive(system, count, rate=5.0, seed=1, start_offset=0.0):
+    rng = random.Random(seed)
+    t = system.now + start_offset
+    for i in range(count):
+        t += 1.0 / rate
+        system.schedule_op(system.clients[i % len(system.clients)], t,
+                           KVGet(key=f"k{rng.randrange(100):03d}"))
+    return t
+
+
+class TestAuditorFailover:
+    def build(self, **kwargs):
+        system = make_system(num_auditors=2, num_clients=8,
+                             protocol=ProtocolConfig(
+                                 double_check_probability=0.0), **kwargs)
+        system.start()
+        return system
+
+    def test_clients_repointed_to_surviving_auditor(self):
+        system = self.build()
+        victim = system.auditors[0]
+        affected_before = [c.node_id for c in system.clients
+                           if c.auditor_id == victim.node_id]
+        assert affected_before  # hash spread puts someone on auditor 0
+        system.failures.crash_at(victim, system.now + 1.0)
+        system.run_for(15.0)  # crash detected + failover notices sent
+        survivor = system.auditors[1].node_id
+        for client in system.clients:
+            assert client.auditor_id == survivor
+        assert system.metrics.count("clients_auditor_failover") > 0
+
+    def test_pledges_keep_flowing_after_failover(self):
+        system = self.build()
+        victim = system.auditors[0]
+        system.failures.crash_at(victim, system.now + 1.0)
+        system.run_for(15.0)
+        end = drive(system, 80)
+        system.run_for(end - system.now + 60.0)
+        survivor = system.auditors[1]
+        assert survivor.pledges_received == 80
+        assert survivor.pledges_audited == 80
+
+    def test_detection_continues_after_failover(self):
+        system = make_system(
+            num_auditors=2, num_clients=8,
+            protocol=ProtocolConfig(double_check_probability=0.0),
+            adversaries={0: ProbabilisticLie(0.5,
+                                             rng=random.Random(3))})
+        system.start()
+        system.failures.crash_at(system.auditors[0], system.now + 1.0)
+        system.run_for(15.0)
+        end = drive(system, 100)
+        system.run_for(end - system.now + 90.0)
+        assert system.auditors[1].detections >= 1 or \
+            system.metrics.count("exclusions") >= 1
+
+    def test_recovered_auditor_rejoins_rotation(self):
+        system = self.build()
+        victim = system.auditors[0]
+        system.failures.crash_for(victim, system.now + 1.0, 15.0)
+        system.run_for(30.0)  # crash, failover, recovery, readmission
+        assert system.metrics.count("auditor_recovery_noticed") > 0
+        # New assignments use the full set again: force re-assignments by
+        # fresh setups.
+        for master in system.masters:
+            assert victim.node_id not in master._dead_auditors

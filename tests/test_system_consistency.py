@@ -1,0 +1,174 @@
+"""Integration tests: freshness, staleness and the max_latency window.
+
+Covers the consistency model of Sections 3.1-3.2: keep-alives, stale
+rejections, slow clients, out-of-order update repair.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.content.kvstore import KVGet, KVPut
+from repro.core.config import ProtocolConfig
+from repro.sim.latency import ConstantLatency, LatencyMatrix, UniformLatency
+
+from .conftest import make_system
+
+
+class TestKeepAlives:
+    def test_slaves_stay_fresh_without_writes(self):
+        system = make_system()
+        system.start()
+        system.run_for(60.0)  # no writes at all
+        for slave in system.slaves:
+            assert slave.is_fresh()
+
+    def test_slave_without_keepalives_refuses_reads(self):
+        system = make_system()
+        system.start()
+        # Partition one slave from everything trusted so keep-alives stop.
+        slave = system.slaves[0]
+        for master in system.masters:
+            system.network.partition(slave.node_id, master.node_id)
+        system.run_for(10.0)  # > max_latency (5s default)
+        assert not slave.is_fresh()
+        outcomes = []
+        client = next(c for c in system.clients
+                      if slave.node_id in c.assigned_slaves)
+        client.submit_read(KVGet(key="k001"), callback=outcomes.append)
+        system.run_for(3.0)
+        assert system.metrics.count("slave_reads_refused_stale") >= 1
+
+    def test_client_rejects_stale_stamp(self):
+        """A slave cut off right after a keep-alive still answers with a
+        soon-to-expire stamp; the client drops it and retries."""
+        config = ProtocolConfig(max_latency=2.0, keepalive_interval=1.9,
+                                double_check_probability=0.0)
+        system = make_system(
+            protocol=config,
+            latency=LatencyMatrix(ConstantLatency(0.01)))
+        # Make slave->client links very slow so answers age in flight.
+        matrix = system.network.latency
+        for slave in system.slaves:
+            for client in system.clients:
+                matrix.set_pair(slave.node_id, client.node_id,
+                                ConstantLatency(2.5))
+        system.start()
+        outcomes = []
+        system.clients[0].submit_read(KVGet(key="k001"),
+                                      callback=outcomes.append)
+        system.run_for(60.0)
+        assert system.metrics.count("read_reply_stale") >= 1
+
+
+class TestSlowClients:
+    def test_slow_client_starves_then_relaxed_bound_helps(self):
+        """Section 3.2: clients with very slow connections may never get
+        fresh-enough responses; letting them set their own max_latency
+        accommodates them."""
+        def build(overrides):
+            config = ProtocolConfig(max_latency=2.0,
+                                    keepalive_interval=0.5,
+                                    double_check_probability=0.0,
+                                    max_read_retries=2)
+            matrix = LatencyMatrix(ConstantLatency(0.01))
+            system = make_system(protocol=config, latency=matrix,
+                                 client_max_latency_overrides=overrides)
+            slow = system.clients[0]
+            for slave in system.slaves:
+                matrix.set_pair(slave.node_id, slow.node_id,
+                                ConstantLatency(2.2))
+            system.start()
+            outcomes = []
+            slow.submit_read(KVGet(key="k001"), callback=outcomes.append)
+            system.run_for(120.0)
+            return outcomes
+
+        strict = build({})
+        relaxed = build({0: 10.0})
+        # The strict client starves -- "clients with very slow or
+        # unreliable network connections may never be able to get
+        # fresh-enough responses": it either fails outright or cycles
+        # through retries/re-setups without ever accepting.
+        assert not any(o["status"] == "accepted" for o in strict)
+        assert relaxed and relaxed[0]["status"] == "accepted"
+
+    def test_relaxed_client_does_not_weaken_others(self):
+        system = make_system(client_max_latency_overrides={0: 60.0})
+        system.start()
+        assert system.clients[0].max_latency == 60.0
+        assert system.clients[1].max_latency == \
+            system.config.max_latency
+
+
+class TestUpdateRepair:
+    def test_slave_resyncs_after_missing_updates(self):
+        system = make_system(protocol=ProtocolConfig(
+            double_check_probability=0.0, max_latency=2.0,
+            keepalive_interval=0.5))
+        system.start()
+        slave = system.slaves[0]
+        # Drop the slave's connectivity during two writes, then heal.
+        for master in system.masters:
+            system.network.partition(slave.node_id, master.node_id)
+        system.clients[0].submit_write(KVPut(key="a", value=1))
+        system.run_for(5.0)
+        system.clients[0].submit_write(KVPut(key="b", value=2))
+        system.run_for(10.0)
+        assert slave.version == 0
+        system.network.heal_all()
+        system.run_for(10.0)
+        # Keep-alive advertises version 2; slave resyncs via the ops log.
+        assert slave.version == 2
+        assert slave.store.state_digest() == \
+            system.masters[0].store.state_digest()
+
+    def test_reordered_updates_applied_in_version_order(self):
+        # Jittery master->slave links reorder SlaveUpdate messages; the
+        # version buffer must still apply them in order.
+        system = make_system(
+            latency=UniformLatency(0.005, 0.8), seed=11,
+            protocol=ProtocolConfig(double_check_probability=0.0))
+        system.start()
+        for i in range(4):
+            system.clients[0].submit_write(KVPut(key=f"w{i}", value=i))
+        system.run_for(120.0)
+        reference = system.masters[0].store.state_digest()
+        for slave in system.slaves:
+            assert slave.version == 4
+            assert slave.store.state_digest() == reference
+
+    def test_no_consistency_violations_under_jitter(self):
+        system = make_system(latency=UniformLatency(0.005, 0.5), seed=13)
+        system.start()
+        rng = random.Random(7)
+        t = system.now
+        for i in range(5):
+            system.schedule_op(system.clients[0], t + i * 9.0,
+                               KVPut(key="hot", value=i))
+        for _ in range(80):
+            client = system.clients[rng.randrange(4)]
+            system.schedule_op(client, t + rng.uniform(0, 50),
+                               KVGet(key="hot"))
+        system.run_for(120.0)
+        assert system.check_consistency_window() == []
+        result = system.classify_accepted_reads()
+        assert result["accepted_wrong"] == 0
+
+
+class TestMessageLoss:
+    def test_system_survives_lossy_network(self):
+        system = make_system(loss_probability=0.05, seed=21)
+        system.start()
+        rng = random.Random(3)
+        t = system.now
+        for i in range(60):
+            client = system.clients[i % 4]
+            system.schedule_op(client, t + i * 0.5,
+                               KVGet(key=f"k{rng.randrange(100):03d}"))
+        system.schedule_op(system.clients[0], t + 10.0,
+                           KVPut(key="survives", value=True))
+        system.run_for(180.0)
+        assert system.metrics.count("reads_accepted") >= 55
+        assert system.metrics.count("writes_committed") == 1
+        assert system.classify_accepted_reads()["accepted_wrong"] == 0

@@ -1,0 +1,89 @@
+"""Integration tests: the state-corruption adversary.
+
+A slave that mangles writes as it applies them and then serves reads
+"honestly" from the corrupted replica is, to the defence, just a liar:
+its pledges hash results that trusted re-execution contradicts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.content.kvstore import KVGet, KVPut
+from repro.core.adversary import CorruptState
+from repro.core.config import ProtocolConfig
+
+from .conftest import make_system
+
+
+def build(p=0.0):
+    system = make_system(
+        protocol=ProtocolConfig(max_latency=2.0, keepalive_interval=0.5,
+                                double_check_probability=p),
+        adversaries={0: CorruptState()})
+    system.start()
+    return system
+
+
+class TestCorruptState:
+    def test_mangled_write_detected_by_audit(self):
+        system = build()
+        system.clients[0].submit_write(KVPut(key="k001", value="fresh"))
+        system.run_for(20.0)
+        corrupt = system.slaves[0]
+        assert corrupt.strategy.writes_corrupted == 1
+        # Reads of the corrupted key from this slave get caught.
+        victims = [c for c in system.clients
+                   if corrupt.node_id in c.assigned_slaves]
+        rng = random.Random(1)
+        t = system.now
+        for i in range(30):
+            t += 0.3
+            client = victims[i % len(victims)] if victims else \
+                system.clients[i % 4]
+            system.schedule_op(client, t, KVGet(key="k001"))
+        system.run_for(t - system.now + 60.0)
+        if corrupt.strategy.writes_corrupted and victims:
+            assert system.auditor.detections >= 1
+            assert corrupt.node_id in system.masters[0].excluded_slaves
+
+    def test_unaffected_keys_still_audit_clean(self):
+        system = build()
+        system.clients[0].submit_write(KVPut(key="k001", value="fresh"))
+        system.run_for(20.0)
+        rng = random.Random(2)
+        t = system.now
+        # Read only keys the corrupted write never touched.
+        for i in range(30):
+            t += 0.3
+            system.schedule_op(system.clients[i % 4], t,
+                               KVGet(key=f"k{50 + rng.randrange(40):03d}"))
+        system.run_for(t - system.now + 60.0)
+        result = system.classify_accepted_reads()
+        assert result["accepted_wrong"] == 0
+
+    def test_double_check_also_catches_it(self):
+        system = build(p=0.5)
+        system.clients[0].submit_write(KVPut(key="k001", value="fresh"))
+        system.run_for(20.0)
+        corrupt = system.slaves[0]
+        victims = [c for c in system.clients
+                   if corrupt.node_id in c.assigned_slaves]
+        t = system.now
+        for i in range(40):
+            t += 0.3
+            client = (victims or system.clients)[i % max(1, len(victims))]
+            system.schedule_op(client, t, KVGet(key="k001"))
+        system.run_for(t - system.now + 60.0)
+        if victims:
+            assert (system.metrics.count("immediate_detections") >= 1
+                    or system.auditor.detections >= 1)
+
+    def test_write_without_value_field_untouched(self):
+        """Ops the mangler cannot corrupt pass through unchanged."""
+        from repro.content.kvstore import KVDelete
+
+        strategy = CorruptState()
+        op = KVDelete(key="x")
+        assert strategy.mangle_write(op) is op
+        assert strategy.writes_corrupted == 0

@@ -1,0 +1,118 @@
+"""Integration tests: the defence stack is content-engine independent.
+
+The pledge/double-check/audit machinery never inspects results beyond
+hashing them, so detection must work identically over the file system
+and the relational engine -- including their expensive dynamic queries
+(grep, joins), which is the paper's selling point versus state signing.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.content.filesystem import FSGrep, FSRead, MemoryFileSystem
+from repro.content.minidb import DBAggregate, DBJoin, DBSelect, MiniDB
+from repro.core.adversary import AlwaysLie, ProbabilisticLie
+from repro.core.config import ProtocolConfig
+from repro.workloads import filesystem_dataset, publications_dataset
+
+from .conftest import make_system
+
+
+def fs_factory():
+    files = filesystem_dataset(40, random.Random(5))
+    return lambda: MemoryFileSystem(dict(files))
+
+
+def db_factory():
+    ops = publications_dataset(60, random.Random(6))
+
+    def build():
+        db = MiniDB()
+        for op in ops:
+            db.apply_write(op)
+        return db
+
+    return build
+
+
+def fs_queries(rng):
+    paths = sorted(filesystem_dataset(40, random.Random(5)))
+    while True:
+        if rng.random() < 0.5:
+            yield FSGrep(pattern="TODO", path="/src")
+        else:
+            yield FSRead(path=rng.choice(paths))
+
+
+def db_queries(rng):
+    while True:
+        roll = rng.random()
+        if roll < 0.4:
+            yield DBJoin(left="papers", right="authors",
+                         left_col="author_id", right_col="id",
+                         columns=("papers.title", "authors.name"),
+                         order_by="papers.title")
+        elif roll < 0.7:
+            yield DBAggregate(table="papers", func="count",
+                              group_by=("venue",))
+        else:
+            yield DBSelect(table="papers",
+                           where=(("year", ">=", 2000),),
+                           columns=("id", "title"), order_by="id")
+
+
+@pytest.mark.parametrize("factory,queries", [
+    (fs_factory, fs_queries),
+    (db_factory, db_queries),
+], ids=["filesystem", "minidb"])
+class TestEngineAdversarial:
+    def run_system(self, factory, queries, adversaries, protocol):
+        system = make_system(store_factory=factory(), protocol=protocol,
+                             adversaries=adversaries)
+        system.start()
+        rng = random.Random(9)
+        stream = queries(rng)
+        t = system.now
+        for i in range(80):
+            t += 0.25
+            system.schedule_op(system.clients[i % 4], t, next(stream))
+        system.run_for(t - system.now + 90.0)
+        return system
+
+    def test_honest_runs_clean(self, factory, queries):
+        system = self.run_system(factory, queries, {}, ProtocolConfig())
+        result = system.classify_accepted_reads()
+        assert result["accepted_total"] == 80
+        assert result["accepted_wrong"] == 0
+        assert system.auditor.detections == 0
+
+    def test_liar_detected_by_audit(self, factory, queries):
+        system = self.run_system(
+            factory, queries, {0: AlwaysLie()},
+            ProtocolConfig(double_check_probability=0.0))
+        assert system.auditor.detections >= 1
+        assert system.metrics.count("exclusions") == 1
+        # Wrong accepts all match audit detections.
+        wrong = system.classify_accepted_reads()["accepted_wrong"]
+        assert system.auditor.detections >= wrong
+
+    def test_liar_detected_by_double_check(self, factory, queries):
+        system = self.run_system(
+            factory, queries,
+            {0: ProbabilisticLie(0.8, rng=random.Random(3))},
+            ProtocolConfig(double_check_probability=0.3,
+                           greedy_allowance_rate=100.0,
+                           greedy_burst=1000.0))
+        assert (system.metrics.count("immediate_detections") >= 1
+                or system.auditor.detections >= 1)
+        assert system.metrics.count("exclusions") == 1
+
+    def test_expensive_queries_cache_at_auditor(self, factory, queries):
+        system = self.run_system(
+            factory, queries, {},
+            ProtocolConfig(double_check_probability=0.0))
+        # Repeated greps/joins hit the audit cache.
+        assert system.auditor.cache_hits > 0

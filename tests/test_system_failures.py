@@ -1,0 +1,189 @@
+"""Integration tests: benign crash failures of trusted servers.
+
+Section 3.1: masters periodically broadcast their slave lists "so in the
+event of a master crash, the remaining ones will divide its slave set.
+This also entails that all the clients connected to the crashed server
+will have to go through the setup process again."
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.content.kvstore import KVGet, KVPut
+from repro.core.config import ProtocolConfig
+
+from .conftest import make_system
+
+
+def spread_reads(system, count, rate, rng_seed=1):
+    rng = random.Random(rng_seed)
+    t = system.now
+    for i in range(count):
+        t += 1.0 / rate
+        client = system.clients[i % len(system.clients)]
+        system.schedule_op(client, t,
+                           KVGet(key=f"k{rng.randrange(100):03d}"))
+    return t
+
+
+class TestMasterCrash:
+    def build(self, **kwargs):
+        defaults = dict(
+            num_masters=3, slaves_per_master=2, num_clients=6,
+            protocol=ProtocolConfig(double_check_probability=0.05,
+                                    slave_list_broadcast_interval=3.0))
+        defaults.update(kwargs)
+        system = make_system(**defaults)
+        system.start()
+        system.run_for(5.0)  # let slave-list gossip land
+        return system
+
+    def test_survivors_divide_slave_set(self):
+        system = self.build()
+        crashed = system.masters[2]
+        orphan_ids = set(crashed.slaves)
+        system.failures.crash_at(crashed, system.now + 1.0)
+        system.run_for(30.0)
+        adopted = set()
+        for master in system.masters[:2]:
+            adopted |= orphan_ids & set(master.slaves)
+        assert adopted == orphan_ids
+        # Disjoint division: no slave adopted twice.
+        overlap = set(system.masters[0].slaves) & set(
+            system.masters[1].slaves)
+        assert overlap == set()
+        assert system.metrics.count("slaves_adopted") == len(orphan_ids)
+
+    def test_orphan_slaves_keep_serving_via_new_master(self):
+        system = self.build()
+        crashed = system.masters[2]
+        orphan = crashed.slaves[0]
+        system.failures.crash_at(crashed, system.now + 1.0)
+        system.run_for(30.0)
+        slave = next(s for s in system.slaves if s.node_id == orphan)
+        # The adopted slave keeps getting keep-alives and stays fresh.
+        assert slave.is_fresh()
+
+    def test_orphan_slaves_receive_writes_from_adopter(self):
+        system = self.build()
+        crashed = system.masters[2]
+        orphan = crashed.slaves[0]
+        system.failures.crash_at(crashed, system.now + 1.0)
+        system.run_for(15.0)
+        writer = system.clients[0]
+        if writer.master_id == crashed.node_id:
+            writer = system.clients[1]
+        writer.submit_write(KVPut(key="post-crash", value=1))
+        system.run_for(40.0)
+        slave = next(s for s in system.slaves if s.node_id == orphan)
+        assert slave.version == system.masters[0].version >= 1
+        assert slave.store.state_digest() == \
+            system.masters[0].store.state_digest()
+
+    def test_clients_of_crashed_master_re_setup(self):
+        system = self.build()
+        crashed = system.masters[2]
+        victims = [c for c in system.clients
+                   if c.master_id == crashed.node_id]
+        system.failures.crash_at(crashed, system.now + 1.0)
+        system.run_for(2.0)
+        # Force the victims to notice: writes to a dead master time out.
+        results = []
+        for victim in victims:
+            victim.submit_write(KVPut(key=f"from-{victim.node_id}",
+                                      value=1), callback=results.append)
+        system.run_for(200.0)
+        for victim in victims:
+            assert victim.master_id != crashed.node_id
+        assert all(r["status"] == "committed" for r in results)
+
+    def test_writes_continue_after_sequencer_crash(self):
+        system = self.build()
+        # master-00 is the broadcast sequencer.
+        system.failures.crash_at(system.masters[0], system.now + 1.0)
+        system.run_for(10.0)
+        writer = next(c for c in system.clients
+                      if c.master_id != "master-00")
+        results = []
+        writer.submit_write(KVPut(key="after-seq-crash", value=1),
+                            callback=results.append)
+        system.run_for(60.0)
+        assert results and results[0]["status"] == "committed"
+        assert system.masters[1].version == system.masters[2].version == 1
+
+
+class TestMasterRecovery:
+    def test_recovered_master_catches_up_on_writes(self):
+        system = make_system(num_masters=3, num_clients=3)
+        system.start()
+        target = system.masters[1]
+        system.failures.crash_for(target, system.now + 1.0, 20.0)
+        system.run_for(3.0)
+        writer = next(c for c in system.clients
+                      if c.master_id != target.node_id)
+        writer.submit_write(KVPut(key="while-down", value=1))
+        system.run_for(60.0)
+        assert target.version == system.masters[0].version == 1
+        assert target.store.state_digest() == \
+            system.masters[0].store.state_digest()
+
+
+class TestAuditorCrash:
+    def test_audits_resume_after_auditor_recovery(self):
+        system = make_system(protocol=ProtocolConfig(
+            double_check_probability=0.0))
+        system.start()
+        system.failures.crash_for(system.auditor, system.now + 1.0, 15.0)
+        end = spread_reads(system, 40, rate=4.0)
+        system.run_for(end - system.now + 60.0)
+        # Pledges sent while the auditor was down are lost (network drops
+        # to crashed nodes), but reads themselves kept working and new
+        # pledges flow after recovery.
+        assert system.metrics.count("reads_accepted") == 40
+        assert system.auditor.pledges_received > 0
+        assert system.auditor.pledges_audited == \
+            system.auditor.pledges_received
+
+    def test_auditor_catches_up_on_writes_after_recovery(self):
+        system = make_system(protocol=ProtocolConfig(
+            double_check_probability=0.0, max_latency=2.0,
+            keepalive_interval=0.5))
+        system.start()
+        system.failures.crash_for(system.auditor, system.now + 1.0, 10.0)
+        system.run_for(3.0)
+        system.clients[0].submit_write(KVPut(key="during-crash", value=1))
+        system.run_for(120.0)
+        assert system.auditor.version == 1
+        assert system.auditor.store.state_digest() == \
+            system.masters[0].store.state_digest()
+
+
+class TestCombinedChaos:
+    def test_no_wrong_accepts_under_churn_with_liar(self):
+        """Crash churn + a lying slave + message loss: the safety
+        property (wrong accepts are eventually detected; double-checked
+        reads are never wrong) must survive."""
+        from repro.core.adversary import ProbabilisticLie
+
+        system = make_system(
+            num_masters=3, slaves_per_master=2, num_clients=6,
+            loss_probability=0.02, seed=31,
+            protocol=ProtocolConfig(double_check_probability=0.1,
+                                    slave_list_broadcast_interval=3.0),
+            adversaries={0: ProbabilisticLie(0.2, rng=random.Random(8))})
+        system.start()
+        system.run_for(5.0)
+        system.failures.crash_for(system.masters[2], system.now + 10.0,
+                                  30.0)
+        end = spread_reads(system, 150, rate=5.0, rng_seed=9)
+        system.schedule_op(system.clients[0], system.now + 20.0,
+                           KVPut(key="chaos", value=1))
+        system.run_for(end - system.now + 120.0)
+        result = system.classify_accepted_reads()
+        # Every wrong accept must have been flagged by the audit (none
+        # slipped through unaudited).
+        assert system.auditor.detections >= result["accepted_wrong"]
+        # The liar is gone by the end.
+        assert system.metrics.count("exclusions") >= 1
+        assert system.check_consistency_window() == []

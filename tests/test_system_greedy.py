@@ -1,0 +1,109 @@
+"""Integration tests: greedy-client throttling (Section 3.3).
+
+"The only harm a client can do is to abuse its double-check quota ...
+by keeping track on the number of double-check requests it receives from
+each of its clients, a master can identify statistically anomalous client
+behavior ... The master can then enforce fair play by simply ignoring a
+large fraction of the double-check requests coming from clients suspected
+to be greedy."
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.content.kvstore import KVGet
+from repro.core.config import ProtocolConfig
+
+from .conftest import make_system
+
+
+def build_greedy_system(greedy_rate=1.0, allowance=0.5, burst=3.0):
+    """Client 0 double-checks everything; clients 1-3 are honest."""
+    config = ProtocolConfig(
+        double_check_probability=0.05,
+        greedy_allowance_rate=allowance,
+        greedy_burst=burst,
+        greedy_drop_fraction=1.0,  # deterministic drops for assertions
+    )
+    system = make_system(protocol=config,
+                         client_double_check_overrides={0: greedy_rate})
+    system.start()
+    return system
+
+
+def drive(system, count, rate, seed=1):
+    rng = random.Random(seed)
+    t = system.now
+    for i in range(count):
+        t += 1.0 / rate
+        client = system.clients[i % len(system.clients)]
+        system.schedule_op(client, t,
+                           KVGet(key=f"k{rng.randrange(100):03d}"))
+    return t
+
+
+class TestGreedyThrottling:
+    def test_greedy_client_gets_dropped(self):
+        system = build_greedy_system()
+        drive(system, 200, rate=10.0)
+        system.run_for(120.0)
+        assert system.metrics.count("double_checks_dropped_greedy") > 0
+        assert system.metrics.count("double_checks_over_quota") > 0
+
+    def test_greedy_client_still_completes_reads(self):
+        """Dropped double-checks degrade to the audit path, not failure."""
+        system = build_greedy_system()
+        drive(system, 100, rate=5.0)
+        system.run_for(300.0)
+        assert system.metrics.count("reads_accepted") == 100
+        assert system.metrics.count("double_check_timeouts") > 0
+
+    def test_honest_clients_unaffected(self):
+        """Honest clients' double-check rate stays within the bucket, so
+        none of their checks are dropped."""
+        config = ProtocolConfig(
+            double_check_probability=0.05,
+            greedy_allowance_rate=0.5,
+            greedy_burst=5.0,
+            greedy_drop_fraction=1.0,
+        )
+        system = make_system(protocol=config)
+        system.start()
+        drive(system, 200, rate=5.0)
+        system.run_for(120.0)
+        # ~200*0.05 = 10 double-checks spread over 40s and 4 clients:
+        # well within 0.5/s per client.
+        assert system.metrics.count("double_checks_over_quota") == 0
+        assert system.metrics.count("double_check_timeouts") == 0
+
+    def test_burst_allowance_permits_short_spikes(self):
+        system = build_greedy_system(greedy_rate=1.0, allowance=0.1,
+                                     burst=10.0)
+        # Ten rapid reads from the greedy client all double-check: the
+        # first ~10 fit the burst, so they are served.
+        t = system.now
+        for i in range(10):
+            system.schedule_op(system.clients[0], t + 0.5 + i * 0.01,
+                               KVGet(key=f"k{i:03d}"))
+        system.run_for(30.0)
+        assert system.metrics.count("double_checks_served") >= 9
+
+    def test_throttling_punishes_abuser_not_honest_clients(self):
+        """Throttling one client must not consume another's allowance.
+
+        The greedy client (client-00) thrashes: its double-checks are
+        dropped, its fallback accepts go stale, it retries.  The honest
+        clients must complete every single read regardless.
+        """
+        system = build_greedy_system(allowance=0.2, burst=2.0)
+        end = drive(system, 120, rate=6.0)
+        system.run_for(end - system.now + 180.0)
+        assert system.metrics.count("double_checks_dropped_greedy") > 0
+        honest_accepted = sum(
+            len(client.accepted_log) for client in system.clients[1:])
+        assert honest_accepted == 90  # clients 1-3 got 30 reads each
+        # The greedy client is degraded but not wedged: it makes progress
+        # whenever its bucket refills.
+        assert len(system.clients[0].accepted_log) >= 10
+        assert system.classify_accepted_reads()["accepted_wrong"] == 0

@@ -1,0 +1,91 @@
+"""Integration tests: multiple auditors (Section 3.4's scaling valve).
+
+"If the auditor is over-used, the solution is to either add extra
+auditors, or weaken the security guarantees by verifying only a randomly
+chosen fraction of all reads."
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.content.kvstore import KVGet, KVPut
+from repro.core.adversary import ProbabilisticLie
+from repro.core.config import ProtocolConfig
+
+from .conftest import make_system
+
+
+def drive(system, count, rate=10.0, seed=1):
+    rng = random.Random(seed)
+    t = system.now
+    for i in range(count):
+        t += 1.0 / rate
+        system.schedule_op(system.clients[i % len(system.clients)], t,
+                           KVGet(key=f"k{rng.randrange(100):03d}"))
+    return t
+
+
+class TestMultiAuditor:
+    def test_every_pledge_audited_exactly_once(self):
+        system = make_system(num_auditors=3, num_clients=8,
+                             protocol=ProtocolConfig(
+                                 double_check_probability=0.0))
+        system.start()
+        drive(system, 120)
+        system.run_for(60.0)
+        received = sum(a.pledges_received for a in system.auditors)
+        audited = sum(a.pledges_audited for a in system.auditors)
+        assert received == 120
+        assert audited == 120
+
+    def test_pledges_partition_by_client(self):
+        system = make_system(num_auditors=3, num_clients=8,
+                             protocol=ProtocolConfig(
+                                 double_check_probability=0.0))
+        system.start()
+        # Each client's auditor assignment is stable and hash-spread.
+        assignments = {c.node_id: c.auditor_id for c in system.clients}
+        assert all(assignments.values())
+        assert len(set(assignments.values())) > 1  # load actually spreads
+
+    def test_all_auditors_track_versions(self):
+        system = make_system(num_auditors=2, protocol=ProtocolConfig(
+            max_latency=2.0, keepalive_interval=0.5,
+            double_check_probability=0.0))
+        system.start()
+        system.clients[0].submit_write(KVPut(key="x", value=1))
+        system.run_for(60.0)
+        for auditor in system.auditors:
+            assert auditor.version == 1
+            assert auditor.store.state_digest() == \
+                system.masters[0].store.state_digest()
+
+    def test_detection_works_from_any_auditor(self):
+        system = make_system(
+            num_auditors=3, num_clients=9,
+            protocol=ProtocolConfig(double_check_probability=0.0),
+            adversaries={0: ProbabilisticLie(0.5,
+                                             rng=random.Random(2))})
+        system.start()
+        drive(system, 150)
+        system.run_for(90.0)
+        detections = sum(a.detections for a in system.auditors)
+        assert detections >= 1
+        assert system.metrics.count("exclusions") >= 1
+
+    def test_extra_auditors_split_the_work(self):
+        def total_busy(num_auditors):
+            system = make_system(num_auditors=num_auditors, num_clients=8,
+                                 protocol=ProtocolConfig(
+                                     double_check_probability=0.0))
+            system.start()
+            drive(system, 200, rate=20.0)
+            system.run_for(60.0)
+            return [a.work.total_busy for a in system.auditors]
+
+        single = total_busy(1)
+        triple = total_busy(3)
+        # The per-auditor load shrinks roughly with the auditor count.
+        assert max(triple) < 0.75 * single[0]
+        assert sum(1 for busy in triple if busy > 0) >= 2

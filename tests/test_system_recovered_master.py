@@ -1,0 +1,101 @@
+"""Regression tests: a recovered master must not serve stale trust.
+
+Distilled from the soak test: a master that crashes through several
+writes and recovers is *behind* until the broadcast repair finishes.  In
+that window it must not (a) sign keep-alive stamps, (b) answer
+double-checks / sensitive reads, or (c) resync slaves -- each would put a
+trusted signature on stale state and breach the max_latency window.  It
+must also replay missed commits immediately rather than pacing them
+``max_latency`` apart.
+"""
+
+from __future__ import annotations
+
+from repro.content.kvstore import KVGet, KVPut
+from repro.core.config import ProtocolConfig
+
+from .conftest import make_system
+
+
+def build():
+    system = make_system(
+        num_masters=3, num_clients=6,
+        protocol=ProtocolConfig(max_latency=3.0, keepalive_interval=0.8,
+                                double_check_probability=0.0,
+                                slave_list_broadcast_interval=4.0))
+    system.start()
+    return system
+
+
+def run_crash_epoch(system, writes=5):
+    """Crash master-02 through ``writes`` commits, then recover it."""
+    target = system.masters[2]
+    system.failures.crash_for(target, system.now + 1.0, 30.0)
+    system.run_for(2.0)
+    for i in range(writes):
+        system.clients[0].submit_write(KVPut(key=f"w{i}", value=i))
+    system.run_for(29.0)  # recovery at +31 from start
+    return target
+
+
+class TestRecoveredMaster:
+    def test_replay_commits_are_immediate(self):
+        system = build()
+        target = run_crash_epoch(system, writes=5)
+        live_version = system.masters[0].version
+        assert live_version == 5
+        assert target.version < 5  # still down or just back
+        # Within a few heartbeats of recovery it must have replayed all
+        # five commits -- NOT 5 * max_latency = 15 seconds of pacing.
+        system.run_for(3.0)
+        assert target.version == 5
+        assert target.store.state_digest() == \
+            system.masters[0].store.state_digest()
+
+    def test_no_stale_stamps_signed_after_recovery(self):
+        """Any stamp a recovered master signs carries a current version.
+
+        We assert through the clients: no accepted read may ever violate
+        the consistency window, even for clients whose slaves hear from
+        the recovered master.
+        """
+        import random
+
+        system = build()
+        run_crash_epoch(system, writes=5)
+        rng = random.Random(3)
+        t = system.now
+        for i in range(60):
+            t += 0.3
+            system.schedule_op(system.clients[i % 6], t,
+                               KVGet(key=f"k{rng.randrange(100):03d}"))
+        system.run_for(t - system.now + 30.0)
+        assert system.check_consistency_window() == []
+        assert system.classify_accepted_reads()["accepted_wrong"] == 0
+
+    def test_double_check_deferred_until_caught_up(self):
+        """A double-check hitting a behind master is answered only after
+        the repair -- and then with current state."""
+        system = build()
+        target = run_crash_epoch(system, writes=3)
+        # Find/force a client onto the recovered master.
+        client = system.clients[0]
+        client.master_id = target.node_id
+        results = []
+        system.run_for(0.2)  # recovery happened; repair may be in flight
+        client.submit_read(KVGet(key="w2"), level="sensitive",
+                           callback=results.append)
+        system.run_for(20.0)
+        assert results and results[0]["status"] == "accepted"
+        assert results[0]["result"] == {"found": True, "value": 2}
+        assert results[0]["version"] == 3
+
+    def test_spacing_still_enforced_for_live_writes(self):
+        """The replay exemption must not weaken live spacing."""
+        system = build()
+        for i in range(4):
+            system.clients[0].submit_write(KVPut(key=f"x{i}", value=i))
+        system.run_for(40.0)
+        times = sorted(system.masters[0].commit_times.values())[1:]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(gap >= 3.0 - 1e-9 for gap in gaps)

@@ -1,0 +1,118 @@
+"""Integration tests: write protocol, spacing, ACL, throughput ceiling."""
+
+from __future__ import annotations
+
+from repro.content.kvstore import KVGet, KVPut
+from repro.core.config import ProtocolConfig
+
+from .conftest import make_system
+
+
+class TestWriteSpacing:
+    def test_commits_at_least_max_latency_apart(self):
+        config = ProtocolConfig(max_latency=3.0, keepalive_interval=1.0)
+        system = make_system(protocol=config)
+        system.start()
+        # Fire 5 writes as fast as possible from different clients.
+        for i in range(5):
+            system.clients[i % 4].submit_write(KVPut(key=f"w{i}", value=i))
+        system.run_for(120.0)
+        commit_times = sorted(system.masters[0].commit_times.values())[1:]
+        gaps = [b - a for a, b in zip(commit_times, commit_times[1:])]
+        assert len(commit_times) == 5
+        assert all(gap >= 3.0 - 1e-9 for gap in gaps)
+
+    def test_write_throughput_bounded_by_max_latency(self):
+        config = ProtocolConfig(max_latency=2.0, keepalive_interval=0.5)
+        system = make_system(protocol=config)
+        system.start()
+        start = system.now
+        for i in range(30):
+            system.clients[i % 4].submit_write(KVPut(key=f"w{i}", value=i))
+        system.run_for(30.0)
+        committed = system.metrics.count("writes_committed")
+        elapsed = system.now - start
+        # Ceiling: 1 write per max_latency.
+        assert committed <= elapsed / config.max_latency + 1
+
+    def test_queued_writes_eventually_all_commit(self):
+        config = ProtocolConfig(max_latency=1.0, keepalive_interval=0.5)
+        system = make_system(protocol=config)
+        system.start()
+        for i in range(10):
+            system.clients[0].submit_write(KVPut(key=f"w{i}", value=i))
+        system.run_for(60.0)
+        assert system.metrics.count("writes_committed") == 10
+        assert system.masters[0].version == 10
+
+    def test_versions_strictly_increase_with_commits(self):
+        system = make_system()
+        system.start()
+        for i in range(3):
+            system.clients[0].submit_write(KVPut(key=f"w{i}", value=i))
+        system.run_for(60.0)
+        times = system.masters[0].commit_times
+        assert sorted(times) == list(range(len(times)))
+        ordered = [times[v] for v in sorted(times)]
+        assert ordered == sorted(ordered)
+
+
+class TestAccessControl:
+    def test_unauthorised_writer_rejected(self):
+        config = ProtocolConfig(
+            writers_allowed=frozenset({"client-00"}))
+        system = make_system(protocol=config)
+        system.start()
+        results = []
+        system.clients[1].submit_write(KVPut(key="x", value=1),
+                                       callback=results.append)
+        system.run_for(20.0)
+        assert results[0]["status"] == "rejected"
+        assert results[0]["reason"] == "access denied"
+        assert system.metrics.count("writes_denied") == 1
+        assert system.masters[0].version == 0
+
+    def test_authorised_writer_accepted(self):
+        config = ProtocolConfig(
+            writers_allowed=frozenset({"client-00"}))
+        system = make_system(protocol=config)
+        system.start()
+        results = []
+        system.clients[0].submit_write(KVPut(key="x", value=1),
+                                       callback=results.append)
+        system.run_for(20.0)
+        assert results[0]["status"] == "committed"
+
+    def test_reads_unrestricted(self):
+        """The ACL 'is only concerned with operations that modify the
+        content' (Section 2)."""
+        config = ProtocolConfig(writers_allowed=frozenset())
+        system = make_system(protocol=config)
+        system.start()
+        results = []
+        system.clients[2].submit_read(KVGet(key="k001"),
+                                      callback=results.append)
+        system.run_for(10.0)
+        assert results[0]["status"] == "accepted"
+
+
+class TestWriteVisibility:
+    def test_committed_write_visible_within_window(self):
+        config = ProtocolConfig(max_latency=3.0, keepalive_interval=1.0,
+                                double_check_probability=0.0)
+        system = make_system(protocol=config)
+        system.start()
+        done = []
+        system.clients[0].submit_write(KVPut(key="visible", value=42),
+                                       callback=done.append)
+        system.run_for(20.0)
+        commit_at = system.masters[0].commit_times[1]
+        assert done[0]["status"] == "committed"
+        # Read strictly after commit + max_latency must see the write.
+        assert system.now > commit_at + config.max_latency
+        outcomes = []
+        system.clients[3].submit_read(KVGet(key="visible"),
+                                      callback=outcomes.append)
+        system.run_for(10.0)
+        assert outcomes[0]["result"] == {"found": True, "value": 42}
+        assert system.check_consistency_window() == []

@@ -1,0 +1,263 @@
+"""Unit tests for the sequencer-based total-order broadcast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.totalorder import BroadcastEnvelope, TotalOrderBroadcast
+from repro.sim.latency import ConstantLatency, UniformLatency
+from repro.sim.network import Network, Node
+from repro.sim.simulator import Simulator
+
+
+class Member(Node):
+    """A broadcast member recording its delivery sequence."""
+
+    def __init__(self, node_id, sim, net, member_ids, **engine_kwargs):
+        super().__init__(node_id, sim, net)
+        self.delivered = []
+        self.engine = TotalOrderBroadcast(
+            self, member_ids,
+            on_deliver=lambda seq, origin, payload: self.delivered.append(
+                (seq, origin, payload)),
+            **engine_kwargs)
+
+    def on_message(self, src_id, message):
+        assert isinstance(message, BroadcastEnvelope)
+        self.engine.handle_message(src_id, message)
+
+    def start(self):
+        self.engine.start()
+
+    def on_crash(self):
+        self.engine.stop()
+
+    def on_recover(self):
+        self.engine.announce_recovery()
+
+
+def build_group(n=3, latency=None, seed=0, **engine_kwargs):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=latency or ConstantLatency(0.01))
+    ids = [f"m{i}" for i in range(n)]
+    members = [Member(i, sim, net, ids, **engine_kwargs) for i in ids]
+    for member in members:
+        member.start()
+    return sim, net, members
+
+
+def payloads(member):
+    return [p for _seq, _o, p in member.delivered]
+
+
+class TestOrdering:
+    def test_single_broadcast_reaches_all(self):
+        sim, _net, members = build_group()
+        members[0].engine.broadcast("hello")
+        sim.run_for(1.0)
+        for member in members:
+            assert payloads(member) == ["hello"]
+
+    def test_all_members_deliver_same_order(self):
+        sim, _net, members = build_group(n=4)
+        for i, member in enumerate(members):
+            for j in range(5):
+                member.engine.broadcast(f"{member.node_id}:{j}")
+        sim.run_for(5.0)
+        reference = members[0].delivered
+        assert len(reference) == 20
+        for member in members[1:]:
+            assert member.delivered == reference
+
+    def test_sequence_numbers_contiguous_from_zero(self):
+        sim, _net, members = build_group()
+        for j in range(7):
+            members[1].engine.broadcast(j)
+        sim.run_for(5.0)
+        seqs = [seq for seq, _o, _p in members[2].delivered]
+        assert seqs == list(range(7))
+
+    def test_origin_recorded(self):
+        sim, _net, members = build_group()
+        members[2].engine.broadcast("x")
+        sim.run_for(1.0)
+        assert members[0].delivered[0][1] == "m2"
+
+    def test_same_order_under_jittery_links(self):
+        sim, _net, members = build_group(
+            n=3, latency=UniformLatency(0.005, 0.3), seed=11)
+        for i in range(10):
+            members[i % 3].engine.broadcast(i)
+        sim.run_for(10.0)
+        reference = payloads(members[0])
+        assert sorted(reference) == list(range(10))
+        for member in members[1:]:
+            assert payloads(member) == reference
+
+    def test_sequencer_is_lowest_ranked(self):
+        _sim, _net, members = build_group()
+        assert members[0].engine.is_sequencer
+        assert not members[1].engine.is_sequencer
+        assert members[1].engine.sequencer_id == "m0"
+
+    def test_member_must_be_in_list(self):
+        sim = Simulator()
+        net = Network(sim)
+        node = Member("outsider", sim, net, ["outsider"])
+        with pytest.raises(ValueError):
+            TotalOrderBroadcast(node, ["m0", "m1"], lambda *a: None)
+
+    def test_unknown_envelope_kind_raises(self):
+        _sim, _net, members = build_group()
+        with pytest.raises(ValueError, match="unknown broadcast envelope"):
+            members[0].engine.handle_message(
+                "m1", BroadcastEnvelope(kind="gibberish"))
+
+
+class TestRetransmission:
+    def test_lost_request_retransmitted(self):
+        sim, net, members = build_group(seed=2)
+        net.partition("m1", "m0")
+        members[1].engine.broadcast("persistent")
+        sim.run_for(0.5)
+        assert payloads(members[0]) == []
+        net.heal("m1", "m0")
+        sim.run_for(5.0)
+        for member in members:
+            assert payloads(member) == ["persistent"]
+
+    def test_duplicate_requests_ordered_once(self):
+        sim, _net, members = build_group(
+            request_timeout=0.05)  # aggressive retransmission
+        members[1].engine.broadcast("once")
+        sim.run_for(5.0)
+        assert payloads(members[0]) == ["once"]
+
+    def test_gap_repaired_after_partition(self):
+        sim, net, members = build_group(seed=3)
+        # m2 misses orders while partitioned from the sequencer.  The
+        # engine may route around the partition by view change (m2 deposes
+        # m0 and m1 takes over); either way, after healing every member
+        # must hold the same total order containing all three payloads.
+        net.partition("m0", "m2")
+        members[0].engine.broadcast("a")
+        members[0].engine.broadcast("b")
+        sim.run_for(2.0)
+        net.heal("m0", "m2")
+        members[0].engine.broadcast("c")
+        sim.run_for(10.0)
+        assert sorted(payloads(members[2])) == ["a", "b", "c"]
+        assert payloads(members[0]) == payloads(members[2])
+        assert payloads(members[1]) == payloads(members[2])
+
+
+class TestViewChange:
+    def test_sequencer_crash_elects_next_member(self):
+        sim, _net, members = build_group(n=3)
+        members[0].crash()
+        sim.run_for(5.0)
+        assert members[1].engine.is_sequencer
+        assert members[2].engine.sequencer_id == "m1"
+
+    def test_broadcasts_continue_after_view_change(self):
+        sim, _net, members = build_group(n=3)
+        members[0].engine.broadcast("before")
+        sim.run_for(1.0)
+        members[0].crash()
+        sim.run_for(5.0)
+        members[2].engine.broadcast("after")
+        sim.run_for(5.0)
+        for member in members[1:]:
+            assert payloads(member) == ["before", "after"]
+
+    def test_request_pending_during_crash_is_reordered(self):
+        sim, net, members = build_group(n=3)
+        # Partition m2's request away from m0, then kill m0: the new
+        # sequencer must order the re-submitted request.
+        net.partition("m2", "m0")
+        members[2].engine.broadcast("survivor")
+        sim.run_for(0.2)
+        members[0].crash()
+        sim.run_for(10.0)
+        assert payloads(members[1]) == ["survivor"]
+        assert payloads(members[2]) == ["survivor"]
+
+    def test_sequence_numbers_not_reused_after_promotion(self):
+        sim, _net, members = build_group(n=3)
+        members[0].engine.broadcast("a")
+        members[0].engine.broadcast("b")
+        sim.run_for(1.0)
+        members[0].crash()
+        sim.run_for(5.0)
+        members[1].engine.broadcast("c")
+        sim.run_for(5.0)
+        seqs = [seq for seq, _o, _p in members[2].delivered]
+        assert seqs == [0, 1, 2]
+        assert payloads(members[2]) == ["a", "b", "c"]
+
+    def test_recovered_member_catches_up(self):
+        sim, _net, members = build_group(n=3)
+        members[2].crash()
+        members[0].engine.broadcast("while-down-1")
+        members[1].engine.broadcast("while-down-2")
+        sim.run_for(3.0)
+        assert payloads(members[2]) == []
+        members[2].recover()
+        sim.run_for(5.0)
+        assert payloads(members[2]) == ["while-down-1", "while-down-2"]
+
+    def test_recovered_former_sequencer_rejoins_as_follower(self):
+        sim, _net, members = build_group(n=3)
+        members[0].engine.broadcast("one")
+        sim.run_for(1.0)
+        members[0].crash()
+        sim.run_for(5.0)
+        members[1].engine.broadcast("two")
+        sim.run_for(2.0)
+        members[0].recover()
+        sim.run_for(5.0)
+        # The old leader must adopt the new epoch, not split the brain.
+        assert members[0].engine.sequencer_id == "m1"
+        assert payloads(members[0]) == ["one", "two"]
+
+    def test_double_crash_freezes_lone_survivor(self):
+        """Leadership needs a majority: a 1-of-3 survivor must freeze
+        (it cannot tell a crash from a partition) rather than fork."""
+        sim, _net, members = build_group(n=3)
+        members[0].crash()
+        sim.run_for(5.0)
+        members[1].crash()
+        sim.run_for(5.0)
+        survivor = members[2].engine
+        assert not survivor.is_sequencer
+        assert not survivor.is_caught_up()  # trusts nothing while frozen
+        survivor.broadcast("held")
+        sim.run_for(3.0)
+        assert payloads(members[2]) == []  # held, not ordered
+        # Recovery of one peer restores a majority; the held request is
+        # retransmitted and ordered.
+        members[1].recover()
+        sim.run_for(10.0)
+        assert payloads(members[2]) == ["held"]
+        assert payloads(members[1]) == ["held"]
+
+    def test_view_change_counter(self):
+        sim, _net, members = build_group(n=3)
+        assert members[1].engine.view_changes == 0
+        members[0].crash()
+        sim.run_for(5.0)
+        assert members[1].engine.view_changes == 1
+
+    def test_member_removed_callback_fires(self):
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01))
+        ids = ["m0", "m1"]
+        removed = []
+        a = Member("m0", sim, net, ids)
+        b = Member("m1", sim, net, ids,
+                   on_member_removed=removed.append)
+        a.start()
+        b.start()
+        a.crash()
+        sim.run_for(5.0)
+        assert removed == ["m0"]

@@ -1,0 +1,118 @@
+"""Broadcast safety under network partitions (quorum leadership).
+
+The failure detector cannot distinguish a crashed peer from an
+unreachable one, so without a quorum rule a minority partition would
+elect itself, order conflicting writes and sign stale trust.  These
+tests pin the rule: only a majority side stays live; minority sides
+freeze (leaderless, not caught up) and rejoin cleanly on heal.
+"""
+
+from __future__ import annotations
+
+from repro.sim.latency import ConstantLatency
+
+from .test_totalorder import build_group, payloads
+
+
+def isolate(net, member, others):
+    for other in others:
+        net.partition(member.node_id, other.node_id)
+
+
+class TestMinorityPartition:
+    def test_minority_member_freezes_not_forks(self):
+        sim, net, members = build_group(n=3)
+        lone = members[2]
+        isolate(net, lone, members[:2])
+        sim.run_for(10.0)
+        engine = lone.engine
+        assert not engine.is_sequencer
+        assert engine.sequencer_id == ""  # leaderless
+        assert not engine.is_caught_up()
+        # Its broadcasts are held, never self-ordered.
+        engine.broadcast("from-minority")
+        sim.run_for(5.0)
+        assert payloads(lone) == []
+
+    def test_majority_side_keeps_operating(self):
+        sim, net, members = build_group(n=3)
+        isolate(net, members[2], members[:2])
+        sim.run_for(5.0)
+        members[0].engine.broadcast("majority-write")
+        sim.run_for(3.0)
+        assert payloads(members[0]) == ["majority-write"]
+        assert payloads(members[1]) == ["majority-write"]
+
+    def test_minority_leader_abdicates(self):
+        """Partition the *sequencer* away: it must abdicate, the majority
+        elects a new leader, and writes continue."""
+        sim, net, members = build_group(n=3)
+        isolate(net, members[0], members[1:])  # m0 was the sequencer
+        sim.run_for(10.0)
+        assert members[0].engine.sequencer_id == ""  # abdicated
+        assert not members[0].engine.is_caught_up()
+        assert members[1].engine.is_sequencer  # majority elected m1
+        members[2].engine.broadcast("post-partition")
+        sim.run_for(5.0)
+        assert payloads(members[1]) == ["post-partition"]
+        assert payloads(members[2]) == ["post-partition"]
+
+    def test_heal_rejoins_minority_without_hijack(self):
+        sim, net, members = build_group(n=3)
+        isolate(net, members[0], members[1:])
+        sim.run_for(10.0)
+        members[2].engine.broadcast("while-split")
+        sim.run_for(5.0)
+        net.heal_all()
+        sim.run_for(15.0)
+        # Convergence: every member ends with the same delivery sequence,
+        # and the healed regime has exactly one leader agreed by all.
+        reference = payloads(members[1])
+        assert "while-split" in reference
+        assert payloads(members[0]) == reference
+        assert payloads(members[2]) == reference
+        leaders = {m.engine.sequencer_id for m in members}
+        assert len(leaders) == 1 and "" not in leaders
+        # And the regime is live: a new broadcast reaches everyone.
+        members[0].engine.broadcast("after-heal")
+        sim.run_for(10.0)
+        for member in members:
+            assert payloads(member)[-1] == "after-heal"
+
+    def test_even_split_freezes_both_sides_of_two(self):
+        """n=2: any partition denies both sides a majority -- total
+        freeze, which is the safe outcome."""
+        sim, net, members = build_group(n=2)
+        net.partition("m0", "m1")
+        sim.run_for(10.0)
+        members[0].engine.broadcast("a")
+        members[1].engine.broadcast("b")
+        sim.run_for(5.0)
+        assert payloads(members[0]) == []
+        assert payloads(members[1]) == []
+        net.heal_all()
+        sim.run_for(15.0)
+        # Heal: both held requests are ordered identically everywhere.
+        assert sorted(payloads(members[0])) == ["a", "b"]
+        assert payloads(members[0]) == payloads(members[1])
+
+
+class TestFiveNodePartitions:
+    def test_three_two_split(self):
+        sim, net, members = build_group(
+            n=5, latency=ConstantLatency(0.01), seed=5)
+        # Minority: m3, m4 cut off from m0-m2 (and each other stays).
+        for minority in members[3:]:
+            isolate(net, minority, members[:3])
+        sim.run_for(10.0)
+        members[1].engine.broadcast("majority")
+        sim.run_for(5.0)
+        for member in members[:3]:
+            assert payloads(member) == ["majority"]
+        for member in members[3:]:
+            assert payloads(member) == []
+            assert not member.engine.is_sequencer
+        net.heal_all()
+        sim.run_for(15.0)
+        for member in members:
+            assert payloads(member) == ["majority"]

@@ -1,0 +1,103 @@
+"""Unit and integration tests for message tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.content.kvstore import KVGet, KVPut
+from repro.core.config import ProtocolConfig
+from repro.sim.tracing import MessageTracer, TraceEvent
+
+from .conftest import make_system
+
+
+class TestMessageTracerUnit:
+    def test_capacity_bounds_memory(self):
+        tracer = MessageTracer(capacity=5)
+        for i in range(10):
+            tracer.record(float(i), "a", "b", "msg", "delivered")
+        assert len(tracer) == 5
+        assert tracer.total_recorded == 10
+        assert tracer.events()[0].at == 5.0  # oldest dropped
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MessageTracer(capacity=0)
+
+    def test_filters(self):
+        tracer = MessageTracer()
+        tracer.record(1.0, "a", "b", "x", "delivered")
+        tracer.record(2.0, "b", "a", "y", "dropped")
+        tracer.record(3.0, "a", "c", "x", "delivered")
+        assert len(tracer.events(src="a")) == 2
+        assert len(tracer.events(dst="a")) == 1
+        assert len(tracer.events(outcome="dropped")) == 1
+        assert len(tracer.events(kind="str")) == 3  # kind of 'x' is str
+
+    def test_between(self):
+        tracer = MessageTracer()
+        for t in (1.0, 2.0, 3.0):
+            tracer.record(t, "a", "b", "m", "delivered")
+        assert [e.at for e in tracer.between(1.5, 3.0)] == [2.0]
+
+    def test_format_lines(self):
+        tracer = MessageTracer()
+        tracer.record(1.0, "client-00", "slave-00-00", "m", "delivered")
+        text = tracer.format()
+        assert "client-00" in text and "slave-00-00" in text
+
+    def test_broadcast_envelope_kind_unwrapped(self):
+        from repro.broadcast.totalorder import BroadcastEnvelope
+        from repro.core.messages import BroadcastWrapper
+
+        tracer = MessageTracer()
+        wrapped = BroadcastWrapper(
+            envelope=BroadcastEnvelope(kind="heartbeat"))
+        tracer.record(1.0, "m0", "m1", wrapped, "delivered")
+        assert tracer.events()[0].kind == "BroadcastWrapper:heartbeat"
+
+
+class TestSystemTracing:
+    def test_system_records_protocol_flow(self):
+        system = make_system(trace_messages=True,
+                             protocol=ProtocolConfig(
+                                 double_check_probability=0.0))
+        system.start()
+        outcomes = []
+        system.clients[0].submit_read(KVGet(key="k001"),
+                                      callback=outcomes.append)
+        system.run_for(10.0)
+        assert outcomes[0]["status"] == "accepted"
+        counts = system.tracer.counts_by_kind()
+        assert counts.get("ReadRequest", 0) >= 1
+        assert counts.get("ReadReply", 0) >= 1
+        assert counts.get("AuditSubmission", 0) >= 1
+        assert counts.get("KeepAlive", 0) >= 1
+
+    def test_write_flow_traced(self):
+        system = make_system(trace_messages=True)
+        system.start()
+        system.clients[0].submit_write(KVPut(key="x", value=1))
+        system.run_for(20.0)
+        counts = system.tracer.counts_by_kind()
+        assert counts.get("WriteRequest", 0) == 1
+        assert counts.get("WriteReply", 0) == 1
+        assert counts.get("SlaveUpdate", 0) >= 4  # one per slave
+        # The totally-ordered write rode the broadcast.
+        assert any(k.startswith("BroadcastWrapper") for k in counts)
+
+    def test_tracing_off_by_default(self):
+        system = make_system()
+        assert system.tracer is None
+
+    def test_dropped_messages_traced(self):
+        system = make_system(trace_messages=True)
+        system.start()
+        slave = system.slaves[0]
+        system.network.partition(slave.node_id, "master-00")
+        system.run_for(3.0)
+        dropped = system.tracer.events(outcome="dropped")
+        assert dropped
+        assert all(e.dst in (slave.node_id, "master-00")
+                   or e.src in (slave.node_id, "master-00")
+                   for e in dropped)

@@ -1,0 +1,135 @@
+"""Unit tests for trusted-server internals: WorkQueue, version history."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.content.kvstore import KVGet, KVPut, KeyValueStore
+from repro.core.config import ProtocolConfig
+from repro.core.trusted import TrustedServer, WorkQueue
+from repro.metrics import MetricsRegistry
+from repro.sim.network import Network, Node
+from repro.sim.simulator import Simulator
+
+
+class Idle(Node):
+    def on_message(self, src_id, message):
+        pass
+
+
+@pytest.fixture
+def node():
+    sim = Simulator()
+    net = Network(sim)
+    return Idle("worker", sim, net)
+
+
+class TestWorkQueue:
+    def test_single_job_completes_after_service_time(self, node):
+        queue = WorkQueue(node)
+        done = []
+        queue.submit(2.0, done.append, "a")
+        node.simulator.run_until(1.9)
+        assert done == []
+        node.simulator.run_until(2.1)
+        assert done == ["a"]
+
+    def test_fifo_jobs_queue_behind_each_other(self, node):
+        queue = WorkQueue(node)
+        done = []
+        queue.submit(1.0, lambda: done.append(node.now))
+        queue.submit(1.0, lambda: done.append(node.now))
+        queue.submit(1.0, lambda: done.append(node.now))
+        node.simulator.run_until(10.0)
+        assert done == [1.0, 2.0, 3.0]
+
+    def test_backlog_reports_queued_work(self, node):
+        queue = WorkQueue(node)
+        queue.submit(3.0, lambda: None)
+        queue.submit(2.0, lambda: None)
+        assert queue.backlog() == 5.0
+        node.simulator.run_until(4.0)
+        assert queue.backlog() == pytest.approx(1.0)
+
+    def test_idle_time_not_counted(self, node):
+        queue = WorkQueue(node)
+        queue.submit(1.0, lambda: None)
+        node.simulator.run_until(10.0)
+        queue.submit(1.0, lambda: None)  # starts now, not at t=1
+        node.simulator.run_until(12.0)
+        assert queue.total_busy == 2.0
+        assert queue.utilisation(elapsed=12.0) == pytest.approx(2.0 / 12)
+
+    def test_negative_service_time_rejected(self, node):
+        with pytest.raises(ValueError):
+            WorkQueue(node).submit(-1.0, lambda: None)
+
+    def test_utilisation_zero_elapsed(self, node):
+        assert WorkQueue(node).utilisation(0.0) == 0.0
+
+
+class _BareTrusted(TrustedServer):
+    """Concrete trusted server exposing the base machinery for tests."""
+
+    def handle_protocol_message(self, src_id, message):
+        pass
+
+    def deliver_write(self, seq, origin, payload):
+        pass
+
+
+@pytest.fixture
+def trusted():
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    config = ProtocolConfig(version_history_depth=3)
+    store = KeyValueStore({"a": 1})
+    return _BareTrusted("master-00", sim, net, config, store,
+                        ["master-00"], MetricsRegistry())
+
+
+class TestVersionHistory:
+    def test_commit_advances_version_and_archives(self, trusted):
+        trusted.commit_op(KVPut(key="x", value=1).to_wire())
+        assert trusted.version == 1
+        assert trusted.store_at(0) is not None
+        assert trusted.store_at(1) is not None
+        # The archived v0 snapshot does not contain the write.
+        v0 = trusted.store_at(0)
+        assert v0.execute_read(KVGet(key="x")).result["found"] is False
+
+    def test_history_bounded_by_depth(self, trusted):
+        for i in range(6):
+            trusted.commit_op(KVPut(key=f"k{i}", value=i).to_wire())
+        assert trusted.version == 6
+        # Depth 3: only the newest three snapshots retained.
+        assert trusted.store_at(6) is not None
+        assert trusted.store_at(4) is not None
+        assert trusted.store_at(2) is None
+
+    def test_ops_log_complete(self, trusted):
+        for i in range(4):
+            trusted.commit_op(KVPut(key=f"k{i}", value=i).to_wire())
+        assert sorted(trusted.ops_log) == [0, 1, 2, 3]
+
+    def test_commit_times_recorded(self, trusted):
+        trusted.simulator.run_until(5.0)
+        trusted.commit_op(KVPut(key="x", value=1).to_wire())
+        assert trusted.commit_times[1] == 5.0
+
+    def test_snapshots_are_independent(self, trusted):
+        trusted.commit_op(KVPut(key="x", value=1).to_wire())
+        snapshot = trusted.store_at(1)
+        trusted.commit_op(KVPut(key="x", value=2).to_wire())
+        assert snapshot.execute_read(KVGet(key="x")).result["value"] == 1
+
+    def test_current_stamp_signed_and_fresh(self, trusted):
+        trusted.simulator.run_until(7.0)
+        stamp = trusted.current_stamp()
+        assert stamp.version == 0
+        assert stamp.timestamp == 7.0
+        assert stamp.verify(trusted.keys, trusted.keys.public_key)
+
+    def test_execution_time_scales_with_cost(self, trusted):
+        assert trusted.execution_time(10.0) == \
+            pytest.approx(10 * trusted.config.service_time_per_unit)
