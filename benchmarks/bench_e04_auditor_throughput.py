@@ -29,7 +29,13 @@ import random
 from repro.core.config import ProtocolConfig
 from repro.workloads import ZipfKeys
 
-from benchmarks.common import FULL, build_system, print_table, scaled
+from benchmarks.common import (
+    FULL,
+    build_system,
+    print_table,
+    run_parallel_sweep,
+    scaled,
+)
 from repro.content.kvstore import KVGet
 
 
@@ -62,10 +68,16 @@ def measure(zipf_skew: float, reads: int, cache_enabled: bool,
 def run_sweep() -> list[tuple]:
     reads = scaled(3000, 500)
     config = ProtocolConfig()
+    skews = [0.0, 0.8, 1.2] if FULL else [0.0, 1.2]
+    # Every (skew, cache) point is an independent simulation with its own
+    # seed, so the sweep fans across cores; merged results are identical
+    # to the serial loop's.
+    points = [(skew, reads, cache_enabled)
+              for skew in skews for cache_enabled in (True, False)]
+    results = run_parallel_sweep(measure, points)
     rows = []
-    for skew in ([0.0, 0.8, 1.2] if FULL else [0.0, 1.2]):
-        cached = measure(skew, reads, cache_enabled=True)
-        uncached = measure(skew, reads, cache_enabled=False)
+    for i, skew in enumerate(skews):
+        cached, uncached = results[2 * i], results[2 * i + 1]
         rows.append((
             skew,
             cached["slave_per_read"],

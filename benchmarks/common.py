@@ -13,6 +13,7 @@ Set ``REPRO_BENCH_FULL=1`` to run the full sweeps under pytest too.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import random
 from typing import Any, Callable, Iterable, Sequence
@@ -27,6 +28,53 @@ FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
 def scaled(full_value: int, quick_value: int) -> int:
     """Pick a sweep size depending on full/quick mode."""
     return full_value if FULL else quick_value
+
+
+def run_parallel_sweep(worker: Callable[..., Any],
+                       points: Iterable[tuple],
+                       processes: int | None = None) -> list[Any]:
+    """Fan independent sweep points across worker processes.
+
+    ``worker`` must be a module-level callable (it is pickled) and each
+    entry of ``points`` is its argument tuple.  Results come back in the
+    order of ``points`` regardless of which process finished first, and
+    every point carries its own seed inside its arguments, so a parallel
+    sweep is bit-identical to a serial one -- each worker process has its
+    own fast-path caches, and :class:`ReplicationSystem` starts cold per
+    build anyway.
+
+    Process count: explicit ``processes`` arg, else the
+    ``REPRO_BENCH_PROCS`` environment variable, else ``os.cpu_count()``.
+    A count of 1 (or a single point, or a pool that fails to start --
+    e.g. a sandbox without working semaphores) degrades to an inline
+    serial loop.
+    """
+    points = [tuple(point) for point in points]
+    if processes is None:
+        env = os.environ.get("REPRO_BENCH_PROCS", "")
+        if env:
+            try:
+                processes = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_BENCH_PROCS must be an integer, got {env!r}"
+                ) from None
+        else:
+            processes = os.cpu_count() or 1
+    processes = max(1, min(processes, len(points) or 1))
+    if processes == 1 or len(points) <= 1:
+        return [worker(*point) for point in points]
+    try:
+        # Fork (where available) so workers inherit imported modules
+        # instead of re-importing the benchmark under "spawn".
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        else:
+            ctx = multiprocessing.get_context()
+        with ctx.Pool(processes) as pool:
+            return pool.starmap(worker, points)
+    except (OSError, PermissionError):
+        return [worker(*point) for point in points]
 
 
 def default_store(num_keys: int = 200) -> Callable[[], KeyValueStore]:

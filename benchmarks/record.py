@@ -1,0 +1,72 @@
+"""Write a ``BENCH_<date>.json`` performance snapshot.
+
+Gives future changes a trajectory to regress against: each run records
+the E4 auditor-throughput numbers, the S0 simulation-substrate rates and
+the F0 fast-path before/after rates, plus enough environment context to
+interpret them.  Snapshots are cheap (quick-mode sweeps) and meant to be
+committed alongside performance-relevant PRs::
+
+    PYTHONPATH=src python benchmarks/record.py            # quick sweep
+    REPRO_BENCH_FULL=1 PYTHONPATH=src python benchmarks/record.py
+
+Wall-clock numbers are machine-dependent; the *ratios* (auditor speedup,
+fast-path speedup) are the regression-stable signals.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks import bench_e04_auditor_throughput as e04
+from benchmarks import bench_fastpath_micro as f0
+from benchmarks import bench_sim_micro as s0
+from benchmarks.common import FULL
+
+
+def collect() -> dict:
+    """Run the three snapshot sweeps and assemble the record."""
+    e04_rows = e04.run_sweep()
+    s0_result = s0.run_sweep()
+    f0_result = f0.run_sweep()
+    return {
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime()),
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "full_sweep": FULL,
+        },
+        "e4_auditor_throughput": [
+            {
+                "zipf_skew": row[0],
+                "slave_seconds_per_read": row[1],
+                "audit_seconds_per_read": row[2],
+                "audit_seconds_per_read_nocache": row[3],
+                "auditor_reads_per_second": 1.0 / row[2],
+                "slave_reads_per_second": 1.0 / row[1],
+                "auditor_speedup": row[4],
+                "cache_hit_rate": row[5],
+            }
+            for row in e04_rows
+        ],
+        "s0_sim_micro": s0_result,
+        "f0_fastpath_micro": f0_result,
+    }
+
+
+def main() -> pathlib.Path:
+    record = collect()
+    date = time.strftime("%Y%m%d", time.gmtime())
+    path = pathlib.Path(__file__).resolve().parent / f"BENCH_{date}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path}")
+    return path
+
+
+if __name__ == "__main__":
+    main()

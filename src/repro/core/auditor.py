@@ -164,9 +164,14 @@ class AuditorServer(TrustedServer):
                 self.metrics.incr("audits_unknown_slave")
             return
         service = 2 * self.config.verify_time
-        cached = self._cache.get(
-            (pledge.stamp.version, _request_key(pledge)))
-        if cached is None or not self.config.auditor_cache_enabled:
+        # With the cache disabled (experiment A3's baseline) the cache
+        # must stay completely out of the picture: no lookups, no stores,
+        # no hit/miss accounting -- every audit is a full re-execution.
+        cache_enabled = self.config.auditor_cache_enabled
+        cache_key = ((pledge.stamp.version, _request_key(pledge))
+                     if cache_enabled else None)
+        cached = self._cache.get(cache_key) if cache_enabled else None
+        if cached is None:
             snapshot = self.store_at(pledge.stamp.version)
             if snapshot is None:
                 self.metrics.incr("audits_unverifiable")
@@ -177,9 +182,9 @@ class AuditorServer(TrustedServer):
                 return
             outcome = snapshot.execute_read(query)
             trusted_hash = sha1_hex(outcome.result)
-            self._cache[(pledge.stamp.version, _request_key(pledge))] = (
-                trusted_hash)
-            self.cache_misses += 1
+            if cache_enabled:
+                self._cache[cache_key] = trusted_hash
+                self.cache_misses += 1
             service += (outcome.cost_units
                         * self.config.service_time_per_unit
                         + self.config.hash_time)

@@ -116,7 +116,8 @@ class Client(Node):
         self.directory_id = directory_id
         self.owner_public_key = owner_public_key
         self.keys = KeyPair(node_id, new_signer(
-            "hmac", rng=simulator.fork_rng(f"keys:{node_id}")))
+            "hmac", rng=simulator.fork_rng(f"keys:{node_id}")),
+            metrics=metrics)
         self.rng = simulator.fork_rng(f"client:{node_id}")
         #: "Greedy" clients override the honest probability (Section 3.3);
         #: slow clients may relax their own freshness bound (Section 3.2).

@@ -18,6 +18,7 @@ Masters jointly:
 
 from __future__ import annotations
 
+import functools
 from collections import deque
 from typing import Any
 
@@ -45,6 +46,17 @@ from repro.core.messages import (
 from repro.core.trusted import CertAnnouncement, TrustedServer
 from repro.crypto.certificates import Certificate
 from repro.crypto.hashing import sha1_hex
+
+
+@functools.lru_cache(maxsize=65536)
+def _client_digest(client_id: str) -> int:
+    """Stable 32-bit digest of a client id (auditor-partition hashing).
+
+    Memoised because the master recomputes it on every assignment and on
+    every auditor-failover sweep; client-id strings are interned-ish and
+    few, so the cache stays tiny.
+    """
+    return int(sha1_hex(client_id)[:8], 16)
 
 
 class _TokenBucket:
@@ -199,8 +211,8 @@ class MasterServer(TrustedServer):
         """The hash-preferred auditor, ignoring liveness."""
         if not self.auditor_ids:
             return ""
-        digest = int(sha1_hex(client_id)[:8], 16)
-        return self.auditor_ids[digest % len(self.auditor_ids)]
+        return self.auditor_ids[_client_digest(client_id)
+                                % len(self.auditor_ids)]
 
     def _auditor_for(self, client_id: str) -> str:
         """Pick the client's auditor: stable hash over the auditor set.
@@ -217,8 +229,7 @@ class MasterServer(TrustedServer):
                  if a not in self._dead_auditors]
         if not alive:
             return self._auditor_for_static(client_id)
-        digest = int(sha1_hex(client_id)[:8], 16)
-        return alive[digest % len(alive)]
+        return alive[_client_digest(client_id) % len(alive)]
 
     # -- write protocol (Section 3.1) ------------------------------------------------
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.crypto import fastpath
 from repro.crypto.hashing import canonical_bytes
 from repro.crypto.keys import KeyPair
 
@@ -25,7 +26,7 @@ from repro.crypto.keys import KeyPair
 # -- version stamps (Section 3.1) --------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VersionStamp:
     """A master-signed, timestamped ``content_version`` value.
 
@@ -38,6 +39,12 @@ class VersionStamp:
     timestamp: float
     master_id: str
     signature: Any
+    #: Lazily-filled signed-payload memo.  ``init=False`` keeps it out of
+    #: ``__init__`` *and* out of ``dataclasses.replace`` copies, so any
+    #: forged/altered stamp starts with an empty cache and must rebuild
+    #: (and therefore honestly re-serialise) its own payload.
+    _payload_cache: Any = field(default=None, init=False, compare=False,
+                                repr=False)
 
     @staticmethod
     def _payload(version: int, timestamp: float, master_id: str) -> bytes:
@@ -48,16 +55,35 @@ class VersionStamp:
             "master_id": master_id,
         })
 
+    def signed_payload(self) -> bytes:
+        """The exact bytes this stamp's signature covers.
+
+        Built once per instance on the fast path; every subsequent
+        verification of the same stamp object reuses it instead of
+        re-canonicalising the fields.
+        """
+        if fastpath.enabled():
+            cached = self._payload_cache
+            if cached is not None:
+                return cached
+            payload = self._payload(self.version, self.timestamp,
+                                    self.master_id)
+            object.__setattr__(self, "_payload_cache", payload)
+            return payload
+        return self._payload(self.version, self.timestamp, self.master_id)
+
     @classmethod
     def make(cls, keys: KeyPair, version: int,
              timestamp: float) -> "VersionStamp":
         payload = cls._payload(version, timestamp, keys.owner_id)
-        return cls(version=version, timestamp=timestamp,
-                   master_id=keys.owner_id, signature=keys.sign(payload))
+        stamp = cls(version=version, timestamp=timestamp,
+                    master_id=keys.owner_id, signature=keys.sign(payload))
+        if fastpath.enabled():
+            object.__setattr__(stamp, "_payload_cache", payload)
+        return stamp
 
     def verify(self, verifier_keys: KeyPair, master_public_key: Any) -> bool:
-        payload = self._payload(self.version, self.timestamp, self.master_id)
-        return verifier_keys.verify(master_public_key, payload,
+        return verifier_keys.verify(master_public_key, self.signed_payload(),
                                     self.signature)
 
     def age(self, now: float) -> float:
@@ -67,7 +93,7 @@ class VersionStamp:
 # -- pledges (Section 3.2) -----------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Pledge:
     """The slave's signed commitment: request, result hash, version stamp.
 
@@ -82,6 +108,10 @@ class Pledge:
     slave_id: str
     request_id: str
     signature: Any
+    #: Same contract as :attr:`VersionStamp._payload_cache`: never copied
+    #: by ``dataclasses.replace``, so tampered pledges re-serialise.
+    _payload_cache: Any = field(default=None, init=False, compare=False,
+                                repr=False)
 
     @staticmethod
     def _payload(query_wire: Any, result_hash: str, stamp: VersionStamp,
@@ -98,47 +128,62 @@ class Pledge:
             "request_id": request_id,
         })
 
+    def signed_payload(self) -> bytes:
+        """The exact bytes this pledge's signature covers (memoised)."""
+        if fastpath.enabled():
+            cached = self._payload_cache
+            if cached is not None:
+                return cached
+            payload = self._payload(self.query_wire, self.result_hash,
+                                    self.stamp, self.slave_id,
+                                    self.request_id)
+            object.__setattr__(self, "_payload_cache", payload)
+            return payload
+        return self._payload(self.query_wire, self.result_hash, self.stamp,
+                             self.slave_id, self.request_id)
+
     @classmethod
     def make(cls, keys: KeyPair, query_wire: Any, result_hash: str,
              stamp: VersionStamp, request_id: str) -> "Pledge":
         payload = cls._payload(query_wire, result_hash, stamp,
                                keys.owner_id, request_id)
-        return cls(query_wire=query_wire, result_hash=result_hash,
-                   stamp=stamp, slave_id=keys.owner_id,
-                   request_id=request_id, signature=keys.sign(payload))
+        pledge = cls(query_wire=query_wire, result_hash=result_hash,
+                     stamp=stamp, slave_id=keys.owner_id,
+                     request_id=request_id, signature=keys.sign(payload))
+        if fastpath.enabled():
+            object.__setattr__(pledge, "_payload_cache", payload)
+        return pledge
 
     def verify(self, verifier_keys: KeyPair, slave_public_key: Any) -> bool:
-        payload = self._payload(self.query_wire, self.result_hash,
-                                self.stamp, self.slave_id, self.request_id)
-        return verifier_keys.verify(slave_public_key, payload,
+        return verifier_keys.verify(slave_public_key, self.signed_payload(),
                                     self.signature)
 
 
 # -- setup phase (Section 2) ---------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DirectoryLookup:
     """Client -> directory: list master certificates for a content key."""
 
     content_key_fingerprint: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DirectoryListing:
     """Directory -> client: all master certificates for the content."""
 
     certificates: tuple[Any, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientHello:
     """Client -> chosen master: request a slave assignment."""
 
     client_id: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SlaveAssignment:
     """Master -> client: slave certificate(s) plus the auditor's address.
 
@@ -154,7 +199,7 @@ class SlaveAssignment:
 # -- write path (Section 3.1) -----------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteRequest:
     """Client -> master: apply a write operation."""
 
@@ -163,7 +208,7 @@ class WriteRequest:
     op_wire: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteReply:
     """Master -> client: commit confirmation (or rejection)."""
 
@@ -173,7 +218,7 @@ class WriteReply:
     reason: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SlaveUpdate:
     """Master -> slave: committed write(s) plus the new signed stamp.
 
@@ -187,7 +232,7 @@ class SlaveUpdate:
     stamp: VersionStamp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SlaveSnapshot:
     """Master -> slave: a full state transfer.
 
@@ -200,14 +245,14 @@ class SlaveSnapshot:
     stamp: "VersionStamp"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KeepAlive:
     """Master -> slave: periodic re-signed stamp for the current version."""
 
     stamp: VersionStamp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResyncRequest:
     """Slave -> master: I detected a version gap; resend from ``have``."""
 
@@ -217,7 +262,7 @@ class ResyncRequest:
 # -- read path (Sections 3.2-3.3) -----------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadRequest:
     """Client -> slave: execute a read query."""
 
@@ -226,7 +271,7 @@ class ReadRequest:
     query_wire: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadReply:
     """Slave -> client: the result plus the signed pledge.
 
@@ -241,7 +286,7 @@ class ReadReply:
     in_sync: bool = True
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DoubleCheckRequest:
     """Client -> master: re-execute this query on trusted state."""
 
@@ -254,7 +299,7 @@ class DoubleCheckRequest:
     want_result: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DoubleCheckReply:
     """Master -> client: trusted result hash (and result, for sensitive
     reads executed only on the master) at the master's current version."""
@@ -269,7 +314,7 @@ class DoubleCheckReply:
 # -- audit path (Section 3.4) -------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AuditSubmission:
     """Client -> auditor: pledge for background verification."""
 
@@ -279,7 +324,7 @@ class AuditSubmission:
 # -- corrective action (Section 3.5) -------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Accusation:
     """Client/auditor -> master: signed evidence of slave misbehaviour."""
 
@@ -288,7 +333,7 @@ class Accusation:
     discovery: str  # "immediate" (double-check) | "audit" (delayed)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExclusionNotice:
     """Master -> client: your slave was excluded; here is a new one."""
 
@@ -296,7 +341,7 @@ class ExclusionNotice:
     replacement: SlaveAssignment
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SetupFailed:
     """Master -> client: cannot serve (no slaves / shutting down)."""
 
@@ -307,7 +352,7 @@ class SetupFailed:
 #    payloads keep delivery handlers explicit) ------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BcastWrite:
     """Totally-ordered write submission."""
 
@@ -317,7 +362,7 @@ class BcastWrite:
     op_wire: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BcastElectAuditor:
     """First delivered election message fixes the auditor set.
 
@@ -330,7 +375,7 @@ class BcastElectAuditor:
     auditor_ids: tuple[str, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BcastSlaveList:
     """Periodic slave-list announcement (enables crash takeover)."""
 
@@ -338,7 +383,7 @@ class BcastSlaveList:
     slave_ids: tuple[str, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BcastExcludeSlave:
     """Totally-ordered exclusion of a proven-malicious slave."""
 
@@ -348,14 +393,14 @@ class BcastExcludeSlave:
     discovery: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BroadcastWrapper:
     """Envelope distinguishing broadcast-engine traffic on the wire."""
 
     envelope: Any
 
 
-@dataclass
+@dataclass(slots=True)
 class TimestampedPledge:
     """Auditor-side queue entry: pledge plus arrival time (for lag stats)."""
 

@@ -62,7 +62,7 @@ class SlaveServer(Node):
         self.metrics = metrics
         self.keys = KeyPair(node_id, new_signer(
             config.signer_scheme, rng=simulator.fork_rng(f"keys:{node_id}"),
-            rsa_bits=config.rsa_bits))
+            rsa_bits=config.rsa_bits), metrics=metrics)
         self.store = store
         self.version = 0
         #: All certified master public keys (from the public directory);

@@ -99,7 +99,7 @@ class TrustedServer(Node):
         self.metrics = metrics
         self.keys = KeyPair(node_id, new_signer(
             config.signer_scheme, rng=simulator.fork_rng(f"keys:{node_id}"),
-            rsa_bits=config.rsa_bits))
+            rsa_bits=config.rsa_bits), metrics=metrics)
         self.store = store
         self.version = 0
         #: version -> store snapshot, bounded to ``version_history_depth``.

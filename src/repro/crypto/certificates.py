@@ -13,9 +13,10 @@ there the *issuer* is the master rather than the content owner.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
+from repro.crypto import fastpath
 from repro.crypto.hashing import canonical_bytes
 from repro.crypto.keys import KeyPair
 
@@ -24,7 +25,7 @@ class CertificateError(Exception):
     """Raised when a certificate fails verification."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Certificate:
     """A signed (subject, address, public key, validity) binding."""
 
@@ -35,6 +36,11 @@ class Certificate:
     issued_at: float
     expires_at: float
     signature: Any
+    #: Lazily-filled signed-payload memo; ``init=False`` keeps it out of
+    #: ``dataclasses.replace`` copies, so altered certificates always
+    #: re-serialise their own payload before verification.
+    _payload_cache: Any = field(default=None, init=False, compare=False,
+                                repr=False)
 
     @staticmethod
     def _signed_payload(subject_id: str, address: str, subject_public_key: Any,
@@ -62,7 +68,7 @@ class Certificate:
         expires_at = issued_at + lifetime
         payload = cls._signed_payload(subject_id, address, subject_public_key,
                                       issuer_keys.owner_id, issued_at, expires_at)
-        return cls(
+        cert = cls(
             subject_id=subject_id,
             address=address,
             subject_public_key=subject_public_key,
@@ -71,6 +77,25 @@ class Certificate:
             expires_at=expires_at,
             signature=issuer_keys.sign(payload),
         )
+        if fastpath.enabled():
+            object.__setattr__(cert, "_payload_cache", payload)
+        return cert
+
+    def signed_payload(self) -> bytes:
+        """The exact bytes this certificate's signature covers (memoised)."""
+        if fastpath.enabled():
+            cached = self._payload_cache
+            if cached is not None:
+                return cached
+            payload = self._signed_payload(self.subject_id, self.address,
+                                           self.subject_public_key,
+                                           self.issuer_id, self.issued_at,
+                                           self.expires_at)
+            object.__setattr__(self, "_payload_cache", payload)
+            return payload
+        return self._signed_payload(self.subject_id, self.address,
+                                    self.subject_public_key, self.issuer_id,
+                                    self.issued_at, self.expires_at)
 
     def verify(self, verifier_keys: KeyPair, issuer_public_key: Any,
                now: float | None = None) -> None:
@@ -79,10 +104,8 @@ class Certificate:
         Raises :class:`CertificateError` on any failure so callers cannot
         accidentally ignore a bad certificate.
         """
-        payload = self._signed_payload(self.subject_id, self.address,
-                                       self.subject_public_key, self.issuer_id,
-                                       self.issued_at, self.expires_at)
-        if not verifier_keys.verify(issuer_public_key, payload, self.signature):
+        if not verifier_keys.verify(issuer_public_key, self.signed_payload(),
+                                    self.signature):
             raise CertificateError(
                 f"certificate for {self.subject_id!r} has an invalid signature "
                 f"(claimed issuer {self.issuer_id!r})"

@@ -22,6 +22,7 @@ so that whole-system simulations remain fully deterministic per seed.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import random
 from dataclasses import dataclass
@@ -92,8 +93,13 @@ class RSAPublicKey:
 
     def fingerprint(self) -> str:
         """Short stable identifier used in logs and directory entries."""
-        material = f"{self.n:x}:{self.e:x}".encode("ascii")
-        return hashlib.sha1(material).hexdigest()[:16]
+        return _fingerprint(self.n, self.e)
+
+
+@functools.lru_cache(maxsize=1024)
+def _fingerprint(n: int, e: int) -> str:
+    material = f"{n:x}:{e:x}".encode("ascii")
+    return hashlib.sha1(material).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -165,6 +171,13 @@ def generate_rsa_keypair(
         )
 
 
+@functools.lru_cache(maxsize=64)
+def _fdh_params(n_bits: int) -> tuple[int, int]:
+    """(target byte length, SHA-1 block count) for a modulus bit length."""
+    target_len = (n_bits + 7) // 8 + 8
+    return target_len, -(-target_len // hashlib.sha1().digest_size)
+
+
 def _full_domain_hash(message: bytes, n: int) -> int:
     """Expand SHA-1 into a full-domain hash modulo ``n`` (FDH padding).
 
@@ -172,13 +185,18 @@ def _full_domain_hash(message: bytes, n: int) -> int:
     then reduces.  This is the classic RSA-FDH construction; it keeps the
     signed value spread over the whole group rather than signing a tiny
     160-bit integer directly.
+
+    Each block is ``SHA-1(message || counter)``; the message prefix is
+    hashed once and ``copy()``-ed per block, which produces identical
+    digests to rehashing ``message + counter`` from scratch.
     """
-    target_len = (n.bit_length() + 7) // 8 + 8
+    target_len, n_blocks = _fdh_params(n.bit_length())
+    prefix = hashlib.sha1(message)
     blocks: list[bytes] = []
-    counter = 0
-    while sum(len(b) for b in blocks) < target_len:
-        blocks.append(hashlib.sha1(message + counter.to_bytes(4, "big")).digest())
-        counter += 1
+    for counter in range(n_blocks):
+        block = prefix.copy()
+        block.update(counter.to_bytes(4, "big"))
+        blocks.append(block.digest())
     value = int.from_bytes(b"".join(blocks)[:target_len], "big")
     return value % n
 

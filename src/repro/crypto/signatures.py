@@ -26,6 +26,7 @@ import hmac
 import random
 from typing import Any, Protocol
 
+from repro.crypto import fastpath
 from repro.crypto import rsa as _rsa
 
 
@@ -115,10 +116,75 @@ class HMACSigner:
     def verify_with(self, public_key: Any, message: bytes, signature: Any) -> bool:
         if not isinstance(public_key, HMACPublicKey):
             return False
-        if not isinstance(signature, (bytes, bytearray)):
-            return False
-        expected = hmac.new(public_key.key_bytes, message, hashlib.sha1).digest()
-        return hmac.compare_digest(expected, bytes(signature))
+        return _hmac_verify(public_key, message, signature)
+
+
+def _hmac_verify(public_key: HMACPublicKey, message: bytes,
+                 signature: Any) -> bool:
+    if not isinstance(signature, (bytes, bytearray)):
+        return False
+    expected = hmac.new(public_key.key_bytes, message,
+                        hashlib.sha1).digest()
+    return hmac.compare_digest(expected, bytes(signature))
+
+
+def verify_signature(public_key: Any, message: bytes, signature: Any,
+                     metrics: Any = None) -> bool:
+    """Verify a signature, dispatching on the *public key's* scheme.
+
+    This is the verification entry point all protocol code uses (via
+    :meth:`repro.crypto.keys.KeyPair.verify`).  Dispatching on the key
+    rather than on the verifier's own signer is what lets a client whose
+    personal keys are cheap HMAC verify RSA-signed certificates, stamps
+    and pledges -- the mixed deployment every ``signer_scheme="rsa"``
+    system actually is.  (Routing through the verifier's signer, as
+    ``Signer.verify_with`` does, makes cross-scheme verification
+    silently fail: clients could never complete setup against RSA
+    masters.)
+
+    Repeated verifications of the identical ``(public key, payload,
+    signature)`` triple -- the same master stamp checked by every read
+    reply in a keep-alive interval, the same keep-alive fan-out checked
+    by every slave -- are answered from a bounded LRU.  The key pins the
+    exact payload and signature bytes, so the cache can only ever
+    short-circuit a *repeated* check: a garbled signature or a tampered
+    payload produces a different key and is verified for real.  Both
+    verdicts are cached (repeated forgeries are re-rejected cheaply).
+
+    ``metrics``, when given, receives ``verify_cache_hits`` /
+    ``verify_cache_misses`` counter increments so each simulation run
+    can report how much crypto it actually avoided.
+    """
+    if fastpath.enabled():
+        try:
+            sig_key = bytes(signature) if isinstance(signature, bytearray) \
+                else signature
+            key = (public_key, message, sig_key)
+            cached = fastpath.VERIFY_CACHE.get(key)
+        except TypeError:
+            key = None
+            cached = fastpath.MISS
+        if cached is not fastpath.MISS:
+            if metrics is not None:
+                metrics.incr("verify_cache_hits")
+            return cached
+        result = _verify_dispatch(public_key, message, signature)
+        if key is not None:
+            fastpath.VERIFY_CACHE.put(key, result)
+        if metrics is not None:
+            metrics.incr("verify_cache_misses")
+        return result
+    return _verify_dispatch(public_key, message, signature)
+
+
+def _verify_dispatch(public_key: Any, message: bytes,
+                     signature: Any) -> bool:
+    """Scheme dispatch by public-key type; unknown keys verify nothing."""
+    if isinstance(public_key, _rsa.RSAPublicKey):
+        return _rsa.rsa_verify(public_key, message, signature)
+    if isinstance(public_key, HMACPublicKey):
+        return _hmac_verify(public_key, message, signature)
+    return False
 
 
 _SCHEMES = {"rsa": RSASigner, "hmac": HMACSigner}

@@ -77,6 +77,53 @@ class TestCanonicalBytes:
     def test_bytearray_same_as_bytes(self):
         assert canonical_bytes(bytearray(b"xy")) == canonical_bytes(b"xy")
 
+    def test_deeply_nested_containers(self):
+        value = {"a": [({"b": {1, 2}},), [None, (3.5, b"raw")]],
+                 "c": {"d": [[["deep"]]]}}
+        first = canonical_bytes(value)
+        assert first == canonical_bytes(value)
+        mutated = {"a": [({"b": {1, 2}},), [None, (3.5, b"raw")]],
+                   "c": {"d": [[["deeq"]]]}}
+        assert first != canonical_bytes(mutated)
+
+    def test_bool_vs_int_inside_containers(self):
+        # bool is an int subclass and hashes alike, so these collide in
+        # a naive dict/set; the type tags must keep them apart.
+        assert canonical_bytes([True, 0]) != canonical_bytes([1, 0])
+        assert canonical_bytes({True: "x"}) != canonical_bytes({1: "x"})
+        assert canonical_bytes((False,)) != canonical_bytes((0,))
+
+    def test_negative_floats(self):
+        assert canonical_bytes(-1.5) != canonical_bytes(1.5)
+        assert canonical_bytes(-1.5) != canonical_bytes(-1)
+        # -0.0 == 0.0 and replicas can reach either spelling through
+        # arithmetic, so equal values must serialise identically.
+        assert canonical_bytes(-0.0) == canonical_bytes(0.0)
+        assert canonical_bytes([-0.0]) == canonical_bytes([0.0])
+
+    def test_bytes_vs_str_inside_containers(self):
+        assert canonical_bytes({"k": "ab"}) != canonical_bytes({"k": b"ab"})
+        assert canonical_bytes(["1", 1]) != canonical_bytes([b"1", 1])
+
+    def test_set_vs_frozenset_same_bytes(self):
+        assert canonical_bytes({1, 2}) == canonical_bytes(frozenset({1, 2}))
+
+    def test_results_identical_with_cache_off(self):
+        from repro.crypto import fastpath
+
+        values = [
+            {"rows": [(1, "x"), (2, "y")], "meta": {"count": 2}},
+            [True, 1, 1.0, "1", b"1", None],
+            {(-0.0, "k"): {3, 4}, "z": bytearray(b"zz")},
+        ]
+        cached = [canonical_bytes(v) for v in values for _ in range(2)]
+        fastpath.configure(enabled=False)
+        try:
+            uncached = [canonical_bytes(v) for v in values for _ in range(2)]
+        finally:
+            fastpath.configure(enabled=True)
+        assert cached == uncached
+
 
 class TestSha1:
     def test_matches_hashlib_over_canonical_form(self):

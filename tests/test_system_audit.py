@@ -130,7 +130,13 @@ class TestAuditorCache:
             system.schedule_op(system.clients[i % 4], t + i * 0.2,
                                KVGet(key="k001"))
         system.run_for(30.0)
+        # Disabled means *fully* disabled: the cache is never consulted,
+        # never populated, and the hit/miss counters never move -- the
+        # A3 disabled-cache baseline must show pure re-execution.
         assert system.auditor.cache_hits == 0
+        assert system.auditor.cache_misses == 0
+        assert system.auditor._cache == {}
+        assert system.auditor.pledges_audited > 0
 
 
 class TestSampledAuditing:
