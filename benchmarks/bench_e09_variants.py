@@ -75,7 +75,7 @@ def quorum_trial(quorum: int, colluders: int, trials: int,
                        for record in client.accepted_log[:1]]
         trusted = system.trusted_version_stores()[0]
         from repro.content.queries import operation_from_wire
-        from repro.crypto.hashing import sha1_hex
+        from repro.crypto.hashing import constant_time_equals, sha1_hex
 
         # Denominator: every client fired exactly one read.  Clients whose
         # mixed quorum triggered corrective action may end with no accept
@@ -86,7 +86,7 @@ def quorum_trial(quorum: int, colluders: int, trials: int,
         for record in first_reads:
             query = operation_from_wire(record.query_wire)
             expected_hash = sha1_hex(trusted.execute_read(query).result)
-            if record.result_hash != expected_hash:
+            if not constant_time_equals(record.result_hash, expected_hash):
                 wrong += 1
         disagreements += system.metrics.count("quorum_disagreements")
         exclusions += system.metrics.count("exclusions")

@@ -51,7 +51,11 @@ def run_micro() -> list[tuple]:
             signature = rsa_sign(keypair, payload)
             sign_time = _time_op(lambda: rsa_sign(keypair, payload),
                                  iterations)
+            # E10 measures the raw primitive's cost: going through the
+            # cached verify_signature dispatch would time the cache, not
+            # the crypto.
             verify_time = _time_op(
+                # protolint: disable-next-line=PL004
                 lambda: rsa_verify(keypair.public_key, payload, signature),
                 iterations)
             rows.append((f"rsa-{bits} sign", label, sign_time,

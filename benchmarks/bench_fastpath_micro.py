@@ -33,7 +33,7 @@ import time
 from repro.core.config import ProtocolConfig
 from repro.core.messages import Pledge, VersionStamp
 from repro.crypto import fastpath
-from repro.crypto.hashing import sha1_hex
+from repro.crypto.hashing import constant_time_equals, sha1_hex
 from repro.crypto.keys import KeyPair
 from repro.crypto.signatures import new_signer
 
@@ -72,7 +72,7 @@ def _validate_stream(pledges, client_keys, master_pk, slave_pk) -> int:
     """The client's per-read acceptance checks (order as in Client)."""
     ok = 0
     for result, pledge in pledges:
-        if sha1_hex(result) != pledge.result_hash:
+        if not constant_time_equals(sha1_hex(result), pledge.result_hash):
             continue
         if not pledge.stamp.verify(client_keys, master_pk):
             continue

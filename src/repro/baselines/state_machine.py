@@ -31,7 +31,7 @@ from typing import Any
 from repro.baselines.costs import CostLedger
 from repro.content.queries import ReadQuery, WriteOp
 from repro.content.store import ContentStore
-from repro.crypto.hashing import sha1_hex
+from repro.crypto.hashing import constant_time_equals, sha1_hex
 from repro.sim.latency import LatencyModel, LogNormalLatency
 
 
@@ -104,7 +104,7 @@ class QuorumReplicaGroup:
         return {
             "result": results[accepted],
             "accepted": True,
-            "correct": accepted == honest_digest,
+            "correct": constant_time_equals(accepted, honest_digest),
             "latency": 2 * slowest,
         }
 

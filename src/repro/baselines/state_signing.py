@@ -42,7 +42,7 @@ from repro.content.store import ContentStore
 from repro.crypto.hashing import canonical_bytes
 from repro.crypto.keys import KeyPair
 from repro.crypto.merkle import MerkleProof, MerkleTree
-from repro.crypto.signatures import new_signer
+from repro.crypto.signatures import PublicKey, Signature, new_signer
 
 
 def point_key_of(query: ReadQuery) -> str | None:
@@ -90,7 +90,7 @@ class SignedRoot:
 
     root: bytes
     version: int
-    signature: Any
+    signature: Signature
 
     @staticmethod
     def payload(root: bytes, version: int) -> bytes:
@@ -232,7 +232,7 @@ class StateSigningStorage:
 class StateSigningClient:
     """Client verifying authenticated point reads."""
 
-    def __init__(self, publisher_public_key: Any,
+    def __init__(self, publisher_public_key: PublicKey,
                  rng: random.Random | None = None) -> None:
         self.keys = KeyPair("ss-client", new_signer("hmac", rng=rng))
         self.publisher_public_key = publisher_public_key

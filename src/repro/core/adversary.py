@@ -17,9 +17,12 @@ runs reproduce.
 from __future__ import annotations
 
 import random
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.content.queries import ReadQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only, avoids a runtime cycle
+    from repro.content.store import ContentStore
 
 
 class AdversaryStrategy:
@@ -132,7 +135,8 @@ class StaleServe(AdversaryStrategy):
 
     def __init__(self, rng: random.Random | None = None) -> None:
         super().__init__(rng)
-        self.frozen_store: Any = None  # set by the slave on activation
+        #: Set by the slave on activation.
+        self.frozen_store: "ContentStore | None" = None
 
     def corrupt(self, query: ReadQuery, correct_result: Any,
                 version: int, client_id: str) -> Any:

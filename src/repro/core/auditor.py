@@ -41,7 +41,8 @@ from repro.core.messages import (
     TimestampedPledge,
 )
 from repro.core.trusted import TrustedServer
-from repro.crypto.hashing import sha1_hex
+from repro.crypto.certificates import Certificate
+from repro.crypto.hashing import constant_time_equals, sha1_hex
 
 
 class AuditorServer(TrustedServer):
@@ -196,7 +197,7 @@ class AuditorServer(TrustedServer):
                          trusted_hash)
 
     def _finish_audit(self, entry: TimestampedPledge,
-                      cert: Any, trusted_hash: str) -> None:
+                      cert: Certificate, trusted_hash: str) -> None:
         pledge = entry.pledge
         entry.audited = True
         self.pledges_audited += 1
@@ -246,5 +247,5 @@ def _request_key(pledge: Pledge) -> str:
 
 
 def sha1_hex_equal(a: str, b: str) -> bool:
-    """Constant-time-ish comparison; mostly documentation of intent."""
-    return a == b
+    """Constant-time comparison of two hex digests."""
+    return constant_time_equals(a, b)

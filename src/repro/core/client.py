@@ -55,12 +55,12 @@ from repro.core.messages import (
     WriteRequest,
 )
 from repro.crypto.certificates import Certificate, CertificateError
-from repro.crypto.hashing import sha1_hex
+from repro.crypto.hashing import constant_time_equals, sha1_hex
 from repro.crypto.keys import KeyPair
-from repro.crypto.signatures import new_signer
+from repro.crypto.signatures import PublicKey, new_signer
 from repro.metrics import MetricsRegistry
 from repro.sim.network import Network, Node
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import EventHandle, Simulator
 
 
 @dataclass
@@ -89,7 +89,7 @@ class _ReadAttempt:
     dc_retries: int = 0
     state: str = "waiting_slaves"
     replies: dict[str, ReadReply] = field(default_factory=dict)
-    timer: Any = None
+    timer: EventHandle | None = None
 
 
 @dataclass
@@ -99,7 +99,7 @@ class _WriteAttempt:
     callback: Callable[[dict], None] | None
     started_at: float
     retries: int = 0
-    timer: Any = None
+    timer: EventHandle | None = None
 
 
 class Client(Node):
@@ -107,7 +107,7 @@ class Client(Node):
 
     def __init__(self, node_id: str, simulator: Simulator, network: Network,
                  config: ProtocolConfig, directory_id: str,
-                 owner_public_key: Any, metrics: MetricsRegistry,
+                 owner_public_key: PublicKey, metrics: MetricsRegistry,
                  double_check_override: float | None = None,
                  max_latency_override: float | None = None) -> None:
         super().__init__(node_id, simulator, network)
@@ -374,7 +374,8 @@ class Client(Node):
         if pledge.query_wire != attempt.query_wire:
             return "bad_pledge"
         # 1. Result integrity: hash(result) must equal the pledged hash.
-        if sha1_hex(reply.result) != pledge.result_hash:
+        if not constant_time_equals(sha1_hex(reply.result),
+                                    pledge.result_hash):
             return "hash_mismatch"
         # 2. Slave signature over the pledge.
         cert = self.slave_certs.get(slave_id)
@@ -427,7 +428,7 @@ class Client(Node):
             pledge = slave_reply.pledge
             if pledge is None:
                 continue
-            if pledge.result_hash == reply.result_hash:
+            if constant_time_equals(pledge.result_hash, reply.result_hash):
                 matching.append((slave_id, slave_reply))
             elif pledge.stamp.version == reply.version:
                 mismatching.append((slave_id, slave_reply))
@@ -725,12 +726,12 @@ class Client(Node):
             )
 
 
-def _cancel(timer: Any) -> None:
+def _cancel(timer: EventHandle | None) -> None:
     if timer is not None:
         timer.cancel()
 
 
-def _fingerprint(public_key: Any) -> str:
+def _fingerprint(public_key: PublicKey) -> str:
     fingerprint = getattr(public_key, "fingerprint", None)
     if callable(fingerprint):
         return fingerprint()

@@ -45,7 +45,9 @@ from repro.core.messages import (
 )
 from repro.core.trusted import CertAnnouncement, TrustedServer
 from repro.crypto.certificates import Certificate
-from repro.crypto.hashing import sha1_hex
+from repro.crypto.hashing import constant_time_equals, sha1_hex
+from repro.crypto.signatures import PublicKey
+from repro.sim.simulator import EventHandle
 
 
 @functools.lru_cache(maxsize=65536)
@@ -97,7 +99,7 @@ class MasterServer(TrustedServer):
         self._write_queue: deque[WriteRequest] = deque()
         self._write_inflight = False
         self._next_commit_floor = 0.0
-        self._keepalive_handle: Any = None
+        self._keepalive_handle: EventHandle | None = None
         #: (client_id, request_id) -> "queued" | "committed"; gives writes
         #: at-most-once semantics across client retries and re-setups
         #: (a retry may arrive at a different master, so commit-state is
@@ -123,7 +125,7 @@ class MasterServer(TrustedServer):
         self._pump_writes()
 
     def register_slave(self, slave_id: str, address: str,
-                       public_key: Any) -> Certificate:
+                       public_key: PublicKey) -> Certificate:
         """Owner-time registration: certify and adopt a slave."""
         cert = Certificate.issue(self.keys, slave_id, address, public_key,
                                  issued_at=self.now)
@@ -452,7 +454,8 @@ class MasterServer(TrustedServer):
         if not isinstance(query, ReadQuery):
             return "unverifiable"
         outcome = snapshot.execute_read(query)
-        if sha1_hex(outcome.result) == pledge.result_hash:
+        if constant_time_equals(sha1_hex(outcome.result),
+                                pledge.result_hash):
             return "innocent"
         return "guilty"
 

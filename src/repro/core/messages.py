@@ -18,9 +18,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.content.store import ContentStore
 from repro.crypto import fastpath
+from repro.crypto.certificates import Certificate
 from repro.crypto.hashing import canonical_bytes
 from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import PublicKey, Signature
+
+# ``*_wire`` fields and read results are genuinely dynamic: they carry
+# whatever plain-data shape the active content engine serialises, and an
+# adversarial slave may substitute arbitrary values.  They stay ``Any``
+# on purpose; everything crypto-shaped below is typed precisely.
 
 
 # -- version stamps (Section 3.1) --------------------------------------
@@ -38,13 +46,13 @@ class VersionStamp:
     version: int
     timestamp: float
     master_id: str
-    signature: Any
+    signature: Signature
     #: Lazily-filled signed-payload memo.  ``init=False`` keeps it out of
     #: ``__init__`` *and* out of ``dataclasses.replace`` copies, so any
     #: forged/altered stamp starts with an empty cache and must rebuild
     #: (and therefore honestly re-serialise) its own payload.
-    _payload_cache: Any = field(default=None, init=False, compare=False,
-                                repr=False)
+    _payload_cache: bytes | None = field(default=None, init=False,
+                                         compare=False, repr=False)
 
     @staticmethod
     def _payload(version: int, timestamp: float, master_id: str) -> bytes:
@@ -82,7 +90,8 @@ class VersionStamp:
             object.__setattr__(stamp, "_payload_cache", payload)
         return stamp
 
-    def verify(self, verifier_keys: KeyPair, master_public_key: Any) -> bool:
+    def verify(self, verifier_keys: KeyPair,
+               master_public_key: PublicKey) -> bool:
         return verifier_keys.verify(master_public_key, self.signed_payload(),
                                     self.signature)
 
@@ -107,11 +116,11 @@ class Pledge:
     stamp: VersionStamp
     slave_id: str
     request_id: str
-    signature: Any
+    signature: Signature
     #: Same contract as :attr:`VersionStamp._payload_cache`: never copied
     #: by ``dataclasses.replace``, so tampered pledges re-serialise.
-    _payload_cache: Any = field(default=None, init=False, compare=False,
-                                repr=False)
+    _payload_cache: bytes | None = field(default=None, init=False,
+                                         compare=False, repr=False)
 
     @staticmethod
     def _payload(query_wire: Any, result_hash: str, stamp: VersionStamp,
@@ -154,7 +163,8 @@ class Pledge:
             object.__setattr__(pledge, "_payload_cache", payload)
         return pledge
 
-    def verify(self, verifier_keys: KeyPair, slave_public_key: Any) -> bool:
+    def verify(self, verifier_keys: KeyPair,
+               slave_public_key: PublicKey) -> bool:
         return verifier_keys.verify(slave_public_key, self.signed_payload(),
                                     self.signature)
 
@@ -173,7 +183,7 @@ class DirectoryLookup:
 class DirectoryListing:
     """Directory -> client: all master certificates for the content."""
 
-    certificates: tuple[Any, ...]
+    certificates: tuple[Certificate, ...]
 
 
 @dataclass(frozen=True, slots=True)
@@ -192,7 +202,7 @@ class SlaveAssignment:
     pledges.
     """
 
-    slave_certificates: tuple[Any, ...]
+    slave_certificates: tuple[Certificate, ...]
     auditor_id: str
 
 
@@ -241,7 +251,7 @@ class SlaveSnapshot:
     writes).  ``store`` is an independent clone at ``stamp.version``.
     """
 
-    store: Any
+    store: ContentStore
     stamp: "VersionStamp"
 
 

@@ -13,13 +13,12 @@ public key, and publishing those certificates in the directory.
 from __future__ import annotations
 
 import random
-from typing import Any
 
 from repro.core.directory import DirectoryServer
 from repro.crypto.certificates import Certificate
 from repro.crypto.hashing import sha1_hex
 from repro.crypto.keys import KeyPair
-from repro.crypto.signatures import new_signer
+from repro.crypto.signatures import PublicKey, new_signer
 
 
 class ContentOwner:
@@ -34,7 +33,7 @@ class ContentOwner:
         self.issued: list[Certificate] = []
 
     @property
-    def content_public_key(self) -> Any:
+    def content_public_key(self) -> PublicKey:
         """The content public key -- part of the content identifier, so
         clients know it a priori (the self-certifying-name trick of [5])."""
         return self.keys.public_key
@@ -46,7 +45,7 @@ class ContentOwner:
         return sha1_hex(repr(self.content_public_key))
 
     def certify_master(self, master_id: str, address: str,
-                       master_public_key: Any, now: float = 0.0) -> Certificate:
+                       master_public_key: PublicKey, now: float = 0.0) -> Certificate:
         """Issue a certificate binding a master's address to its key."""
         cert = Certificate.issue(self.keys, master_id, address,
                                  master_public_key, issued_at=now)

@@ -43,7 +43,7 @@ from repro.core.trusted import WorkQueue
 from repro.crypto.certificates import Certificate
 from repro.crypto.hashing import sha1_hex
 from repro.crypto.keys import KeyPair
-from repro.crypto.signatures import new_signer
+from repro.crypto.signatures import PublicKey, new_signer
 from repro.metrics import MetricsRegistry
 from repro.sim.network import Network, Node
 from repro.sim.simulator import Simulator
@@ -80,7 +80,7 @@ class SlaveServer(Node):
         self.reads_refused_stale = 0
 
     @property
-    def public_key(self) -> Any:
+    def public_key(self) -> PublicKey:
         return self.keys.public_key
 
     # -- message handling ---------------------------------------------------

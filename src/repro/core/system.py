@@ -34,7 +34,7 @@ from repro.core.master import MasterServer
 from repro.core.owner import ContentOwner
 from repro.core.slave import SlaveServer
 from repro.crypto import fastpath
-from repro.crypto.hashing import sha1_hex
+from repro.crypto.hashing import constant_time_equals, sha1_hex
 from repro.metrics import MetricsRegistry
 from repro.sim.failures import FailureInjector
 from repro.sim.latency import ConstantLatency, LatencyModel
@@ -306,7 +306,7 @@ class ReplicationSystem:
                     assert isinstance(query, ReadQuery)
                     trusted_hash = sha1_hex(store.execute_read(query).result)
                     cache[key] = trusted_hash
-                if record.result_hash == trusted_hash:
+                if constant_time_equals(record.result_hash, trusted_hash):
                     correct += 1
                 else:
                     wrong.append({

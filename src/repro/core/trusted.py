@@ -30,6 +30,7 @@ from repro.core.messages import (
     BroadcastWrapper,
     VersionStamp,
 )
+from repro.crypto.certificates import Certificate
 from repro.crypto.keys import KeyPair
 from repro.crypto.signatures import new_signer
 from repro.metrics import MetricsRegistry
@@ -118,10 +119,10 @@ class TrustedServer(Node):
         self.master_of: dict[str, str] = {}
         #: master -> its announced slave certificates (point-to-point
         #: dissemination accompanying the slave-list broadcasts).
-        self.announced_lists: dict[str, tuple] = {}
+        self.announced_lists: dict[str, tuple[Certificate, ...]] = {}
         #: Every slave certificate ever seen, kept forever so historical
         #: pledge signatures stay verifiable after exclusions/takeovers.
-        self._cert_archive: dict[str, Any] = {}
+        self._cert_archive: dict[str, Certificate] = {}
         self.work = WorkQueue(self)
         self.broadcast = TotalOrderBroadcast(
             self,
@@ -201,7 +202,7 @@ class TrustedServer(Node):
         for slave_id in payload.slave_ids:
             self.master_of[slave_id] = payload.master_id
 
-    def find_slave_cert(self, slave_id: str) -> Any:
+    def find_slave_cert(self, slave_id: str) -> Certificate | None:
         """Locate a slave's certificate (archived forever), or None."""
         cert = self._cert_archive.get(slave_id)
         if cert is not None:

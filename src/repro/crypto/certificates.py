@@ -14,11 +14,11 @@ there the *issuer* is the master rather than the content owner.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
 
 from repro.crypto import fastpath
 from repro.crypto.hashing import canonical_bytes
 from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import PublicKey, Signature
 
 
 class CertificateError(Exception):
@@ -31,19 +31,20 @@ class Certificate:
 
     subject_id: str
     address: str
-    subject_public_key: Any
+    subject_public_key: PublicKey
     issuer_id: str
     issued_at: float
     expires_at: float
-    signature: Any
+    signature: Signature
     #: Lazily-filled signed-payload memo; ``init=False`` keeps it out of
     #: ``dataclasses.replace`` copies, so altered certificates always
     #: re-serialise their own payload before verification.
-    _payload_cache: Any = field(default=None, init=False, compare=False,
-                                repr=False)
+    _payload_cache: bytes | None = field(default=None, init=False,
+                                         compare=False, repr=False)
 
     @staticmethod
-    def _signed_payload(subject_id: str, address: str, subject_public_key: Any,
+    def _signed_payload(subject_id: str, address: str,
+                        subject_public_key: PublicKey,
                         issuer_id: str, issued_at: float,
                         expires_at: float) -> bytes:
         return canonical_bytes({
@@ -58,7 +59,7 @@ class Certificate:
 
     @classmethod
     def issue(cls, issuer_keys: KeyPair, subject_id: str, address: str,
-              subject_public_key: Any, issued_at: float,
+              subject_public_key: PublicKey, issued_at: float,
               lifetime: float = float("inf")) -> "Certificate":
         """Issue a certificate signed with ``issuer_keys``.
 
@@ -97,7 +98,7 @@ class Certificate:
                                     self.subject_public_key, self.issuer_id,
                                     self.issued_at, self.expires_at)
 
-    def verify(self, verifier_keys: KeyPair, issuer_public_key: Any,
+    def verify(self, verifier_keys: KeyPair, issuer_public_key: PublicKey,
                now: float | None = None) -> None:
         """Validate signature (and expiry, if ``now`` is given).
 

@@ -1,0 +1,52 @@
+"""Deterministic fallback randomness for key generation.
+
+Every component that needs randomness is supposed to receive a seeded
+``random.Random`` derived from :meth:`repro.sim.simulator.Simulator.fork_rng`,
+so whole-system runs are bit-reproducible per seed (the invariant
+protolint rule PL001 enforces).  Some entry points, however, allow the
+``rng`` argument to be omitted for convenience -- ad-hoc scripts,
+doctests, one-off key generation.  The seed tree satisfied those call
+sites with a bare ``random.Random()``, which silently seeds from OS
+entropy and breaks reproducibility for anyone who forgets to pass a
+generator.
+
+:func:`fallback_rng` replaces that pattern: each call returns a fresh
+``random.Random`` drawn from a module-level master stream with a fixed
+seed.  Two properties matter:
+
+* **deterministic** -- a process that constructs signers in a fixed
+  order (which the simulator guarantees, and scripts do by nature)
+  gets the same keys on every run;
+* **distinct** -- successive calls yield independent streams, so two
+  signers built without an explicit ``rng`` never share key material
+  (a shared key would let one simulated principal "forge" another's
+  signatures and corrupt every detection experiment).
+
+Tests that need isolation from construction order should keep passing
+an explicit seeded ``rng``; :func:`reset` exists so test fixtures can
+pin the fallback sequence itself.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Fixed master seed: arbitrary but stable across runs and versions.
+_MASTER_SEED = "repro.crypto.entropy/v1"
+
+_master = random.Random(_MASTER_SEED)
+
+
+def fallback_rng() -> random.Random:
+    """A fresh deterministic stream for callers that passed ``rng=None``.
+
+    Draws a 128-bit seed from the module-level master stream, so the
+    sequence of fallback generators is itself reproducible per process.
+    """
+    return random.Random(_master.getrandbits(128))
+
+
+def reset() -> None:
+    """Rewind the fallback sequence (test isolation hook)."""
+    global _master
+    _master = random.Random(_MASTER_SEED)

@@ -19,6 +19,7 @@ mismatch cannot be explained away by encoding differences.
 from __future__ import annotations
 
 import hashlib
+import hmac
 from typing import Any
 
 from repro.crypto import fastpath
@@ -127,6 +128,29 @@ def _frame(payload: bytes) -> bytes:
 
 def _frame_count(count: int) -> bytes:
     return str(count).encode("ascii") + b";"
+
+
+def constant_time_equals(left: str | bytes | bytearray,
+                         right: str | bytes | bytearray) -> bool:
+    """Compare two digests/signature encodings in constant time.
+
+    Every hash that crosses a trust boundary -- a pledged result hash
+    against a trusted recomputation, a Merkle leaf path against a
+    signed root -- must be compared with :func:`hmac.compare_digest`
+    rather than ``==`` so a real deployment does not leak a
+    byte-position timing oracle (protolint rule PL002).  This wrapper
+    additionally accepts the mixed ``str``-hex / ``bytes`` pairings
+    protocol code actually produces, and treats a type mismatch as
+    plain inequality instead of a ``TypeError``.
+    """
+    if isinstance(left, str) and isinstance(right, str):
+        # compare_digest on str demands ASCII; hex digests always are,
+        # but a malicious peer controls one side, so normalise first.
+        return hmac.compare_digest(left.encode("utf-8"),
+                                   right.encode("utf-8"))
+    if isinstance(left, str) or isinstance(right, str):
+        return False
+    return hmac.compare_digest(bytes(left), bytes(right))
 
 
 def sha1_digest(value: Any) -> bytes:

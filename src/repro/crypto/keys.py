@@ -11,12 +11,17 @@ simulations).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
 
-from repro.crypto.signatures import Signer, verify_signature
+from repro.crypto.signatures import (
+    MetricsLike,
+    PublicKey,
+    Signature,
+    Signer,
+    verify_signature,
+)
 
 
-@dataclass
+@dataclass(slots=True)
 class KeyPair:
     """A named keypair bound to one principal (owner, master or slave).
 
@@ -28,21 +33,22 @@ class KeyPair:
 
     owner_id: str
     signer: Signer
-    metrics: Any = field(default=None, repr=False)
+    metrics: MetricsLike | None = field(default=None, repr=False)
     signatures_made: int = field(default=0, repr=False)
     verifications_done: int = field(default=0, repr=False)
 
     @property
-    def public_key(self) -> Any:
+    def public_key(self) -> PublicKey:
         """Opaque public-key object to embed in certificates/directories."""
         return self.signer.public_key
 
-    def sign(self, message: bytes) -> Any:
+    def sign(self, message: bytes) -> Signature:
         """Sign raw bytes with this principal's private key."""
         self.signatures_made += 1
         return self.signer.sign(message)
 
-    def verify(self, public_key: Any, message: bytes, signature: Any) -> bool:
+    def verify(self, public_key: object, message: bytes,
+               signature: object) -> bool:
         """Verify a signature made by *another* principal's key.
 
         Dispatches on the scheme of ``public_key`` (not on this

@@ -16,7 +16,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.crypto.hashing import canonical_bytes
+from repro.crypto.hashing import canonical_bytes, constant_time_equals
 
 _LEAF_PREFIX = b"\x00"
 _NODE_PREFIX = b"\x01"
@@ -33,7 +33,7 @@ def _hash_node(left: bytes, right: bytes) -> bytes:
     return hashlib.sha1(_NODE_PREFIX + left + right).digest()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MerkleProof:
     """Membership proof: the leaf's index plus sibling hashes to the root."""
 
@@ -59,7 +59,9 @@ class MerkleProof:
                 digest = _hash_node(digest, sibling)
             position //= 2
             count = (count + 1) // 2
-        return count == 1 and digest == root
+        # The signed root comes from the publisher but the proof comes
+        # from untrusted storage: compare in constant time (PL002).
+        return count == 1 and constant_time_equals(digest, root)
 
 
 class MerkleTree:

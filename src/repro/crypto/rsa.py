@@ -27,6 +27,8 @@ import hashlib
 import random
 from dataclasses import dataclass
 
+from repro.crypto import entropy
+
 DEFAULT_KEY_BITS = 512
 PUBLIC_EXPONENT = 65537
 
@@ -80,7 +82,7 @@ def _generate_prime(bits: int, rng: random.Random) -> int:
             return candidate
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RSAPublicKey:
     """The (n, e) half of an RSA key; safe to publish in certificates."""
 
@@ -102,7 +104,7 @@ def _fingerprint(n: int, e: int) -> str:
     return hashlib.sha1(material).hexdigest()[:16]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RSAKeyPair:
     """A full RSA keypair with CRT parameters for fast signing.
 
@@ -143,9 +145,11 @@ def generate_rsa_keypair(
 
     ``rng`` drives all randomness; passing a seeded ``random.Random`` makes
     key generation (and therefore all downstream signatures) reproducible.
+    Omitting it falls back to the deterministic per-process stream in
+    :mod:`repro.crypto.entropy` (never OS entropy).
     """
     if rng is None:
-        rng = random.Random()
+        rng = entropy.fallback_rng()
     if bits < 128:
         raise ValueError(f"RSA modulus of {bits} bits is too small to be useful")
     half = bits // 2
@@ -207,8 +211,13 @@ def rsa_sign(keypair: RSAKeyPair, message: bytes) -> int:
     return keypair._private_op(digest)
 
 
-def rsa_verify(public_key: RSAPublicKey, message: bytes, signature: int) -> bool:
-    """Verify an RSA-FDH signature.  Returns False rather than raising."""
+def rsa_verify(public_key: RSAPublicKey, message: bytes,
+               signature: object) -> bool:
+    """Verify an RSA-FDH signature.  Returns False rather than raising.
+
+    ``signature`` is whatever the wire delivered; anything that is not
+    an in-range integer is simply an invalid signature.
+    """
     if not isinstance(signature, int):
         return False
     if not 0 <= signature < public_key.n:

@@ -24,23 +24,37 @@ from __future__ import annotations
 import hashlib
 import hmac
 import random
-from typing import Any, Protocol
+from typing import Protocol, Union
 
-from repro.crypto import fastpath
+from repro.crypto import entropy, fastpath
 from repro.crypto import rsa as _rsa
+
+#: A well-formed signature: an RSA-FDH integer or an HMAC tag.  Values
+#: received off the wire are *claimed* signatures and may be anything an
+#: adversary crafts, so verification entry points accept ``object`` and
+#: narrow with isinstance checks.
+Signature = Union[int, bytes]
+
+
+class MetricsLike(Protocol):
+    """The slice of :class:`repro.metrics.registry.MetricsRegistry` the
+    crypto layer reports into (structural, to avoid a package cycle)."""
+
+    def incr(self, name: str, amount: float = 1.0) -> None: ...
 
 
 class Signer(Protocol):
     """Minimal signature-scheme interface used by all protocol code."""
 
     @property
-    def public_key(self) -> Any:
+    def public_key(self) -> "PublicKey":
         """Public half, safe to publish."""
 
-    def sign(self, message: bytes) -> Any:
+    def sign(self, message: bytes) -> Signature:
         """Produce a signature over ``message`` with the private half."""
 
-    def verify_with(self, public_key: Any, message: bytes, signature: Any) -> bool:
+    def verify_with(self, public_key: object, message: bytes,
+                    signature: object) -> bool:
         """Check ``signature`` over ``message`` against ``public_key``."""
 
 
@@ -61,7 +75,8 @@ class RSASigner:
     def sign(self, message: bytes) -> int:
         return _rsa.rsa_sign(self._keypair, message)
 
-    def verify_with(self, public_key: Any, message: bytes, signature: Any) -> bool:
+    def verify_with(self, public_key: object, message: bytes,
+                    signature: object) -> bool:
         if not isinstance(public_key, _rsa.RSAPublicKey):
             return False
         return _rsa.rsa_verify(public_key, message, signature)
@@ -102,7 +117,7 @@ class HMACSigner:
     def __init__(self, key_bytes: bytes | None = None,
                  rng: random.Random | None = None) -> None:
         if key_bytes is None:
-            rng = rng or random.Random()
+            rng = rng or entropy.fallback_rng()
             key_bytes = rng.getrandbits(256).to_bytes(32, "big")
         self._key = key_bytes
 
@@ -113,14 +128,20 @@ class HMACSigner:
     def sign(self, message: bytes) -> bytes:
         return hmac.new(self._key, message, hashlib.sha1).digest()
 
-    def verify_with(self, public_key: Any, message: bytes, signature: Any) -> bool:
+    def verify_with(self, public_key: object, message: bytes,
+                    signature: object) -> bool:
         if not isinstance(public_key, HMACPublicKey):
             return False
         return _hmac_verify(public_key, message, signature)
 
 
+#: The public-key objects the two schemes publish; certificates and
+#: directory listings carry one of these.
+PublicKey = Union[_rsa.RSAPublicKey, HMACPublicKey]
+
+
 def _hmac_verify(public_key: HMACPublicKey, message: bytes,
-                 signature: Any) -> bool:
+                 signature: object) -> bool:
     if not isinstance(signature, (bytes, bytearray)):
         return False
     expected = hmac.new(public_key.key_bytes, message,
@@ -128,8 +149,8 @@ def _hmac_verify(public_key: HMACPublicKey, message: bytes,
     return hmac.compare_digest(expected, bytes(signature))
 
 
-def verify_signature(public_key: Any, message: bytes, signature: Any,
-                     metrics: Any = None) -> bool:
+def verify_signature(public_key: object, message: bytes, signature: object,
+                     metrics: "MetricsLike | None" = None) -> bool:
     """Verify a signature, dispatching on the *public key's* scheme.
 
     This is the verification entry point all protocol code uses (via
@@ -177,8 +198,8 @@ def verify_signature(public_key: Any, message: bytes, signature: Any,
     return _verify_dispatch(public_key, message, signature)
 
 
-def _verify_dispatch(public_key: Any, message: bytes,
-                     signature: Any) -> bool:
+def _verify_dispatch(public_key: object, message: bytes,
+                     signature: object) -> bool:
     """Scheme dispatch by public-key type; unknown keys verify nothing."""
     if isinstance(public_key, _rsa.RSAPublicKey):
         return _rsa.rsa_verify(public_key, message, signature)

@@ -16,10 +16,13 @@ data secrecy is out of scope.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.sim.latency import ConstantLatency, LatencyModel
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import EventHandle, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only, avoids a runtime cycle
+    from repro.sim.tracing import MessageTracer
 
 
 class Node:
@@ -72,7 +75,7 @@ class Node:
         raise NotImplementedError
 
     def after(self, delay: float, callback: Callable[..., None],
-              *args: Any) -> Any:
+              *args: Any) -> EventHandle:
         """Schedule a local timer that is inert while the node is crashed."""
         def guarded() -> None:
             if not self.crashed:
@@ -93,7 +96,7 @@ class Network:
     def __init__(self, simulator: Simulator,
                  latency: LatencyModel | None = None,
                  loss_probability: float = 0.0,
-                 tracer: "Any | None" = None) -> None:
+                 tracer: "MessageTracer | None" = None) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError(
                 f"loss probability must be in [0, 1), got {loss_probability}"

@@ -1,0 +1,603 @@
+"""Tests for the protolint static-analysis pass (tools/protolint).
+
+Each rule gets positive fixtures (code that must be flagged) and
+negative fixtures (idiomatic code that must stay clean), all run through
+:func:`tools.protolint.engine.lint_source` with a synthetic path so the
+scoping logic is exercised without touching the filesystem.  The final
+class pins the two repo-level guarantees: the live tree lints clean, and
+the CLI's exit codes match its contract.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:  # `tools` lives at the repo root
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.protolint.engine import (  # noqa: E402
+    ProjectContext,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+)
+from tools.protolint.registry import REGISTRY, all_rules  # noqa: E402
+
+#: Default synthetic location: inside every rule's scope.
+CORE = "src/repro/core/example.py"
+CRYPTO = "src/repro/crypto/example.py"
+
+_CONFIG_SOURCE = '''
+from dataclasses import dataclass
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    max_latency: float = 4.0
+    keepalive_interval: float = 1.0
+    double_check_probability: float = 0.05
+
+    def effective_client_max_latency(self) -> float:
+        return self.max_latency
+'''
+
+PROJECT = ProjectContext.from_config_source(_CONFIG_SOURCE)
+
+
+def codes(source: str, path: str = CORE,
+          project: ProjectContext | None = None) -> list[str]:
+    """Lint a dedented snippet; return the rule codes that fired."""
+    violations = lint_source(textwrap.dedent(source), path,
+                             project=project or PROJECT)
+    return [v.rule for v in violations]
+
+
+# -- registry / plumbing -------------------------------------------------
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        all_rules()  # registration happens on first use, not on import
+        assert set(REGISTRY) == {
+            "PL001", "PL002", "PL003", "PL004", "PL005", "PL006"}
+
+    def test_rules_sorted_by_code(self):
+        rule_codes = [rule.code for rule in all_rules()]
+        assert rule_codes == sorted(rule_codes)
+
+    def test_violation_render_format(self):
+        violations = lint_source("x = time.time()\nimport time\n", CORE,
+                                 project=PROJECT)
+        assert len(violations) == 1
+        rendered = violations[0].render()
+        assert rendered.startswith(f"{CORE}:1:")
+        assert "PL001" in rendered
+
+    def test_syntax_error_propagates(self):
+        with pytest.raises(SyntaxError):
+            lint_source("def broken(:", CORE, project=PROJECT)
+
+
+# -- PL001: determinism --------------------------------------------------
+
+
+class TestPL001Determinism:
+    def test_wall_clock_calls_flagged(self):
+        source = """
+            import time
+            import datetime
+
+            def stamp():
+                a = time.time()
+                b = time.monotonic_ns()
+                c = datetime.datetime.now()
+                d = datetime.date.today()
+                return a, b, c, d
+        """
+        assert codes(source).count("PL001") == 4
+
+    def test_import_alias_resolved(self):
+        source = """
+            import time as clock
+
+            def stamp():
+                return clock.perf_counter()
+        """
+        assert codes(source) == ["PL001"]
+
+    def test_from_import_resolved(self):
+        source = """
+            from time import time
+
+            def stamp():
+                return time()
+        """
+        assert codes(source) == ["PL001"]
+
+    def test_os_entropy_flagged(self):
+        source = """
+            import os
+            import secrets
+            import uuid
+
+            def keygen():
+                return os.urandom(16), secrets.token_bytes(8), uuid.uuid4()
+        """
+        assert codes(source).count("PL001") == 3
+
+    def test_unseeded_random_instance_flagged(self):
+        source = """
+            import random
+
+            def make_rng():
+                return random.Random()
+        """
+        assert codes(source) == ["PL001"]
+
+    def test_module_level_random_call_flagged(self):
+        source = """
+            import random
+
+            def roll():
+                return random.randint(1, 6)
+        """
+        assert codes(source) == ["PL001"]
+
+    def test_seeded_random_and_instance_draws_clean(self):
+        source = """
+            import random
+
+            def roll(rng: random.Random) -> float:
+                fallback = random.Random(42)
+                return rng.random() + fallback.random()
+        """
+        assert codes(source) == []
+
+    def test_out_of_scope_path_not_flagged(self):
+        source = """
+            import time
+
+            def bench():
+                return time.perf_counter()
+        """
+        # Benchmark harness code measures real wall-clock on purpose.
+        assert codes(source, path="benchmarks/bench_example.py") == []
+        assert codes(source, path="src/repro/metrics/example.py") == []
+
+
+# -- PL002: constant-time digest comparison ------------------------------
+
+
+class TestPL002DigestCompare:
+    def test_digest_name_equality_flagged(self):
+        source = """
+            def check(result_hash: str, trusted_hash: str) -> bool:
+                return result_hash == trusted_hash
+        """
+        assert codes(source) == ["PL002"]
+
+    def test_inequality_flagged(self):
+        source = """
+            def check(a_digest: str, expected: str) -> bool:
+                return a_digest != expected
+        """
+        assert codes(source) == ["PL002"]
+
+    def test_digest_method_call_flagged(self):
+        source = """
+            import hashlib
+
+            def check(payload: bytes, expected: str) -> bool:
+                return hashlib.sha1(payload).hexdigest() == expected
+        """
+        assert codes(source) == ["PL002"]
+
+    def test_chained_comparison_flagged_once_per_bad_link(self):
+        source = """
+            def check(a_hash: str, b_hash: str, c_hash: str) -> bool:
+                return a_hash == b_hash == c_hash
+        """
+        assert codes(source).count("PL002") == 2
+
+    def test_constant_time_equals_clean(self):
+        source = """
+            from repro.crypto.hashing import constant_time_equals
+
+            def check(result_hash: str, trusted_hash: str) -> bool:
+                return constant_time_equals(result_hash, trusted_hash)
+        """
+        assert codes(source) == []
+
+    def test_literal_comparison_clean(self):
+        # `root == "/"` in path code must never fire; literals are not
+        # attacker-timed secrets.
+        source = """
+            def check(result_hash: str) -> bool:
+                return result_hash == ""
+        """
+        assert codes(source) == []
+
+    def test_non_digest_names_clean(self):
+        source = """
+            def check(left: int, right: int) -> bool:
+                return left == right
+        """
+        assert codes(source) == []
+
+    def test_none_comparison_clean(self):
+        source = """
+            def check(signature) -> bool:
+                return signature is None
+        """
+        assert codes(source) == []
+
+
+# -- PL003: message/crypto dataclass shape -------------------------------
+
+
+class TestPL003DataclassShape:
+    def test_missing_slots_flagged(self):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Ping:
+                seq: int
+        """
+        assert codes(source, path=CRYPTO) == ["PL003"]
+
+    def test_signed_payload_requires_frozen(self):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass(slots=True)
+            class Stamp:
+                version: int
+
+                def signed_payload(self) -> bytes:
+                    return b""
+        """
+        assert codes(source, path=CRYPTO) == ["PL003"]
+
+    def test_cache_field_requires_init_false(self):
+        source = """
+            from dataclasses import dataclass, field
+
+            @dataclass(frozen=True, slots=True)
+            class Stamp:
+                version: int
+                _payload_cache: bytes | None = None
+
+                def signed_payload(self) -> bytes:
+                    return b""
+        """
+        assert codes(source, path=CRYPTO) == ["PL003"]
+
+    def test_well_shaped_dataclass_clean(self):
+        source = """
+            from dataclasses import dataclass, field
+
+            @dataclass(frozen=True, slots=True)
+            class Stamp:
+                version: int
+                _payload_cache: bytes | None = field(
+                    default=None, init=False, compare=False, repr=False)
+
+                def signed_payload(self) -> bytes:
+                    return b""
+        """
+        assert codes(source, path=CRYPTO) == []
+
+    def test_plain_class_ignored(self):
+        source = """
+            class NotADataclass:
+                def signed_payload(self) -> bytes:
+                    return b""
+        """
+        assert codes(source, path=CRYPTO) == []
+
+    def test_out_of_scope_module_not_flagged(self):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class RunRecord:
+                name: str
+        """
+        # Analysis/metrics dataclasses are not wire messages.
+        assert codes(source, path="src/repro/analysis/example.py") == []
+
+
+# -- PL004: verification must go through scheme dispatch -----------------
+
+
+class TestPL004VerifyDispatch:
+    def test_verify_with_flagged(self):
+        source = """
+            def check(signer, public_key, message, signature):
+                return signer.verify_with(public_key, message, signature)
+        """
+        assert codes(source) == ["PL004"]
+
+    def test_raw_rsa_primitive_flagged(self):
+        source = """
+            from repro.crypto.rsa import rsa_verify
+
+            def check(public_key, message, signature):
+                return rsa_verify(public_key, message, signature)
+        """
+        assert codes(source) == ["PL004"]
+
+    def test_keypair_verify_clean(self):
+        source = """
+            def check(keys, public_key, message, signature):
+                return keys.verify(public_key, message, signature)
+        """
+        assert codes(source) == []
+
+    def test_crypto_package_itself_exempt(self):
+        # The dispatcher's own implementation must be allowed to call the
+        # primitives it dispatches to.
+        source = """
+            def _dispatch(signer, public_key, message, signature):
+                return signer.verify_with(public_key, message, signature)
+        """
+        assert codes(source, path="src/repro/crypto/signatures.py") == []
+
+
+# -- PL005: mutable default arguments ------------------------------------
+
+
+class TestPL005MutableDefaults:
+    def test_list_dict_set_displays_flagged(self):
+        source = """
+            def f(a=[], b={}, c=set()):
+                return a, b, c
+        """
+        assert codes(source).count("PL005") == 3
+
+    def test_constructor_call_defaults_flagged(self):
+        source = """
+            from collections import defaultdict
+
+            def f(acc=defaultdict(list), buf=bytearray()):
+                return acc, buf
+        """
+        assert codes(source).count("PL005") == 2
+
+    def test_lambda_and_kwonly_defaults_flagged(self):
+        source = """
+            g = lambda xs=[]: xs
+
+            def f(*, registry={}):
+                return registry
+        """
+        assert codes(source).count("PL005") == 2
+
+    def test_immutable_defaults_clean(self):
+        source = """
+            def f(a=(), b=None, c="x", d=0, e=frozenset()):
+                return a, b, c, d, e
+        """
+        assert codes(source) == []
+
+
+# -- PL006: config field references must exist ---------------------------
+
+
+class TestPL006ConfigFields:
+    def test_unknown_attribute_flagged_with_suggestion(self):
+        source = """
+            def deadline(config):
+                return config.max_latncy
+        """
+        violations = lint_source(textwrap.dedent(source), CORE,
+                                 project=PROJECT)
+        assert [v.rule for v in violations] == ["PL006"]
+        assert "max_latency" in violations[0].message  # difflib suggestion
+
+    def test_known_field_and_method_clean(self):
+        source = """
+            def deadline(config):
+                return config.max_latency + config.effective_client_max_latency()
+        """
+        assert codes(source) == []
+
+    def test_constructor_kwargs_checked(self):
+        source = """
+            from repro.core.config import ProtocolConfig
+
+            def make():
+                return ProtocolConfig(keepalive_intervall=2.0)
+        """
+        assert codes(source) == ["PL006"]
+
+    def test_replace_kwargs_checked(self):
+        source = """
+            from dataclasses import replace
+
+            def tweak(config):
+                return replace(config, double_chek_probability=0.5)
+        """
+        assert codes(source) == ["PL006"]
+
+    def test_getattr_literal_checked(self):
+        source = """
+            def peek(config):
+                return getattr(config, "keepalive_intervall")
+        """
+        assert codes(source) == ["PL006"]
+
+    def test_non_config_receiver_ignored(self):
+        source = """
+            def peek(settings):
+                return settings.max_latncy
+        """
+        assert codes(source) == []
+
+    def test_rule_inert_without_config_source(self):
+        source = """
+            def deadline(config):
+                return config.definitely_not_a_field
+        """
+        assert codes(source, project=ProjectContext()) == []
+
+    def test_project_context_parsed_fields(self):
+        assert PROJECT.config_fields == {
+            "max_latency", "keepalive_interval", "double_check_probability"}
+        assert PROJECT.config_methods == {"effective_client_max_latency"}
+
+
+# -- suppression comments ------------------------------------------------
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()  # protolint: disable=PL001
+        """
+        assert codes(source) == []
+
+    def test_next_line_suppression(self):
+        source = """
+            import time
+
+            def stamp():
+                # protolint: disable-next-line=PL001
+                return time.time()
+        """
+        assert codes(source) == []
+
+    def test_file_level_suppression(self):
+        source = """
+            # protolint: disable-file=PL001
+            import time
+
+            def stamp():
+                return time.time() + time.monotonic()
+        """
+        assert codes(source) == []
+
+    def test_all_keyword(self):
+        source = """
+            import time
+
+            def stamp(result_hash, trusted_hash):
+                return time.time(), result_hash == trusted_hash  # protolint: disable=all
+        """
+        assert codes(source) == []
+
+    def test_suppression_is_code_specific(self):
+        source = """
+            import time
+
+            def stamp(result_hash, trusted_hash):
+                return time.time(), result_hash == trusted_hash  # protolint: disable=PL002
+        """
+        assert codes(source) == ["PL001"]
+
+    def test_suppression_does_not_leak_to_other_lines(self):
+        source = """
+            import time
+
+            def stamp():
+                a = time.time()  # protolint: disable=PL001
+                return a + time.time()
+        """
+        assert codes(source) == ["PL001"]
+
+    def test_parse_suppressions_multiple_codes(self):
+        sup = parse_suppressions(
+            "x = 1  # protolint: disable=PL001, PL002\n")
+        assert sup.by_line[1] == frozenset({"PL001", "PL002"})
+        assert sup.file_level == frozenset()
+
+    def test_ordinary_comments_never_suppress(self):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()  # disable=PL001 (not a protolint marker)
+        """
+        assert codes(source) == ["PL001"]
+
+
+# -- repo-level guarantees -----------------------------------------------
+
+
+class TestLiveTree:
+    def test_checked_tree_is_clean(self):
+        """The committed source tree must lint clean — the CI gate."""
+        paths = [str(REPO_ROOT / name)
+                 for name in ("src", "benchmarks", "examples")
+                 if (REPO_ROOT / name).is_dir()]
+        result = lint_paths(paths)
+        assert result.errors == []
+        rendered = "\n".join(v.render() for v in result.violations)
+        assert result.violations == [], f"live tree has violations:\n{rendered}"
+        assert result.files_checked > 50
+
+    def test_project_context_discovered_from_repo(self):
+        project = ProjectContext.discover(REPO_ROOT / "src")
+        assert project.config_fields is not None
+        assert "max_latency" in project.config_fields
+        assert "effective_client_max_latency" in project.config_methods
+
+
+class TestCLI:
+    def _run(self, *argv: str, cwd: Path = REPO_ROOT):
+        return subprocess.run(
+            [sys.executable, "-m", "tools.protolint", *argv],
+            cwd=cwd, capture_output=True, text=True, timeout=120)
+
+    def test_exit_zero_on_clean_file(self, tmp_path: Path):
+        clean = tmp_path / "src" / "repro" / "core" / "clean.py"
+        clean.parent.mkdir(parents=True)
+        clean.write_text("def f(rng):\n    return rng.random()\n")
+        proc = self._run(str(clean))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_exit_one_on_violation(self, tmp_path: Path):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+        proc = self._run(str(bad))
+        assert proc.returncode == 1
+        assert "PL001" in proc.stdout
+
+    def test_exit_two_on_syntax_error(self, tmp_path: Path):
+        broken = tmp_path / "src" / "repro" / "core" / "broken.py"
+        broken.parent.mkdir(parents=True)
+        broken.write_text("def broken(:\n")
+        proc = self._run(str(broken))
+        assert proc.returncode == 2
+
+    def test_select_filters_rules(self, tmp_path: Path):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+        proc = self._run("--select", "PL002", str(bad))
+        assert proc.returncode == 0
+
+    def test_list_rules(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0
+        for code in ("PL001", "PL002", "PL003", "PL004", "PL005", "PL006"):
+            assert code in proc.stdout
+
+    def test_explain_prints_rule_doc(self):
+        proc = self._run("--explain", "PL002")
+        assert proc.returncode == 0
+        assert "compare_digest" in proc.stdout
+
+    def test_explain_unknown_rule_errors(self):
+        proc = self._run("--explain", "PL999")
+        assert proc.returncode == 2

@@ -1,0 +1,58 @@
+"""protolint -- AST-based protocol-invariant linter for this repository.
+
+The paper's security argument ("Secure Data Replication over Untrusted
+Hosts", HotOS 2003) rests on invariants the type system cannot see:
+
+* the simulator must be bit-reproducible from a seed, so protocol code
+  must never read the wall clock or an unseeded RNG (PL001);
+* digests and signatures cross trust boundaries, so they must be
+  compared in constant time, never with ``==`` (PL002);
+* signed payload memos must never survive a ``dataclasses.replace`` on
+  a tampered message, so message/crypto dataclasses follow a strict
+  shape (PL003);
+* all signature verification must flow through the scheme-dispatching
+  ``verify_signature`` entry point, never through a raw
+  ``Signer.verify_with`` (PL004);
+* plus two general hygiene rules: no mutable default arguments (PL005)
+  and no references to nonexistent ``ProtocolConfig`` fields (PL006).
+
+``protolint`` machine-checks those invariants on every commit.  It is
+pure stdlib (``ast`` + ``tokenize``) so it runs anywhere the tests run.
+
+Usage::
+
+    python -m tools.protolint src/ benchmarks/ examples/
+    python -m tools.protolint --list-rules
+    python -m tools.protolint --explain PL002
+
+Suppressions (see docs/STATIC_ANALYSIS.md):
+
+* ``# protolint: disable=PL001`` trailing a line suppresses that line;
+* ``# protolint: disable-next-line=PL001`` suppresses the next line;
+* ``# protolint: disable-file=PL001`` anywhere suppresses the file.
+"""
+
+from __future__ import annotations
+
+from tools.protolint.engine import (
+    FileContext,
+    LintResult,
+    ProjectContext,
+    lint_paths,
+    lint_source,
+)
+from tools.protolint.registry import REGISTRY, Rule, Violation, register
+
+__all__ = [
+    "FileContext",
+    "LintResult",
+    "ProjectContext",
+    "REGISTRY",
+    "Rule",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "register",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,15 @@
+"""Entry point for ``python -m tools.protolint``."""
+
+import sys
+
+from tools.protolint.cli import main
+
+try:
+    code = main()
+except BrokenPipeError:  # e.g. `protolint --explain PL002 | head`
+    # Reopen stdout on devnull so the interpreter's shutdown flush
+    # does not raise a second time, then exit like a killed pipe reader.
+    import os
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 1
+sys.exit(code)

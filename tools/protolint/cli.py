@@ -1,0 +1,94 @@
+"""Command-line interface: ``python -m tools.protolint <paths...>``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from tools.protolint.engine import lint_paths
+from tools.protolint.registry import REGISTRY, all_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.protolint",
+        description="AST-based protocol-invariant linter "
+                    "(see docs/STATIC_ANALYSIS.md)",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--ignore", metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every registered rule and exit")
+    parser.add_argument("--explain", metavar="CODE",
+                        help="print a rule's full documentation and exit")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the summary line")
+    return parser
+
+
+def _parse_codes(raw: str) -> set[str]:
+    return {code.strip().upper() for code in raw.split(",") if code.strip()}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    rules = all_rules()
+
+    if args.list_rules:
+        for rule in rules:
+            scope = ", ".join(rule.scope) if rule.scope else "all files"
+            print(f"{rule.code}  {rule.name}  [{scope}]")
+        return 0
+
+    if args.explain:
+        code = args.explain.strip().upper()
+        rule = REGISTRY.get(code)
+        if rule is None:
+            print(f"unknown rule {code!r}; try --list-rules", file=sys.stderr)
+            return 2
+        doc = sys.modules[type(rule).__module__].__doc__
+        print(f"{rule.code} ({rule.name})\n")
+        print((doc or type(rule).__doc__ or "undocumented").strip())
+        return 0
+
+    if not args.paths:
+        parser.error("no paths given (try: src/ benchmarks/ examples/)")
+
+    if args.select:
+        selected = _parse_codes(args.select)
+        unknown = selected - REGISTRY.keys()
+        if unknown:
+            parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.code in selected]
+    if args.ignore:
+        ignored = _parse_codes(args.ignore)
+        rules = [rule for rule in rules if rule.code not in ignored]
+
+    result = lint_paths(args.paths, rules=rules)
+    for violation in result.violations:
+        print(violation.render())
+    for path, message in result.errors:
+        print(f"{path}: error: {message}", file=sys.stderr)
+    if not args.quiet:
+        status = "clean" if result.ok else (
+            f"{len(result.violations)} violation(s), "
+            f"{len(result.errors)} error(s)")
+        print(f"protolint: {result.files_checked} file(s) checked: {status}",
+              file=sys.stderr)
+    if result.errors:
+        return 2
+    return 1 if result.violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""File discovery, suppression handling and the lint driver.
+
+The engine owns everything rule-independent: finding ``*.py`` files,
+parsing them once, extracting ``# protolint:`` suppression comments, and
+running every applicable rule over the parsed tree.  Rules only see a
+:class:`FileContext` and yield :class:`Violation` objects; the engine
+filters the suppressed ones and aggregates the rest.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator, Sequence
+
+from tools.protolint.registry import Rule, Violation, all_rules
+
+#: Matches ``# protolint: disable=PL001,PL002`` (and the -file / -next-line
+#: variants).  ``all`` suppresses every rule.
+_SUPPRESS_RE = re.compile(
+    r"#\s*protolint:\s*(?P<kind>disable(?:-file|-next-line)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache",
+              ".pytest_cache", "build", "dist", ".eggs", "node_modules",
+              ".venv", "venv"}
+
+
+@dataclass(slots=True)
+class Suppressions:
+    """Parsed ``# protolint:`` comments for one file."""
+
+    #: Codes disabled for the whole file ("all" disables everything).
+    file_level: frozenset[str] = frozenset()
+    #: line number -> codes disabled on that line.
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        if _covers(self.file_level, violation.rule):
+            return True
+        codes = self.by_line.get(violation.line)
+        return codes is not None and _covers(codes, violation.rule)
+
+
+def _covers(codes: frozenset[str], rule_code: str) -> bool:
+    return "ALL" in codes or rule_code.upper() in codes
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract suppression comments with a plain line scan.
+
+    A regex over raw lines is deliberate: it keeps the scanner robust to
+    files that do not tokenize (the parse error is reported separately)
+    and costs one pass.  The pattern requires the literal ``protolint:``
+    marker, so ordinary comments can never suppress anything by accident.
+    """
+    file_level: set[str] = set()
+    by_line: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        for match in _SUPPRESS_RE.finditer(line):
+            codes = frozenset(
+                code.strip().upper()
+                for code in match.group("codes").split(",")
+                if code.strip()
+            )
+            kind = match.group("kind")
+            if kind == "disable-file":
+                file_level.update(codes)
+            elif kind == "disable-next-line":
+                by_line.setdefault(lineno + 1, set()).update(codes)
+            else:
+                by_line.setdefault(lineno, set()).update(codes)
+    return Suppressions(
+        file_level=frozenset(file_level),
+        by_line={line: frozenset(codes) for line, codes in by_line.items()},
+    )
+
+
+@dataclass(slots=True)
+class ProjectContext:
+    """Repo-level facts shared by all files in one lint run.
+
+    ``config_fields`` / ``config_methods`` describe the system-config
+    dataclass (``ProtocolConfig``): the names PL006 validates references
+    against.  ``None`` (config source not found) disables PL006 rather
+    than producing false positives.
+    """
+
+    config_fields: frozenset[str] | None = None
+    config_methods: frozenset[str] = frozenset()
+
+    CONFIG_RELPATH = PurePosixPath("src/repro/core/config.py")
+    CONFIG_CLASS = "ProtocolConfig"
+
+    @classmethod
+    def discover(cls, anchor: Path) -> "ProjectContext":
+        """Build project facts by locating the config module near ``anchor``.
+
+        Walks up from ``anchor`` (a linted path or the CWD) until a
+        directory containing ``src/repro/core/config.py`` is found.
+        """
+        anchor = anchor.resolve()
+        candidates = [anchor, *anchor.parents]
+        for base in candidates:
+            config_path = base / cls.CONFIG_RELPATH
+            if config_path.is_file():
+                return cls.from_config_source(
+                    config_path.read_text(encoding="utf-8"))
+        return cls()
+
+    @classmethod
+    def from_config_source(cls, source: str) -> "ProjectContext":
+        """Parse the config dataclass and record its field/method names."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            return cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == cls.CONFIG_CLASS:
+                fields: set[str] = set()
+                methods: set[str] = set()
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) and isinstance(
+                            stmt.target, ast.Name):
+                        fields.add(stmt.target.id)
+                    elif isinstance(stmt, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                        methods.add(stmt.name)
+                return cls(config_fields=frozenset(fields),
+                           config_methods=frozenset(methods))
+        return cls()
+
+
+@dataclass(slots=True)
+class FileContext:
+    """Everything a rule may inspect about one file."""
+
+    path: str  # posix-normalised, as given on the command line
+    source: str
+    tree: ast.Module
+    project: ProjectContext
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Aggregated outcome of one lint run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    #: (path, message) pairs for files that failed to parse.
+    errors: list[tuple[str, str]] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.errors
+
+
+def lint_source(source: str, path: str,
+                project: ProjectContext | None = None,
+                rules: Sequence[Rule] | None = None) -> list[Violation]:
+    """Lint one in-memory source blob as if it lived at ``path``.
+
+    This is the entry point the fixture tests use: the ``path`` decides
+    which scoped rules fire, no filesystem access happens.
+    """
+    posix_path = PurePosixPath(path).as_posix()
+    tree = ast.parse(source)  # SyntaxError propagates to the caller
+    suppressions = parse_suppressions(source)
+    ctx = FileContext(path=posix_path, source=source, tree=tree,
+                      project=project or ProjectContext())
+    found: list[Violation] = []
+    for rule in (all_rules() if rules is None else rules):
+        if not rule.applies_to(posix_path):
+            continue
+        for violation in rule.check(ctx):
+            if not suppressions.is_suppressed(violation):
+                found.append(violation)
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return found
+
+
+def discover_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Expand the given files/directories into a sorted stream of .py files."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py")
+                if not (_SKIP_DIRS & set(part for part in p.parts))
+            )
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def lint_paths(paths: Sequence[str],
+               rules: Sequence[Rule] | None = None,
+               project: ProjectContext | None = None) -> LintResult:
+    """Lint files/directories; the workhorse behind the CLI."""
+    result = LintResult()
+    if project is None:
+        anchor = Path(paths[0]) if paths else Path.cwd()
+        project = ProjectContext.discover(
+            anchor if anchor.is_dir() else anchor.parent)
+    for file_path in discover_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            result.errors.append((str(file_path), f"unreadable: {exc}"))
+            continue
+        result.files_checked += 1
+        try:
+            result.violations.extend(
+                lint_source(source, str(file_path), project=project,
+                            rules=rules))
+        except SyntaxError as exc:
+            result.errors.append(
+                (str(file_path), f"syntax error: {exc.msg} (line {exc.lineno})"))
+    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return result

@@ -1,0 +1,90 @@
+"""Best-effort static name resolution for call targets.
+
+Rules like PL001 ("no ``time.time()`` in simulation code") must match a
+call however the function was imported::
+
+    import time;            time.time()
+    import time as t;       t.time()
+    from time import time;  time()
+    from datetime import datetime as dt;  dt.now()
+
+:func:`import_aliases` builds a map from local names to the dotted path
+they were imported as; :func:`resolve_call_target` folds an attribute
+chain through that map and returns the fully-qualified dotted name (or
+``None`` when the base is not an imported name -- e.g. a method call on
+a local object, which no rule should confuse with a module function).
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map each imported local name to its dotted origin.
+
+    ``import x.y`` binds ``x`` (to module ``x``); ``import x.y as z``
+    binds ``z`` to ``x.y``.  ``from pkg import name as alias`` binds
+    ``alias`` to ``pkg.name``.  Imports anywhere in the file count --
+    function-local imports hide just as much nondeterminism as module
+    level ones.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+                else:
+                    # ``import x.y`` binds the top-level package name.
+                    top = alias.name.split(".", 1)[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never reach stdlib modules
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def attribute_chain(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` -> ``["a", "b", "c"]``; ``None`` for non-name bases."""
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def resolve_call_target(func: ast.expr,
+                        aliases: dict[str, str]) -> str | None:
+    """Resolve a call's function expression to a dotted import path.
+
+    Returns ``None`` when the call target is not rooted in an imported
+    name (locals, attributes of ``self``, results of other calls, ...).
+    """
+    chain = attribute_chain(func)
+    if chain is None:
+        return None
+    base, rest = chain[0], chain[1:]
+    origin = aliases.get(base)
+    if origin is None:
+        return None
+    return ".".join([origin, *rest]) if rest else origin
+
+
+def terminal_name(node: ast.expr) -> str | None:
+    """The final identifier of a name/attribute expression, else ``None``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None

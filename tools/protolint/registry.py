@@ -1,0 +1,103 @@
+"""Checker registry: rules self-register at import time.
+
+A rule is a class with a ``code`` (``PL001`` ...), a short ``name``, a
+``scope`` of path fragments it applies to, and a ``check`` method that
+walks a parsed file and yields :class:`Violation` objects.  The registry
+maps codes to live rule instances; the CLI and the test suite both pull
+rules from here, so adding a module under ``tools/protolint/rules/`` and
+decorating the class with :func:`register` is the complete recipe for a
+new check.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Type, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from tools.protolint.engine import FileContext
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One rule hit, pointing at a (1-indexed) line in one file."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class Rule:
+    """Base class for all protolint checks.
+
+    Subclasses set:
+
+    ``code``
+        The stable identifier used in output and suppression comments.
+    ``name``
+        A short kebab-case label shown by ``--list-rules``.
+    ``scope``
+        Path fragments (posix, e.g. ``"src/repro/sim/"``); the rule runs
+        only on files whose path contains one of them.  An empty scope
+        means the rule runs on every linted file.
+
+    The class docstring doubles as the ``--explain`` text, so it should
+    state the protocol invariant the rule protects and how to fix or
+    suppress a hit.
+    """
+
+    code: str = ""
+    name: str = ""
+    scope: tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on ``path`` (posix-normalised)."""
+        if not self.scope:
+            return True
+        anchored = "/" + path.lstrip("/")
+        return any("/" + fragment.lstrip("/") in anchored
+                   for fragment in self.scope)
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: "FileContext", node: ast.AST,
+                  message: str) -> Violation:
+        """Build a violation anchored at ``node``'s source position."""
+        return Violation(
+            rule=self.code,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+#: Live rule instances keyed by code (``PL001`` -> rule).
+REGISTRY: dict[str, Rule] = {}
+
+_RuleT = TypeVar("_RuleT", bound=Type[Rule])
+
+
+def register(rule_cls: _RuleT) -> _RuleT:
+    """Class decorator: instantiate the rule and add it to the registry."""
+    rule = rule_cls()
+    if not rule.code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if rule.code in REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """All registered rules, ordered by code."""
+    import tools.protolint.rules  # noqa: F401  (side effect: registration)
+
+    return [REGISTRY[code] for code in sorted(REGISTRY)]

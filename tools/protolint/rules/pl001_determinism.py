@@ -1,0 +1,97 @@
+"""PL001: no wall-clock reads or unseeded randomness in protocol code.
+
+Invariant (paper §3.1-3.2, EXPERIMENTS.md): every simulation run is a
+deterministic function of its seed.  The simulator owns virtual time
+(``Simulator.now``) and hands out reproducible random streams
+(``Simulator.fork_rng``); protocol code that reads the host's wall
+clock, or draws from the process-global ``random`` module, or
+constructs an argument-less ``random.Random()``, silently breaks
+bit-reproducibility -- and with the PR-1 fastpath caches in place such
+a regression would not even show up as a performance anomaly.
+
+Flags, inside ``src/repro/{sim,core,broadcast,baselines,crypto}``:
+
+* wall-clock/process-clock reads: ``time.time``, ``time.monotonic``,
+  ``time.perf_counter`` (and ``_ns`` variants), ``time.process_time``,
+  ``datetime.datetime.now/utcnow/today``, ``datetime.date.today``;
+* OS entropy: ``os.urandom``, ``uuid.uuid1``, ``uuid.uuid4``, anything
+  from ``secrets``;
+* the shared module-level RNG: any ``random.<fn>()`` call (``random.random``,
+  ``random.randint``, ``random.shuffle``, ...);
+* unseeded instances: ``random.Random()`` with no arguments.
+
+Fix: take a caller-supplied ``random.Random`` (ultimately derived from
+``Simulator.fork_rng``) or, for a documented deterministic fallback,
+use ``repro.crypto.entropy.fallback_rng()``.  Benchmark *harness* code
+measuring wall-clock time lives outside the scoped directories on
+purpose.  Suppress a deliberate exception with
+``# protolint: disable=PL001`` and a comment saying why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.protolint.engine import FileContext
+from tools.protolint.names import import_aliases, resolve_call_target
+from tools.protolint.registry import Rule, Violation, register
+
+_CLOCK_CALLS = {
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+_ENTROPY_CALLS = {
+    "os.urandom", "uuid.uuid1", "uuid.uuid4",
+}
+
+
+@register
+class NoNondeterminism(Rule):
+    code = "PL001"
+    name = "no-wallclock-nondeterminism"
+    scope = (
+        "src/repro/sim/",
+        "src/repro/core/",
+        "src/repro/broadcast/",
+        "src/repro/baselines/",
+        "src/repro/crypto/",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node.func, aliases)
+            if target is None:
+                continue
+            if target in _CLOCK_CALLS:
+                yield self.violation(
+                    ctx, node,
+                    f"wall-clock read `{target}()` in deterministic protocol "
+                    "code; use the simulator clock (`self.now` / "
+                    "`Simulator.now`)")
+            elif target in _ENTROPY_CALLS or target.startswith("secrets."):
+                yield self.violation(
+                    ctx, node,
+                    f"OS entropy `{target}()` breaks seed-reproducibility; "
+                    "derive randomness from a caller-supplied "
+                    "`random.Random`")
+            elif target == "random.Random":
+                if not node.args and not node.keywords:
+                    yield self.violation(
+                        ctx, node,
+                        "unseeded `random.Random()`; accept a caller-supplied "
+                        "rng (Simulator.fork_rng) or use "
+                        "repro.crypto.entropy.fallback_rng()")
+            elif target.startswith("random.") and target.count(".") == 1:
+                yield self.violation(
+                    ctx, node,
+                    f"module-level `{target}()` draws from the shared global "
+                    "RNG; use a caller-supplied `random.Random` instance")

@@ -1,0 +1,80 @@
+"""PL002: digests and signatures must not be compared with ``==``.
+
+Invariant (paper §3.2-3.4): hashes travel across trust boundaries --
+the client compares a slave's pledged result hash against a master's
+trusted hash, the auditor compares re-executed hashes against pledged
+ones, the Merkle baseline compares recomputed roots against signed
+roots.  A real deployment that compares such values with ``==`` leaks
+a byte-position timing oracle; a reproduction that does so teaches the
+wrong idiom.  All digest/signature equality checks go through
+``hmac.compare_digest`` -- in this repo via the
+``repro.crypto.hashing.constant_time_equals`` helper, which accepts
+the ``str`` hex digests pledges carry as well as raw ``bytes``.
+
+Flags any ``==`` / ``!=`` where at least one operand is digest-like:
+
+* a call to ``.digest()`` or ``.hexdigest()``;
+* a name or attribute whose final identifier ends in ``digest``,
+  ``hash``, ``hmac``, ``mac``, ``sig`` or ``signature``
+  (``result_hash``, ``honest_digest``, ``trusted_hash``, ...)
+
+and the other operand is not a plain literal (so ``root == "/"`` in
+path code never fires).  Comparisons against ``None`` are fine.
+
+Fix: ``constant_time_equals(a, b)`` (or ``hmac.compare_digest``
+directly for bytes).  For a name that merely *looks* digest-like,
+rename it or suppress with ``# protolint: disable=PL002``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from tools.protolint.engine import FileContext
+from tools.protolint.names import terminal_name
+from tools.protolint.registry import Rule, Violation, register
+
+_DIGEST_NAME = re.compile(
+    r"(?:^|_)(?:digest|hash|hmac|mac|sig|signature)$")
+
+_DIGEST_METHODS = {"digest", "hexdigest"}
+
+
+def _is_digest_like(node: ast.expr) -> bool:
+    if isinstance(node, ast.Call):
+        name = terminal_name(node.func)
+        return name in _DIGEST_METHODS
+    name = terminal_name(node)
+    return name is not None and _DIGEST_NAME.search(name) is not None
+
+
+def _is_literal(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant)
+
+
+@register
+class ConstantTimeDigestCompare(Rule):
+    code = "PL002"
+    name = "constant-time-digest-compare"
+    scope = ("src/", "benchmarks/", "examples/")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_literal(left) or _is_literal(right):
+                    continue
+                if _is_digest_like(left) or _is_digest_like(right):
+                    op_text = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.violation(
+                        ctx, node,
+                        f"digest/signature compared with `{op_text}`; use "
+                        "repro.crypto.hashing.constant_time_equals (wraps "
+                        "hmac.compare_digest)")

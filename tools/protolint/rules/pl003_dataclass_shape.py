@@ -1,0 +1,105 @@
+"""PL003: message/crypto dataclasses declare ``slots=True``; signed
+payloads are frozen and memoised safely.
+
+Invariant (PR 1's fastpath design, paper §3.2-3.3): wire messages are
+allocated millions of times per run, so they carry ``slots=True`` both
+for footprint and to make accidental attribute creation (a typo'd
+field on a frozen message) a hard error.  Classes that expose a
+``signed_payload()`` memo (``VersionStamp``, ``Pledge``,
+``Certificate``) must additionally be ``frozen=True`` -- a mutable
+signed message could be altered *after* its payload memo was filled,
+making the cached bytes vouch for fields the signature never covered.
+For the same reason every ``*_cache`` field must be declared
+``field(init=False, ...)`` so ``dataclasses.replace`` can never copy a
+stale memo onto a tampered message.
+
+Scope: ``src/repro/core/messages.py`` and ``src/repro/crypto/``.
+
+Fix: add ``slots=True`` (and ``frozen=True`` where flagged) to the
+``@dataclass(...)`` decorator; declare payload memos as
+``field(default=None, init=False, compare=False, repr=False)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.protolint.engine import FileContext
+from tools.protolint.names import terminal_name
+from tools.protolint.registry import Rule, Violation, register
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | ast.Call | None:
+    """The ``@dataclass`` / ``@dataclass(...)`` decorator, if present."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if terminal_name(target) == "dataclass":
+            return decorator
+    return None
+
+
+def _keyword_true(decorator: ast.expr, name: str) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == name:
+            return (isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True)
+    return False
+
+
+def _field_keyword_false(value: ast.expr | None, name: str) -> bool:
+    """Whether ``value`` is a ``field(...)`` call passing ``name=False``."""
+    if not isinstance(value, ast.Call) or terminal_name(value.func) != "field":
+        return False
+    for keyword in value.keywords:
+        if keyword.arg == name:
+            return (isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is False)
+    return False
+
+
+@register
+class MessageDataclassShape(Rule):
+    code = "PL003"
+    name = "message-dataclass-shape"
+    scope = ("src/repro/core/messages.py", "src/repro/crypto/")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            decorator = _dataclass_decorator(node)
+            if decorator is None:
+                continue
+            has_slots = _keyword_true(decorator, "slots")
+            has_frozen = _keyword_true(decorator, "frozen")
+            defines_signed_payload = any(
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "signed_payload"
+                for stmt in node.body
+            )
+            if not has_slots:
+                yield self.violation(
+                    ctx, node,
+                    f"dataclass `{node.name}` must declare slots=True "
+                    "(message/crypto objects are allocated on the hot path "
+                    "and must reject stray attributes)")
+            if defines_signed_payload and not has_frozen:
+                yield self.violation(
+                    ctx, node,
+                    f"dataclass `{node.name}` exposes signed_payload() but is "
+                    "not frozen=True; a mutable signed message can outlive "
+                    "its payload memo")
+            for stmt in node.body:
+                if not (isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)
+                        and stmt.target.id.endswith("_cache")):
+                    continue
+                if not _field_keyword_false(stmt.value, "init"):
+                    yield self.violation(
+                        ctx, stmt,
+                        f"memo field `{node.name}.{stmt.target.id}` must be "
+                        "declared field(init=False, ...) so dataclasses."
+                        "replace never copies a stale signed-payload memo")

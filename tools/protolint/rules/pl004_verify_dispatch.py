@@ -1,0 +1,68 @@
+"""PL004: all signature verification goes through the scheme dispatch.
+
+Invariant (PR 1 fix, documented in
+``repro.crypto.signatures.verify_signature``): verification must
+dispatch on the *public key's* scheme, not on the verifier's own
+signer.  Routing through ``Signer.verify_with`` silently fails
+cross-scheme -- an HMAC-keyed client handed an RSA-signed certificate
+verifies nothing, which in the seed tree meant ``signer_scheme="rsa"``
+systems accepted zero reads.  Calling the scheme primitives
+(``rsa_verify``, ``_hmac_verify``) directly bypasses both the dispatch
+and the process-wide verify cache and its metrics.
+
+Flags, everywhere outside ``src/repro/crypto/`` (the one package
+allowed to touch primitives):
+
+* any ``<obj>.verify_with(...)`` call;
+* any call whose target resolves to ``rsa_verify`` / ``_hmac_verify``
+  (however imported).
+
+Fix: call ``KeyPair.verify(public_key, payload, signature)`` (counts
+the operation against the verifying node and hits the verify cache) or
+``repro.crypto.signatures.verify_signature`` where no node identity is
+involved.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.protolint.engine import FileContext
+from tools.protolint.names import import_aliases, resolve_call_target, terminal_name
+from tools.protolint.registry import Rule, Violation, register
+
+_RAW_PRIMITIVES = {"rsa_verify", "_hmac_verify"}
+
+
+@register
+class VerifyThroughDispatch(Rule):
+    code = "PL004"
+    name = "verify-through-scheme-dispatch"
+    scope = ("src/", "benchmarks/", "examples/")
+
+    def applies_to(self, path: str) -> bool:
+        if "src/repro/crypto/" in "/" + path.lstrip("/"):
+            return False
+        return super().applies_to(path)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = terminal_name(node.func)
+            if name == "verify_with":
+                yield self.violation(
+                    ctx, node,
+                    "raw Signer.verify_with() bypasses the scheme dispatch "
+                    "(cross-scheme verification silently fails); use "
+                    "KeyPair.verify or crypto.signatures.verify_signature")
+                continue
+            if name in _RAW_PRIMITIVES:
+                target = resolve_call_target(node.func, aliases)
+                yield self.violation(
+                    ctx, node,
+                    f"raw scheme primitive `{target or name}()` outside "
+                    "repro.crypto; use KeyPair.verify or "
+                    "crypto.signatures.verify_signature (cached + metered)")

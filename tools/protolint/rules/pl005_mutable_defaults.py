@@ -1,0 +1,66 @@
+"""PL005: no mutable default arguments.
+
+Invariant: a mutable default (``def f(x, acc=[])``) is evaluated once
+at definition time and shared across every call -- in a simulator that
+reuses node objects across runs this turns into cross-run state leaks
+that are indistinguishable from protocol bugs (and invisible to the
+seed-reproducibility checks, because the leak is itself
+deterministic).
+
+Flags ``list`` / ``dict`` / ``set`` displays and comprehensions, and
+calls to known mutable constructors (``list()``, ``dict()``, ``set()``,
+``bytearray()``, ``collections.deque`` / ``defaultdict`` / ``Counter``
+/ ``OrderedDict``), used as a positional or keyword-only default in
+any function, method or lambda.
+
+Fix: default to ``None`` and create the container inside the body, or
+use an immutable default (``()``, ``frozenset()``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.protolint.engine import FileContext
+from tools.protolint.names import terminal_name
+from tools.protolint.registry import Rule, Violation, register
+
+_MUTABLE_DISPLAYS = (ast.List, ast.Dict, ast.Set,
+                     ast.ListComp, ast.DictComp, ast.SetComp)
+
+_MUTABLE_CONSTRUCTORS = {
+    "list", "dict", "set", "bytearray",
+    "deque", "defaultdict", "Counter", "OrderedDict",
+}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_DISPLAYS):
+        return True
+    if isinstance(node, ast.Call):
+        return terminal_name(node.func) in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class NoMutableDefaults(Rule):
+    code = "PL005"
+    name = "no-mutable-default-arguments"
+    scope = ("src/", "benchmarks/", "examples/")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = [*node.args.defaults,
+                        *(d for d in node.args.kw_defaults if d is not None)]
+            label = (getattr(node, "name", None) or "<lambda>")
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.violation(
+                        ctx, default,
+                        f"mutable default argument in `{label}`; default to "
+                        "None (or an immutable value) and build the "
+                        "container in the body")
