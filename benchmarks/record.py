@@ -1,9 +1,9 @@
 """Write a ``BENCH_<date>.json`` performance snapshot.
 
 Gives future changes a trajectory to regress against: each run records
-the E4 auditor-throughput numbers, the S0 simulation-substrate rates and
-the F0 fast-path before/after rates, plus enough environment context to
-interpret them.  Snapshots are cheap (quick-mode sweeps) and meant to be
+the E4 auditor-throughput numbers, the S0 simulation-substrate rates,
+the F0 fast-path before/after rates and the N0 socket-transport rates,
+plus enough environment context to interpret them.  Snapshots are cheap (quick-mode sweeps) and meant to be
 committed alongside performance-relevant PRs::
 
     PYTHONPATH=src python benchmarks/record.py            # quick sweep
@@ -25,15 +25,17 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
 from benchmarks import bench_e04_auditor_throughput as e04
 from benchmarks import bench_fastpath_micro as f0
+from benchmarks import bench_net_roundtrip as n0
 from benchmarks import bench_sim_micro as s0
 from benchmarks.common import FULL
 
 
 def collect() -> dict:
-    """Run the three snapshot sweeps and assemble the record."""
+    """Run the four snapshot sweeps and assemble the record."""
     e04_rows = e04.run_sweep()
     s0_result = s0.run_sweep()
     f0_result = f0.run_sweep()
+    n0_result = n0.run_sweep()
     return {
         "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime()),
         "environment": {
@@ -56,6 +58,7 @@ def collect() -> dict:
         ],
         "s0_sim_micro": s0_result,
         "f0_fastpath_micro": f0_result,
+        "n0_net_roundtrip": n0_result,
     }
 
 

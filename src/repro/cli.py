@@ -183,6 +183,18 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--scenario", choices=("cdn", "byzantine", "quorum"),
                       default="cdn")
     demo.add_argument("--seed", type=int, default=7)
+
+    net_demo = sub.add_parser(
+        "net-demo",
+        help="boot the protocol over real localhost sockets and run a "
+             "write/read/audit cycle")
+    net_demo.add_argument("--seed", type=int, default=0)
+    net_demo.add_argument("--masters", type=int, default=2)
+    net_demo.add_argument("--slaves-per-master", type=int, default=2)
+    net_demo.add_argument("--clients", type=int, default=2)
+    net_demo.add_argument("--settle", type=float, default=1.0,
+                          help="seconds to let the topology hand-shake "
+                               "before the first client op")
     return parser
 
 
@@ -303,12 +315,33 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return cmd_run(namespace)
 
 
+def cmd_net_demo(args: argparse.Namespace) -> int:
+    from repro.net.deploy import run_net_demo_sync
+
+    summary = run_net_demo_sync(
+        args.seed,
+        num_masters=args.masters,
+        slaves_per_master=args.slaves_per_master,
+        num_clients=args.clients,
+        settle=args.settle,
+    )
+    print(json.dumps(summary, indent=2, default=str))
+    ok = (summary["write"]["status"] == "committed"
+          and summary["write_denied"]["status"] in ("rejected", "failed")
+          and summary["read"]["status"] == "accepted"
+          and summary["sensitive_read"]["status"] == "accepted"
+          and not summary["handler_errors"])
+    return 0 if ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return cmd_run(args)
     if args.command == "demo":
         return cmd_demo(args)
+    if args.command == "net-demo":
+        return cmd_net_demo(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -27,7 +27,12 @@ from repro.content.queries import (
     WriteOp,
     register_operation,
 )
-from repro.content.store import ContentStore, ReadOutcome, WriteOutcome
+from repro.content.store import (
+    ContentStore,
+    ReadOutcome,
+    WriteOutcome,
+    register_store_engine,
+)
 
 
 def _normalise(path: str) -> str:
@@ -112,8 +117,11 @@ class FSRemove(WriteOp):
     op_name: ClassVar[str] = "fs.remove"
 
 
+@register_store_engine
 class MemoryFileSystem(ContentStore):
     """Deterministic path-tree file system."""
+
+    engine_name = "fs"
 
     def __init__(self, files: dict[str, str] | None = None) -> None:
         self._files: dict[str, str] = {}
@@ -169,6 +177,19 @@ class MemoryFileSystem(ContentStore):
 
     def state_items(self) -> Any:
         return {"files": dict(self._files), "dirs": sorted(self._dirs)}
+
+    def snapshot_wire(self) -> dict[str, Any]:
+        # Dirs travel explicitly: empty directories made by FSMkdir are
+        # not recoverable from the file paths alone.
+        return {"engine": self.engine_name, "files": dict(self._files),
+                "dirs": sorted(self._dirs)}
+
+    @classmethod
+    def from_snapshot_wire(cls, payload: dict[str, Any]) -> "MemoryFileSystem":
+        store = cls()
+        store._files = dict(payload["files"])
+        store._dirs = set(payload["dirs"])
+        return store
 
     # -- internals ---------------------------------------------------------
 

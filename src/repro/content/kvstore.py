@@ -23,7 +23,12 @@ from repro.content.queries import (
     WriteOp,
     register_operation,
 )
-from repro.content.store import ContentStore, ReadOutcome, WriteOutcome
+from repro.content.store import (
+    ContentStore,
+    ReadOutcome,
+    WriteOutcome,
+    register_store_engine,
+)
 
 _AGG_FUNCS = ("count", "sum", "min", "max", "avg")
 
@@ -97,8 +102,11 @@ class KVDelete(WriteOp):
     op_name: ClassVar[str] = "kv.delete"
 
 
+@register_store_engine
 class KeyValueStore(ContentStore):
     """Sorted-key in-memory store; all operations deterministic."""
+
+    engine_name = "kv"
 
     def __init__(self, items: dict[str, Any] | None = None) -> None:
         self._data: dict[str, Any] = dict(items or {})
@@ -152,6 +160,13 @@ class KeyValueStore(ContentStore):
 
     def state_items(self) -> Any:
         return dict(self._data)
+
+    def snapshot_wire(self) -> dict[str, Any]:
+        return {"engine": self.engine_name, "items": dict(self._data)}
+
+    @classmethod
+    def from_snapshot_wire(cls, payload: dict[str, Any]) -> "KeyValueStore":
+        return cls(dict(payload["items"]))
 
     # -- query internals --------------------------------------------------
 

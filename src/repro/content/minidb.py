@@ -31,7 +31,12 @@ from repro.content.queries import (
     WriteOp,
     register_operation,
 )
-from repro.content.store import ContentStore, ReadOutcome, WriteOutcome
+from repro.content.store import (
+    ContentStore,
+    ReadOutcome,
+    WriteOutcome,
+    register_store_engine,
+)
 
 Row = dict[str, Any]
 Predicate = tuple[str, str, Any]
@@ -206,8 +211,11 @@ class _Table:
     rows: list[Row] = field(default_factory=list)
 
 
+@register_store_engine
 class MiniDB(ContentStore):
     """Deterministic multi-table relational store."""
+
+    engine_name = "db"
 
     def __init__(self) -> None:
         self._tables: dict[str, _Table] = {}
@@ -297,6 +305,28 @@ class MiniDB(ContentStore):
             }
             for name, table in self._tables.items()
         }
+
+    def snapshot_wire(self) -> dict[str, Any]:
+        return {
+            "engine": self.engine_name,
+            "tables": {
+                name: {
+                    "columns": list(table.columns),
+                    "rows": [dict(row) for row in table.rows],
+                }
+                for name, table in self._tables.items()
+            },
+        }
+
+    @classmethod
+    def from_snapshot_wire(cls, payload: dict[str, Any]) -> "MiniDB":
+        store = cls()
+        for name, spec in payload["tables"].items():
+            store._tables[name] = _Table(
+                columns=tuple(spec["columns"]),
+                rows=[dict(row) for row in spec["rows"]],
+            )
+        return store
 
     # -- query internals ----------------------------------------------------
 

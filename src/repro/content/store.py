@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, TypeVar
 
 from repro.content.queries import ReadQuery, WriteOp
 
@@ -41,7 +41,17 @@ class WriteOutcome:
 
 
 class ContentStore(ABC):
-    """Deterministic state machine replicated across masters and slaves."""
+    """Deterministic state machine replicated across masters and slaves.
+
+    Engines that should travel inside :class:`repro.core.messages.SlaveSnapshot`
+    over a real network additionally implement the snapshot-wire protocol:
+    a class-level ``engine_name``, :meth:`snapshot_wire` and
+    :meth:`from_snapshot_wire`, registered via :func:`register_store_engine`
+    so :func:`store_from_wire` can decode any engine from plain data.
+    """
+
+    #: Stable wire identifier; engines override (e.g. ``"kv"``).
+    engine_name: str = ""
 
     @abstractmethod
     def execute_read(self, query: ReadQuery) -> ReadOutcome:
@@ -72,3 +82,75 @@ class ContentStore(ABC):
         from repro.crypto.hashing import sha1_hex
 
         return sha1_hex(self.state_items())
+
+    # -- snapshot-wire protocol (full state transfers over a network) ----
+
+    def snapshot_wire(self) -> dict[str, Any]:
+        """Plain-data snapshot of the full state, decodable by
+        :func:`store_from_wire`.  Engines opt in by overriding this and
+        :meth:`from_snapshot_wire`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support wire snapshots"
+        )
+
+    @classmethod
+    def from_snapshot_wire(cls, payload: dict[str, Any]) -> "ContentStore":
+        """Rebuild a store from :meth:`snapshot_wire` output."""
+        raise NotImplementedError(
+            f"{cls.__name__} does not support wire snapshots"
+        )
+
+
+_ENGINE_REGISTRY: dict[str, type[ContentStore]] = {}
+
+_StoreT = TypeVar("_StoreT", bound=type[ContentStore])
+
+
+def register_store_engine(cls: _StoreT) -> _StoreT:
+    """Class decorator: make ``cls`` decodable by :func:`store_from_wire`."""
+    name = cls.engine_name
+    if not name:
+        raise ValueError(f"{cls.__name__} has no engine_name")
+    if name in _ENGINE_REGISTRY:
+        raise ValueError(f"duplicate store engine {name!r}")
+    _ENGINE_REGISTRY[name] = cls
+    return cls
+
+
+def registered_store_engines() -> dict[str, type[ContentStore]]:
+    """Engine name -> store class, for the wire codec and tests."""
+    _import_engines()
+    return dict(_ENGINE_REGISTRY)
+
+
+def store_from_wire(payload: dict[str, Any]) -> ContentStore:
+    """Decode a snapshot produced by :meth:`ContentStore.snapshot_wire`."""
+    _import_engines()
+    try:
+        name = payload["engine"]
+    except (KeyError, TypeError):
+        raise ValueError(f"not a store snapshot payload: {payload!r}") \
+            from None
+    try:
+        cls = _ENGINE_REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown store engine {name!r}") from None
+    return cls.from_snapshot_wire(payload)
+
+
+_ENGINES_IMPORTED = False
+
+
+def _import_engines() -> None:
+    """Import the built-in engines so their registrations run.
+
+    Deferred (not at module import) because the engine modules import
+    this one; first decode triggers it.
+    """
+    global _ENGINES_IMPORTED
+    if _ENGINES_IMPORTED:
+        return
+    _ENGINES_IMPORTED = True
+    import repro.content.filesystem  # noqa: F401
+    import repro.content.kvstore  # noqa: F401
+    import repro.content.minidb  # noqa: F401

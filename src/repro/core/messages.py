@@ -417,3 +417,42 @@ class TimestampedPledge:
     pledge: Pledge
     received_at: float
     audited: bool = field(default=False)
+
+
+# -- wire-codec registry hook ---------------------------------------------
+#
+# Every message type that may cross a real socket, in wire-id order.  The
+# position of a class in this tuple IS its wire type id (offset by the
+# codec's base id), so the order is append-only: new types go at the end,
+# and removing or reordering entries is a wire-format break requiring a
+# codec version bump.  ``repro.net.codec`` builds its registry from this
+# tuple plus the crypto/broadcast carriers (certificates, broadcast
+# envelopes, public keys) that travel inside these messages.
+
+WIRE_MESSAGE_TYPES: tuple[type, ...] = (
+    VersionStamp,
+    Pledge,
+    DirectoryLookup,
+    DirectoryListing,
+    ClientHello,
+    SlaveAssignment,
+    WriteRequest,
+    WriteReply,
+    SlaveUpdate,
+    SlaveSnapshot,
+    KeepAlive,
+    ResyncRequest,
+    ReadRequest,
+    ReadReply,
+    DoubleCheckRequest,
+    DoubleCheckReply,
+    AuditSubmission,
+    Accusation,
+    ExclusionNotice,
+    SetupFailed,
+    BcastWrite,
+    BcastElectAuditor,
+    BcastSlaveList,
+    BcastExcludeSlave,
+    BroadcastWrapper,
+)

@@ -1,0 +1,39 @@
+"""Real-network runtime: wire codec, asyncio transport, socket servers.
+
+``repro.net`` lets the unmodified protocol core (``repro.core``) run over
+real TCP sockets instead of the discrete-event simulator.  The split
+mirrors the design rule from ``sim/network.py``: servers talk only
+through ``Node.send`` / ``Node.on_message``, so swapping the fabric
+under them is a pure adapter exercise:
+
+* :mod:`repro.net.codec` -- versioned, length-prefixed binary wire format
+  round-tripping every registered protocol dataclass;
+* :mod:`repro.net.transport` -- framed asyncio streams, retrying
+  connection pool with bounded exponential backoff;
+* :mod:`repro.net.server` / :mod:`repro.net.peers` -- per-node TCP
+  listeners and the ``Network``/``Simulator`` facades the core runs on;
+* :mod:`repro.net.deploy` -- a localhost cluster harness mirroring
+  :class:`repro.core.system.DeploymentSpec`.
+
+Unlike the rest of ``src/repro``, this package legitimately uses wall
+clocks, ``asyncio`` and OS sockets; protolint's PL001 determinism rule
+excludes it by path (see ``[tool.protolint]`` in ``pyproject.toml``).
+"""
+
+from repro.net.errors import (
+    CodecError,
+    FrameTooLarge,
+    NetError,
+    TransportError,
+    TruncatedFrame,
+    UnknownWireType,
+)
+
+__all__ = [
+    "CodecError",
+    "FrameTooLarge",
+    "NetError",
+    "TransportError",
+    "TruncatedFrame",
+    "UnknownWireType",
+]

@@ -1,0 +1,449 @@
+"""Versioned, length-prefixed binary wire format for protocol messages.
+
+Frame layout (all integers big-endian)::
+
+    +----+----+---------+---------+------------------+
+    | 'R'| 'N'| version | flags   | body length u32  |  8-byte header
+    +----+----+---------+---------+------------------+
+    | body: one encoded value                        |
+    +------------------------------------------------+
+
+The body is a self-describing tagged encoding of plain Python data
+(None, bools, arbitrary-precision ints, floats, str, bytes, lists,
+tuples, dicts, sets) plus *extensions*: registered dataclasses encoded
+as their wire type id followed by the tuple of ``__init__`` field
+values.  Because dataclasses round-trip field-for-field, the
+``canonical_bytes`` signed payloads rebuilt on the receiving side are
+byte-identical to the sender's, so **signatures verify unchanged across
+the wire** -- no re-signing, no trusted serialisation step.
+
+The extension registry is append-only: ids 1-31 are reserved for
+infrastructure carriers (handshake, certificates, public keys, broadcast
+envelopes, content-store snapshots); ids 32+ map positionally onto
+:data:`repro.core.messages.WIRE_MESSAGE_TYPES`.  Reordering either is a
+wire-format break and requires bumping :data:`WIRE_VERSION`.
+
+Hostile input is expected: every decode error is a
+:class:`~repro.net.errors.CodecError` subclass, never an uncaught
+``IndexError``/``struct.error``, so servers can drop bad frames without
+dying.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any, Callable, Iterator
+
+from repro.broadcast.totalorder import BroadcastEnvelope
+from repro.content.store import ContentStore, store_from_wire
+from repro.core.messages import WIRE_MESSAGE_TYPES
+from repro.core.trusted import CertAnnouncement
+from repro.crypto.certificates import Certificate
+from repro.crypto.rsa import RSAPublicKey
+from repro.crypto.signatures import HMACPublicKey
+from repro.net.errors import (
+    BadMagic,
+    BadVersion,
+    CodecError,
+    FrameTooLarge,
+    TruncatedFrame,
+    UnknownWireType,
+)
+
+MAGIC = b"RN"
+WIRE_VERSION = 1
+HEADER_SIZE = 8
+#: Upper bound on a frame body; a full MiniDB snapshot fits comfortably,
+#: while a hostile 4 GiB length prefix is rejected before allocation.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_HEADER = struct.Struct(">2sBBI")
+
+# -- value tags -------------------------------------------------------------
+
+_T_NONE = 0x4E  # 'N'
+_T_TRUE = 0x54  # 'T'
+_T_FALSE = 0x46  # 'F'
+_T_INT = 0x69  # 'i'
+_T_FLOAT = 0x66  # 'f'
+_T_STR = 0x73  # 's'
+_T_BYTES = 0x62  # 'b'
+_T_LIST = 0x6C  # 'l'
+_T_TUPLE = 0x74  # 't'
+_T_DICT = 0x64  # 'd'
+_T_SET = 0x53  # 'S'
+_T_FROZENSET = 0x5A  # 'Z'
+_T_EXT = 0x78  # 'x'
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class NetHello:
+    """First frame on every connection: who is dialling in.
+
+    ``wire_version`` lets a listener reject a peer speaking a different
+    format before misinterpreting its frames.
+    """
+
+    node_id: str
+    wire_version: int = WIRE_VERSION
+
+
+# -- extension registry -----------------------------------------------------
+
+_EncodeFn = Callable[[Any], bytes]
+_DecodeFn = Callable[[memoryview, int], "tuple[Any, int]"]
+
+_BY_TYPE: dict[type, int] = {}
+_ENCODERS: dict[int, _EncodeFn] = {}
+_DECODERS: dict[int, _DecodeFn] = {}
+_TYPE_NAMES: dict[int, str] = {}
+
+
+def _register(type_id: int, cls: type, encode: _EncodeFn,
+              decode: _DecodeFn) -> None:
+    if type_id in _DECODERS:
+        raise ValueError(f"duplicate wire type id {type_id}")
+    if cls in _BY_TYPE:
+        raise ValueError(f"{cls.__name__} already registered")
+    _BY_TYPE[cls] = type_id
+    _ENCODERS[type_id] = encode
+    _DECODERS[type_id] = decode
+    _TYPE_NAMES[type_id] = cls.__name__
+
+
+def registered_wire_types() -> dict[int, str]:
+    """Wire type id -> class name, for tests and docs."""
+    return dict(_TYPE_NAMES)
+
+
+def wire_type_id(cls: type) -> int:
+    """The registered wire id for ``cls`` (KeyError if unregistered)."""
+    return _BY_TYPE[cls]
+
+
+# -- varint (unsigned LEB128) ----------------------------------------------
+
+
+def _encode_varint(value: int) -> bytes:
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _decode_varint(buf: memoryview, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(buf):
+            raise TruncatedFrame("varint runs past end of frame")
+        if shift > 63:
+            raise CodecError("varint too long")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+# -- value encoding ---------------------------------------------------------
+
+
+def _encode_int(value: int) -> bytes:
+    length = (value.bit_length() + 8) // 8  # always room for the sign bit
+    body = value.to_bytes(length, "big", signed=True)
+    return bytes((_T_INT,)) + _encode_varint(length) + body
+
+
+def _encode_value(value: Any, out: bytearray) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif type(value) is int:
+        out += _encode_int(value)
+    elif type(value) is float:
+        out.append(_T_FLOAT)
+        out += struct.pack(">d", value)
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out += _encode_varint(len(raw))
+        out += raw
+    elif type(value) in (bytes, bytearray, memoryview):
+        raw = bytes(value)
+        out.append(_T_BYTES)
+        out += _encode_varint(len(raw))
+        out += raw
+    elif type(value) is list:
+        out.append(_T_LIST)
+        out += _encode_varint(len(value))
+        for item in value:
+            _encode_value(item, out)
+    elif type(value) is tuple:
+        out.append(_T_TUPLE)
+        out += _encode_varint(len(value))
+        for item in value:
+            _encode_value(item, out)
+    elif type(value) is dict:
+        out.append(_T_DICT)
+        out += _encode_varint(len(value))
+        for key, item in value.items():
+            _encode_value(key, out)
+            _encode_value(item, out)
+    elif type(value) in (set, frozenset):
+        out.append(_T_SET if type(value) is set else _T_FROZENSET)
+        # Deterministic order: sort members by their own encoding.
+        encoded = sorted(encode_value(item) for item in value)
+        out += _encode_varint(len(encoded))
+        for blob in encoded:
+            out += blob
+    else:
+        _encode_extension(value, out)
+
+
+def _encode_extension(value: Any, out: bytearray) -> None:
+    cls = type(value)
+    type_id = _BY_TYPE.get(cls)
+    if type_id is None:
+        # Store engines register their concrete classes lazily; fall back
+        # to the ContentStore base entry for any engine instance.
+        if isinstance(value, ContentStore):
+            type_id = _BY_TYPE[ContentStore]
+        else:
+            raise CodecError(
+                f"cannot encode {cls.__module__}.{cls.__name__} "
+                "(not a wire-registered type)"
+            )
+    out.append(_T_EXT)
+    out += _encode_varint(type_id)
+    out += _ENCODERS[type_id](value)
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one value (without frame header)."""
+    out = bytearray()
+    _encode_value(value, out)
+    return bytes(out)
+
+
+def _decode_value(buf: memoryview, pos: int) -> tuple[Any, int]:
+    if pos >= len(buf):
+        raise TruncatedFrame("value tag runs past end of frame")
+    tag = buf[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        length, pos = _decode_varint(buf, pos)
+        raw = _take(buf, pos, length)
+        return int.from_bytes(raw, "big", signed=True), pos + length
+    if tag == _T_FLOAT:
+        raw = _take(buf, pos, 8)
+        return struct.unpack(">d", raw)[0], pos + 8
+    if tag == _T_STR:
+        length, pos = _decode_varint(buf, pos)
+        raw = _take(buf, pos, length)
+        try:
+            return bytes(raw).decode("utf-8"), pos + length
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"invalid utf-8 in string: {exc}") from None
+    if tag == _T_BYTES:
+        length, pos = _decode_varint(buf, pos)
+        raw = _take(buf, pos, length)
+        return bytes(raw), pos + length
+    if tag in (_T_LIST, _T_TUPLE, _T_SET, _T_FROZENSET):
+        count, pos = _decode_varint(buf, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_value(buf, pos)
+            items.append(item)
+        if tag == _T_LIST:
+            return items, pos
+        if tag == _T_TUPLE:
+            return tuple(items), pos
+        if tag == _T_SET:
+            return _to_set(items, frozen=False), pos
+        return _to_set(items, frozen=True), pos
+    if tag == _T_DICT:
+        count, pos = _decode_varint(buf, pos)
+        result: dict[Any, Any] = {}
+        for _ in range(count):
+            key, pos = _decode_value(buf, pos)
+            item, pos = _decode_value(buf, pos)
+            try:
+                result[key] = item
+            except TypeError as exc:
+                raise CodecError(f"unhashable dict key: {exc}") from None
+        return result, pos
+    if tag == _T_EXT:
+        type_id, pos = _decode_varint(buf, pos)
+        decoder = _DECODERS.get(type_id)
+        if decoder is None:
+            raise UnknownWireType(f"unknown wire type id {type_id}")
+        return decoder(buf, pos)
+    raise CodecError(f"unknown value tag 0x{tag:02x}")
+
+
+def _to_set(items: list[Any], frozen: bool) -> Any:
+    try:
+        return frozenset(items) if frozen else set(items)
+    except TypeError as exc:
+        raise CodecError(f"unhashable set member: {exc}") from None
+
+
+def _take(buf: memoryview, pos: int, length: int) -> memoryview:
+    if length < 0 or pos + length > len(buf):
+        raise TruncatedFrame(
+            f"need {length} bytes at offset {pos}, frame has {len(buf)}"
+        )
+    return buf[pos:pos + length]
+
+
+def decode_value(data: bytes | memoryview) -> Any:
+    """Decode one value; the buffer must contain exactly one value."""
+    buf = memoryview(data)
+    value, pos = _decode_value(buf, 0)
+    if pos != len(buf):
+        raise CodecError(
+            f"{len(buf) - pos} trailing bytes after value"
+        )
+    return value
+
+
+# -- framing ---------------------------------------------------------------
+
+
+def encode_frame(value: Any) -> bytes:
+    """Header + encoded body for one message."""
+    body = encode_value(value)
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameTooLarge(
+            f"encoded body is {len(body)} bytes "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    return _HEADER.pack(MAGIC, WIRE_VERSION, 0, len(body)) + body
+
+
+def parse_header(header: bytes) -> int:
+    """Validate an 8-byte header; return the body length."""
+    if len(header) != HEADER_SIZE:
+        raise TruncatedFrame(
+            f"header is {len(header)} bytes, need {HEADER_SIZE}"
+        )
+    magic, version, _flags, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise BadMagic(f"bad magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise BadVersion(f"unsupported wire version {version}")
+    if length > MAX_FRAME_BYTES:
+        raise FrameTooLarge(
+            f"declared body of {length} bytes (limit {MAX_FRAME_BYTES})"
+        )
+    return int(length)
+
+
+def decode_frame(data: bytes | memoryview) -> Any:
+    """Decode one complete frame (header + body)."""
+    buf = memoryview(data)
+    length = parse_header(bytes(buf[:HEADER_SIZE]))
+    body = buf[HEADER_SIZE:]
+    if len(body) != length:
+        raise TruncatedFrame(
+            f"header declares {length} body bytes, got {len(body)}"
+        )
+    return decode_value(body)
+
+
+# -- extension codecs -------------------------------------------------------
+
+
+def _dataclass_codec(cls: type) -> tuple[_EncodeFn, _DecodeFn]:
+    """Generic codec for a dataclass: the tuple of init-field values.
+
+    ``init=False`` fields (the ``_payload_cache`` memos) are neither sent
+    nor restored -- a decoded message rebuilds its signed payload from
+    scratch, exactly like a freshly constructed one.
+    """
+    init_fields = tuple(f.name for f in dataclasses.fields(cls) if f.init)
+
+    def encode(value: Any) -> bytes:
+        out = bytearray()
+        values = tuple(getattr(value, name) for name in init_fields)
+        _encode_value(values, out)
+        return bytes(out)
+
+    def decode(buf: memoryview, pos: int) -> tuple[Any, int]:
+        values, pos = _decode_value(buf, pos)
+        if not isinstance(values, tuple) or len(values) != len(init_fields):
+            raise CodecError(
+                f"{cls.__name__} payload must be a "
+                f"{len(init_fields)}-tuple"
+            )
+        try:
+            return cls(*values), pos
+        except (TypeError, ValueError) as exc:
+            raise CodecError(
+                f"cannot rebuild {cls.__name__}: {exc}"
+            ) from None
+
+    return encode, decode
+
+
+def _encode_hmac_key(value: Any) -> bytes:
+    return encode_value(value.key_bytes)
+
+
+def _decode_hmac_key(buf: memoryview, pos: int) -> tuple[Any, int]:
+    raw, pos = _decode_value(buf, pos)
+    if not isinstance(raw, bytes):
+        raise CodecError("HMACPublicKey payload must be bytes")
+    return HMACPublicKey(raw), pos
+
+
+def _encode_store(value: Any) -> bytes:
+    try:
+        payload = value.snapshot_wire()
+    except NotImplementedError as exc:
+        raise CodecError(str(exc)) from None
+    return encode_value(payload)
+
+
+def _decode_store(buf: memoryview, pos: int) -> tuple[Any, int]:
+    payload, pos = _decode_value(buf, pos)
+    try:
+        return store_from_wire(payload), pos
+    except ValueError as exc:
+        raise CodecError(f"bad store snapshot: {exc}") from None
+
+
+def _iter_registrations() -> Iterator[tuple[int, type, _EncodeFn, _DecodeFn]]:
+    # Infrastructure carriers: ids 1-31, append-only.
+    yield (1, NetHello, *_dataclass_codec(NetHello))
+    yield (2, Certificate, *_dataclass_codec(Certificate))
+    yield (3, RSAPublicKey, *_dataclass_codec(RSAPublicKey))
+    yield (4, HMACPublicKey, _encode_hmac_key, _decode_hmac_key)
+    yield (5, BroadcastEnvelope, *_dataclass_codec(BroadcastEnvelope))
+    yield (6, CertAnnouncement, *_dataclass_codec(CertAnnouncement))
+    yield (7, ContentStore, _encode_store, _decode_store)
+    # Protocol messages: ids 32+, positional on WIRE_MESSAGE_TYPES.
+    for offset, message_cls in enumerate(WIRE_MESSAGE_TYPES):
+        yield (32 + offset, message_cls, *_dataclass_codec(message_cls))
+
+
+for _id, _cls, _enc, _dec in _iter_registrations():
+    _register(_id, _cls, _enc, _dec)
+del _id, _cls, _enc, _dec

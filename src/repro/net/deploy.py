@@ -1,0 +1,392 @@
+"""Localhost deployment harness: the full topology over real sockets.
+
+:class:`LocalCluster` mirrors :class:`repro.core.system.ReplicationSystem`
+-- same cast, same construction order, same deterministic key derivation
+from the spec seed -- but wires every node to its own TCP listener and
+connection pool instead of the shared simulated fabric.  The protocol
+core is byte-for-byte the same code that runs in the simulator; what
+changes is the seam implementations from :mod:`repro.net.server`.
+
+Intended use::
+
+    cluster = await LocalCluster.launch(NetDeploymentSpec(seed=7))
+    try:
+        await cluster.write(cluster.clients[0], KVPut(key="k", value=1))
+        reply = await cluster.read(cluster.clients[1], KVGet(key="k"))
+    finally:
+        await cluster.aclose()
+
+Every timing parameter is real seconds here, so the default protocol
+config (tuned for simulated hours) is replaced by
+:func:`fast_protocol_config` unless the spec says otherwise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.content.kvstore import KeyValueStore
+from repro.content.queries import Operation
+from repro.content.store import ContentStore
+from repro.core.adversary import AdversaryStrategy
+from repro.core.auditor import AuditorServer
+from repro.core.client import Client
+from repro.core.config import ProtocolConfig
+from repro.core.directory import DirectoryServer
+from repro.core.master import MasterServer
+from repro.core.owner import ContentOwner
+from repro.core.slave import SlaveServer
+from repro.core.system import auditor_node_id
+from repro.crypto.certificates import Certificate
+from repro.metrics import MetricsRegistry
+from repro.net.peers import PeerDirectory, format_address
+from repro.net.server import NodeServer, RealtimeScheduler, SocketNetwork
+from repro.net.transport import ConnectionPool, RetryPolicy
+from repro.sim.network import Node
+
+
+def fast_protocol_config(**overrides: Any) -> ProtocolConfig:
+    """Protocol parameters re-scaled from simulated to real seconds.
+
+    The inequalities from the paper still hold (keepalive_interval well
+    under max_latency, audit grace beyond the consistency window); only
+    the absolute magnitudes shrink so a full write/read/audit cycle fits
+    in a few wall-clock seconds.
+    """
+    defaults: dict[str, Any] = dict(
+        max_latency=0.8,
+        keepalive_interval=0.2,
+        double_check_probability=0.05,
+        audit_grace=0.4,
+        request_timeout=2.0,
+        max_read_retries=5,
+        slave_list_broadcast_interval=2.0,
+        broadcast_heartbeat_interval=0.25,
+        broadcast_suspect_after=1.5,
+        broadcast_request_timeout=1.0,
+    )
+    defaults.update(overrides)
+    return ProtocolConfig(**defaults)
+
+
+@dataclass
+class NetDeploymentSpec:
+    """Everything needed to boot one localhost cluster.
+
+    Field meanings match :class:`repro.core.system.DeploymentSpec`;
+    ``protocol=None`` selects :func:`fast_protocol_config`.
+    """
+
+    num_masters: int = 2
+    slaves_per_master: int = 2
+    num_clients: int = 2
+    num_auditors: int = 1
+    seed: int = 0
+    protocol: ProtocolConfig | None = None
+    store_factory: Any = None
+    adversaries: dict[int, AdversaryStrategy] = field(default_factory=dict)
+    client_double_check_overrides: dict[int, float] = field(
+        default_factory=dict)
+    host: str = "127.0.0.1"
+    connect_timeout: float = 2.0
+    io_timeout: float = 5.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        if self.num_masters < 1:
+            raise ValueError("need at least one master")
+        if self.slaves_per_master < 1:
+            raise ValueError("need at least one slave per master")
+
+
+class LocalCluster:
+    """A booted localhost deployment; create via :meth:`launch`."""
+
+    def __init__(self, spec: NetDeploymentSpec,
+                 loop: asyncio.AbstractEventLoop) -> None:
+        self.spec = spec
+        self.config = spec.protocol or fast_protocol_config()
+        self._loop = loop
+        self.metrics = MetricsRegistry()
+        self.scheduler = RealtimeScheduler(spec.seed, loop)
+        self.peers = PeerDirectory()
+        self.owner = ContentOwner(
+            "content-owner", signer_scheme=self.config.signer_scheme,
+            rsa_bits=self.config.rsa_bits,
+            rng=self.scheduler.fork_rng("keys:owner"))
+        store_factory = spec.store_factory or (lambda: KeyValueStore())
+        self.initial_store: ContentStore = store_factory()
+        self.directory: DirectoryServer | None = None
+        self.masters: list[MasterServer] = []
+        self.auditors: list[AuditorServer] = []
+        self.slaves: list[SlaveServer] = []
+        self.clients: list[Client] = []
+        self.master_certs: dict[str, Certificate] = {}
+        self.servers: dict[str, NodeServer] = {}
+        self.pools: dict[str, ConnectionPool] = {}
+        self._closed = False
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    async def launch(cls, spec: NetDeploymentSpec | None = None,
+                     settle: float = 1.0,
+                     **spec_kwargs: Any) -> "LocalCluster":
+        """Build, listen, start and settle a full cluster."""
+        if spec is None:
+            spec = NetDeploymentSpec(**spec_kwargs)
+        elif spec_kwargs:
+            raise TypeError("pass either a spec or keyword args, not both")
+        cluster = cls(spec, asyncio.get_running_loop())
+        await cluster._build()
+        await cluster._start(settle)
+        return cluster
+
+    def _fabric(self, node_id: str) -> SocketNetwork:
+        """One node's private network seam (pool + facade + listener slot)."""
+        pool = ConnectionPool(
+            node_id, self.peers, self.metrics,
+            rng=self.scheduler.fork_rng(f"net:{node_id}"),
+            retry=self.spec.retry,
+            connect_timeout=self.spec.connect_timeout,
+            io_timeout=self.spec.io_timeout)
+        self.pools[node_id] = pool
+        return SocketNetwork(self.scheduler, pool)
+
+    async def _listen(self, node: Node) -> str:
+        """Start ``node``'s listener; returns its ``host:port`` address."""
+        server = NodeServer(node, self.metrics)
+        host, port = await server.start(self.spec.host)
+        self.servers[node.node_id] = server
+        self.peers.add(node.node_id, host, port)
+        return format_address(host, port)
+
+    async def _build(self) -> None:
+        spec = self.spec
+        # Same cast and order as ReplicationSystem.__init__, so the
+        # fork_rng-derived key material is a pure function of the seed.
+        self.directory = DirectoryServer(
+            "directory", self.scheduler, self._fabric("directory"))
+        await self._listen(self.directory)
+
+        member_ids = [f"master-{i:02d}" for i in range(spec.num_masters)]
+        member_ids.extend(auditor_node_id(i)
+                          for i in range(spec.num_auditors))
+        for i in range(spec.num_masters):
+            node_id = f"master-{i:02d}"
+            master = MasterServer(
+                node_id, self.scheduler, self._fabric(node_id),
+                self.config, self.initial_store.clone(), member_ids,
+                self.metrics)
+            self.masters.append(master)
+            await self._listen(master)
+        for i in range(spec.num_auditors):
+            node_id = auditor_node_id(i)
+            auditor = AuditorServer(
+                node_id, self.scheduler, self._fabric(node_id),
+                self.config, self.initial_store.clone(), member_ids,
+                self.metrics)
+            self.auditors.append(auditor)
+            await self._listen(auditor)
+
+        for server in [*self.masters, *self.auditors]:
+            cert = self.owner.certify_master(
+                server.node_id, self.peers.address(server.node_id),
+                server.keys.public_key, now=self.scheduler.now)
+            self.master_certs[server.node_id] = cert
+        fingerprint = self.owner.content_key_fingerprint()
+        for master in self.masters:
+            self.directory.publish(fingerprint,
+                                   self.master_certs[master.node_id])
+
+        global_index = 0
+        for i, master in enumerate(self.masters):
+            for j in range(spec.slaves_per_master):
+                slave_id = f"slave-{i:02d}-{j:02d}"
+                strategy = spec.adversaries.get(global_index)
+                slave = SlaveServer(
+                    slave_id, self.scheduler, self._fabric(slave_id),
+                    self.config, self.initial_store.clone(),
+                    self.master_certs, self.metrics, strategy=strategy)
+                address = await self._listen(slave)
+                master.register_slave(slave_id, address,
+                                      slave.keys.public_key)
+                self.slaves.append(slave)
+                global_index += 1
+
+        for i in range(spec.num_clients):
+            node_id = f"client-{i:02d}"
+            client = Client(
+                node_id, self.scheduler, self._fabric(node_id),
+                self.config, directory_id="directory",
+                owner_public_key=self.owner.content_public_key,
+                metrics=self.metrics,
+                double_check_override=(
+                    spec.client_double_check_overrides.get(i)))
+            self.clients.append(client)
+            await self._listen(client)
+
+    async def _start(self, settle: float) -> None:
+        for master in self.masters:
+            master.start()
+        for auditor in self.auditors:
+            auditor.start()
+        for slave in self.slaves:
+            slave.start()
+        self.masters[0].elect_auditors(
+            tuple(a.node_id for a in self.auditors))
+        await asyncio.sleep(settle)
+        for client in self.clients:
+            client.start()
+        await self.wait_ready()
+
+    async def wait_ready(self, timeout: float = 10.0) -> None:
+        """Block until every client finished the setup phase."""
+        deadline = self._loop.time() + timeout
+        while not all(client.ready for client in self.clients):
+            if self._loop.time() > deadline:
+                pending = [c.node_id for c in self.clients if not c.ready]
+                raise TimeoutError(f"clients never became ready: {pending}")
+            await asyncio.sleep(0.05)
+
+    # -- workload driving -------------------------------------------------
+
+    async def submit(self, client: Client, op: Operation,
+                     level: str | None = None,
+                     timeout: float = 15.0) -> dict[str, Any]:
+        """Submit one operation; await the client-side completion dict."""
+        future: "asyncio.Future[dict[str, Any]]" = self._loop.create_future()
+
+        def done(outcome: dict[str, Any]) -> None:
+            if not future.done():
+                future.set_result(outcome)
+
+        client.submit(op, level, done)
+        return await asyncio.wait_for(future, timeout)
+
+    async def write(self, client: Client, op: Operation,
+                    timeout: float = 15.0) -> dict[str, Any]:
+        return await self.submit(client, op, timeout=timeout)
+
+    async def read(self, client: Client, query: Operation,
+                   level: str | None = None,
+                   timeout: float = 15.0) -> dict[str, Any]:
+        return await self.submit(client, query, level=level, timeout=timeout)
+
+    # -- fault injection ---------------------------------------------------
+
+    def kill_connection(self, src_id: str, dst_id: str) -> bool:
+        """Abort the live src->dst TCP connection (retry-path exercise)."""
+        pool = self.pools.get(src_id)
+        return pool.kill_connection(dst_id) if pool is not None else False
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        """Counters, auditor stats and per-master versions, JSON-shaped."""
+        auditor = self.auditors[0]
+        return {
+            "topology": {
+                "masters": len(self.masters),
+                "slaves": len(self.slaves),
+                "clients": len(self.clients),
+                "auditors": len(self.auditors),
+            },
+            "counters": self.metrics.snapshot(),
+            "auditor": {
+                "pledges_received": sum(a.pledges_received
+                                        for a in self.auditors),
+                "pledges_audited": sum(a.pledges_audited
+                                       for a in self.auditors),
+                "detections": sum(a.detections for a in self.auditors),
+                "cache_hit_rate": auditor.cache_hit_rate(),
+                "version": auditor.version,
+            },
+            "versions": {m.node_id: m.version for m in self.masters},
+            "transport": {
+                name: value
+                for name, value in sorted(self.metrics.snapshot().items())
+                if name.startswith("net_")
+            },
+        }
+
+    def handler_errors(self) -> list[tuple[str, str, Exception]]:
+        """(node, source, exception) for every captured handler failure."""
+        return [(node_id, src, exc)
+                for node_id, server in self.servers.items()
+                for src, exc in server.errors]
+
+    # -- shutdown ----------------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Cancel timers, abort connections, close listeners."""
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.cancel_all()
+        await asyncio.gather(*(pool.aclose()
+                               for pool in self.pools.values()))
+        await asyncio.gather(*(server.aclose()
+                               for server in self.servers.values()))
+
+
+async def run_net_demo(seed: int = 0, *, num_masters: int = 2,
+                       slaves_per_master: int = 2, num_clients: int = 2,
+                       settle: float = 1.0) -> dict[str, Any]:
+    """One write + verified read + audited sensitive read, summarised.
+
+    Powers the ``net-demo`` CLI subcommand; returns a JSON-shaped dict.
+    """
+    from repro.content.kvstore import KVGet, KVPut
+
+    config = fast_protocol_config(
+        double_check_probability=0.0,
+        writers_allowed=frozenset({"client-00"}),
+    )
+    spec = NetDeploymentSpec(
+        num_masters=num_masters, slaves_per_master=slaves_per_master,
+        num_clients=num_clients, seed=seed, protocol=config)
+    cluster = await LocalCluster.launch(spec, settle=settle)
+    try:
+        write = await cluster.write(
+            cluster.clients[0], KVPut(key="demo", value="over-the-wire"))
+        denied = await cluster.write(
+            cluster.clients[1], KVPut(key="demo", value="unauthorised"))
+        # Let the committed write reach the slaves (the paper only
+        # guarantees reads reflect a write max_latency after commit).
+        await asyncio.sleep(cluster.config.max_latency
+                            + cluster.config.keepalive_interval)
+        read = await cluster.read(cluster.clients[1], KVGet(key="demo"))
+        sensitive = await cluster.read(
+            cluster.clients[1], KVGet(key="demo"), level="sensitive")
+        # Let the auditor pass the consistency window and drain its queue.
+        await asyncio.sleep(cluster.config.max_latency
+                            + cluster.config.audit_grace + 0.5)
+        summary = cluster.summary()
+        troubles = [(node, src, repr(exc))
+                    for node, src, exc in cluster.handler_errors()]
+        return {
+            "seed": seed,
+            "write": {"status": write.get("status"),
+                      "version": write.get("version")},
+            "write_denied": {"status": denied.get("status"),
+                             "reason": denied.get("reason")},
+            "read": {
+                "status": read.get("status"),
+                "value": (read.get("result") or {}).get("value"),
+            },
+            "sensitive_read": {"status": sensitive.get("status")},
+            "audit": summary["auditor"],
+            "versions": summary["versions"],
+            "transport": summary["transport"],
+            "handler_errors": troubles,
+        }
+    finally:
+        await cluster.aclose()
+
+
+def run_net_demo_sync(seed: int = 0, **kwargs: Any) -> dict[str, Any]:
+    """Synchronous wrapper for CLI / tests without an event loop."""
+    return asyncio.run(run_net_demo(seed, **kwargs))

@@ -1,0 +1,221 @@
+"""Socket runtime for unmodified protocol nodes.
+
+The protocol core touches its environment through exactly three seams:
+``simulator.fork_rng`` / ``Node.after`` / ``Node.now`` (time and
+randomness) and ``network.transmit`` (messaging).  This module provides
+real-time implementations of both seams --
+:class:`RealtimeScheduler` maps timers onto the asyncio event loop, and
+:class:`SocketNetwork` maps ``send`` onto a framed TCP connection pool
+-- so ``MasterServer``, ``SlaveServer``, ``DirectoryServer``,
+``AuditorServer`` and ``Client`` run over sockets without a single line
+changed.
+
+:class:`NodeServer` is the inbound half: one TCP listener per node,
+accepting peer connections that open with a
+:class:`~repro.net.codec.NetHello` and then carry protocol frames.
+Malformed frames are counted and skipped (body-level garbage) or close
+the connection (framing-level garbage); handler exceptions are captured,
+not fatal -- a byzantine peer must not crash a server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+from repro.metrics import MetricsRegistry
+from repro.net import codec
+from repro.net.errors import (
+    BadMagic,
+    BadVersion,
+    CodecError,
+    FrameTooLarge,
+    HandshakeError,
+    TruncatedFrame,
+)
+from repro.net.transport import ConnectionPool, read_frame
+from repro.sim.network import Network, Node
+from repro.sim.simulator import EventHandle, Simulator
+
+
+class RealtimeHandle(EventHandle):
+    """An :class:`EventHandle` backed by a loop timer."""
+
+    __slots__ = ("_timer",)
+
+    def __init__(self, fire_at: float,
+                 timer: "asyncio.TimerHandle | None" = None) -> None:
+        super().__init__(fire_at)
+        self._timer = timer
+
+    def cancel(self) -> None:
+        super().cancel()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+
+class RealtimeScheduler(Simulator):
+    """A :class:`Simulator` whose clock is the asyncio event loop's.
+
+    ``fork_rng`` keeps the simulator's deterministic derivation (seed +
+    fork order + label), so key material for a given deployment spec is
+    reproducible even though event *timing* is real.  The discrete-event
+    ``run_*`` methods are disabled: in real time, the loop runs itself.
+    """
+
+    def __init__(self, seed: int, loop: asyncio.AbstractEventLoop) -> None:
+        super().__init__(seed)
+        self._loop = loop
+        self._live: set[RealtimeHandle] = set()
+
+    @property
+    def now(self) -> float:
+        return self._loop.time()
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> EventHandle:
+        # Unlike the simulator, real time advances *during* a handler, so
+        # protocol code computing "deadline - now" can legitimately come
+        # out a few microseconds negative.  "In the past" means "as soon
+        # as possible" here.
+        delay = max(0.0, delay)
+        handle = RealtimeHandle(self.now + delay)
+
+        def fire() -> None:
+            self._live.discard(handle)
+            if not handle.cancelled:
+                self.events_processed += 1
+                callback(*args)
+
+        handle._timer = self._loop.call_later(delay, fire)
+        self._live.add(handle)
+        return handle
+
+    def cancel_all(self) -> None:
+        """Cancel every outstanding timer (deployment shutdown)."""
+        for handle in list(self._live):
+            handle.cancel()
+        self._live.clear()
+
+    def pending_events(self) -> int:
+        return sum(1 for handle in self._live if not handle.cancelled)
+
+    def run_until(self, deadline: float) -> None:
+        raise RuntimeError("RealtimeScheduler cannot be stepped; "
+                           "the event loop drives time")
+
+    def run_to_completion(self, max_events: int = 10_000_000) -> None:
+        raise RuntimeError("RealtimeScheduler cannot be stepped; "
+                           "the event loop drives time")
+
+
+class SocketNetwork(Network):
+    """The ``Network`` seam of one node, backed by a connection pool.
+
+    Each node owns one ``SocketNetwork`` (one host's view of the world),
+    unlike the simulator where a single fabric object holds every node.
+    ``transmit`` hands the message to the pool; delivery accounting
+    happens on the receiving :class:`NodeServer`.
+    """
+
+    def __init__(self, scheduler: RealtimeScheduler,
+                 pool: ConnectionPool) -> None:
+        super().__init__(scheduler)
+        self.pool = pool
+
+    def transmit(self, src_id: str, dst_id: str, message: Any) -> None:
+        self.pool.send(dst_id, message)
+
+
+class NodeServer:
+    """One node's TCP listener plus frame dispatch.
+
+    ``errors`` collects handler exceptions (with the offending source and
+    message) so tests can assert clean runs; production callers would
+    drain it into logging.
+    """
+
+    def __init__(self, node: Node, metrics: MetricsRegistry,
+                 handshake_timeout: float = 5.0) -> None:
+        self.node = node
+        self.metrics = metrics
+        self.handshake_timeout = handshake_timeout
+        self.host = ""
+        self.port = 0
+        self.errors: list[tuple[str, Exception]] = []
+        self._server: asyncio.Server | None = None
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> tuple[str, int]:
+        """Start listening; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            src_id = await self._handshake(reader)
+        except (CodecError, HandshakeError, ConnectionError, OSError,
+                asyncio.TimeoutError) as exc:
+            if isinstance(exc, asyncio.TimeoutError):
+                self.metrics.incr("net_timeouts")
+            self.metrics.incr("net_handshakes_rejected")
+            writer.transport.abort()
+            return
+        try:
+            await self._serve_frames(src_id, reader)
+        finally:
+            writer.transport.abort()
+
+    async def _handshake(self, reader: asyncio.StreamReader) -> str:
+        hello, _size = await read_frame(reader, self.handshake_timeout)
+        if not isinstance(hello, codec.NetHello):
+            raise HandshakeError(
+                f"first frame was {type(hello).__name__}, not NetHello")
+        if hello.wire_version != codec.WIRE_VERSION:
+            raise HandshakeError(
+                f"peer {hello.node_id!r} speaks wire version "
+                f"{hello.wire_version}, we speak {codec.WIRE_VERSION}")
+        return hello.node_id
+
+    async def _serve_frames(self, src_id: str,
+                            reader: asyncio.StreamReader) -> None:
+        while True:
+            try:
+                message, size = await read_frame(reader)
+            except (BadMagic, BadVersion, FrameTooLarge, TruncatedFrame):
+                # Framing is gone; nothing after this point parses.
+                self.metrics.incr("net_frames_rejected")
+                return
+            except CodecError:
+                # Bad body inside a well-framed message: skip it, the
+                # stream itself is still aligned on frame boundaries.
+                self.metrics.incr("net_frames_rejected")
+                continue
+            except (ConnectionError, OSError):
+                return
+            self.metrics.incr("net_frames_received")
+            self.metrics.incr("net_bytes_received", size)
+            self._dispatch(src_id, message)
+
+    def _dispatch(self, src_id: str, message: Any) -> None:
+        node = self.node
+        if node.crashed:
+            self.metrics.incr("net_frames_dropped")
+            return
+        node.messages_received += 1
+        try:
+            node.on_message(src_id, message)
+        except Exception as exc:
+            self.metrics.incr("net_handler_errors")
+            self.errors.append((src_id, exc))
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None

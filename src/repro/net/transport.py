@@ -1,0 +1,267 @@
+"""Framed asyncio streams and the retrying connection pool.
+
+One :class:`ConnectionPool` serves one node: the protocol core calls the
+synchronous ``send(dst_id, message)`` (via the
+:class:`~repro.net.server.SocketNetwork` facade), frames are queued per
+destination, and a background sender task per peer owns the TCP
+connection -- dialling with bounded exponential backoff plus jitter,
+re-dialling when the connection dies, and dropping a frame only after
+its retry budget is spent (the protocol layer already tolerates loss:
+clients retry reads, masters re-send keep-alives).
+
+Every socket operation is wrapped in a timeout; a hung peer costs a
+``net_timeouts`` tick and a reconnect, never a wedged sender.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.metrics import MetricsRegistry
+from repro.net import codec
+from repro.net.errors import (
+    CodecError,
+    HandshakeError,
+    TransportError,
+    TruncatedFrame,
+)
+from repro.net.peers import PeerDirectory
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     timeout: float | None = None) -> tuple[Any, int]:
+    """Read one frame; returns ``(decoded value, frame size in bytes)``.
+
+    ``None`` timeout waits forever.  Raises :class:`ConnectionError` on
+    clean EOF before a header, :class:`TruncatedFrame` on EOF mid-frame,
+    :class:`CodecError` subclasses on malformed bytes and
+    :class:`asyncio.TimeoutError` when the deadline passes.
+    """
+
+    async def _read() -> tuple[Any, int]:
+        try:
+            header = await reader.readexactly(codec.HEADER_SIZE)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                raise ConnectionResetError(
+                    "peer closed the connection") from None
+            raise TruncatedFrame(
+                f"connection closed {len(exc.partial)} bytes into a header"
+            ) from None
+        length = codec.parse_header(header)
+        try:
+            body = await reader.readexactly(length) if length else b""
+        except asyncio.IncompleteReadError as exc:
+            raise TruncatedFrame(
+                f"connection closed {len(exc.partial)}/{length} bytes "
+                "into a frame body"
+            ) from None
+        return codec.decode_value(body), codec.HEADER_SIZE + length
+
+    if timeout is None:
+        return await _read()
+    return await asyncio.wait_for(_read(), timeout)
+
+
+async def write_frame(writer: asyncio.StreamWriter, value: Any,
+                      timeout: float | None = None) -> int:
+    """Encode and write one frame, returning its size in bytes."""
+    frame = codec.encode_frame(value)
+    writer.write(frame)
+    if timeout is None:
+        await writer.drain()
+    else:
+        await asyncio.wait_for(writer.drain(), timeout)
+    return len(frame)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with multiplicative jitter.
+
+    ``delay(attempt)`` for attempts 0,1,2,... grows as
+    ``base_delay * multiplier**attempt`` capped at ``max_delay``, then
+    stretched by up to ``jitter`` of itself so a restarted cluster does
+    not reconnect in lockstep.  ``max_attempts`` bounds one frame's
+    connect budget.
+    """
+
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    max_attempts: int = 5
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0 or self.multiplier < 1:
+            raise ValueError("backoff must grow from a positive base")
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        raw = min(self.max_delay,
+                  self.base_delay * self.multiplier ** attempt)
+        return raw * (1.0 + self.jitter * rng.random())
+
+
+@dataclass
+class _Peer:
+    """Sender-side state for one destination."""
+
+    queue: "asyncio.Queue[Any]" = field(
+        default_factory=lambda: asyncio.Queue(maxsize=4096))
+    task: "asyncio.Task[None] | None" = None
+    writer: asyncio.StreamWriter | None = None
+
+
+class ConnectionPool:
+    """Per-node outbound connection manager.
+
+    ``send`` never blocks the caller (protocol handlers run inside the
+    event loop); a full per-peer queue drops the frame with a metric
+    instead of exerting backpressure the synchronous core cannot feel.
+    """
+
+    def __init__(self, node_id: str, peers: PeerDirectory,
+                 metrics: MetricsRegistry, rng: random.Random,
+                 retry: RetryPolicy | None = None,
+                 connect_timeout: float = 2.0,
+                 io_timeout: float = 5.0) -> None:
+        self.node_id = node_id
+        self.peers = peers
+        self.metrics = metrics
+        self.rng = rng
+        self.retry = retry or RetryPolicy()
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+        self._peers: dict[str, _Peer] = {}
+        self._closed = False
+
+    # -- the synchronous face the protocol core sees --------------------
+
+    def send(self, dst_id: str, message: Any) -> None:
+        """Queue one message for ``dst_id``; returns immediately."""
+        if self._closed:
+            return
+        if not self.peers.knows(dst_id):
+            self.metrics.incr("net_frames_dropped")
+            self.metrics.incr("net_unknown_peer")
+            return
+        peer = self._peers.get(dst_id)
+        if peer is None:
+            peer = _Peer()
+            peer.task = asyncio.get_running_loop().create_task(
+                self._sender(dst_id, peer),
+                name=f"net-send:{self.node_id}->{dst_id}")
+            self._peers[dst_id] = peer
+        try:
+            peer.queue.put_nowait(message)
+        except asyncio.QueueFull:
+            self.metrics.incr("net_frames_dropped")
+
+    def kill_connection(self, dst_id: str) -> bool:
+        """Abort the live TCP connection to ``dst_id`` (fault injection).
+
+        The dead writer is deliberately left in place -- exactly what a
+        connection dropped by the network looks like -- so the sender
+        discovers the loss on its next write and walks the full
+        retry/backoff/redial path.  Returns whether there was a
+        connection to kill.
+        """
+        peer = self._peers.get(dst_id)
+        if peer is None or peer.writer is None:
+            return False
+        peer.writer.transport.abort()
+        return True
+
+    # -- sender task ------------------------------------------------------
+
+    async def _sender(self, dst_id: str, peer: _Peer) -> None:
+        while not self._closed:
+            message = await peer.queue.get()
+            delivered = False
+            for attempt in range(self.retry.max_attempts):
+                if self._closed:
+                    return
+                try:
+                    if peer.writer is None:
+                        _reader, peer.writer = await self._connect(dst_id)
+                    size = await write_frame(peer.writer, message,
+                                             self.io_timeout)
+                except (ConnectionError, OSError, asyncio.TimeoutError,
+                        TransportError) as exc:
+                    if isinstance(exc, asyncio.TimeoutError):
+                        self.metrics.incr("net_timeouts")
+                    self._teardown(peer)
+                    self.metrics.incr("net_retries")
+                    await asyncio.sleep(
+                        self.retry.delay(attempt, self.rng))
+                    continue
+                self.metrics.incr("net_frames_sent")
+                self.metrics.incr("net_bytes_sent", size)
+                delivered = True
+                break
+            if not delivered:
+                self._teardown(peer)
+                self.metrics.incr("net_frames_dropped")
+
+    async def _connect(
+        self, dst_id: str,
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        host, port = self.peers.endpoint(dst_id)
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), self.connect_timeout)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            self.metrics.incr("net_connect_failures")
+            raise
+        try:
+            await write_frame(writer, codec.NetHello(node_id=self.node_id),
+                              self.io_timeout)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            self.metrics.incr("net_connect_failures")
+            writer.transport.abort()
+            raise HandshakeError(
+                f"hello to {dst_id} failed before acknowledgement"
+            ) from None
+        self.metrics.incr("net_connects")
+        return reader, writer
+
+    def _teardown(self, peer: _Peer) -> None:
+        if peer.writer is not None:
+            peer.writer.transport.abort()
+            peer.writer = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Cancel sender tasks and abort live connections."""
+        self._closed = True
+        tasks = []
+        for peer in self._peers.values():
+            if peer.task is not None:
+                peer.task.cancel()
+                tasks.append(peer.task)
+            self._teardown(peer)
+        for task in tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            except Exception:
+                pass
+        self._peers.clear()
+
+
+__all__ = [
+    "ConnectionPool",
+    "RetryPolicy",
+    "read_frame",
+    "write_frame",
+    "CodecError",
+]

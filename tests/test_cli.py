@@ -119,6 +119,27 @@ class TestDemoCommand:
             assert "scenario:" in out.getvalue()
 
 
+@pytest.mark.net
+class TestNetDemoCommand:
+    def test_full_cycle_over_sockets(self):
+        import contextlib
+        import io
+
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = main(["net-demo", "--seed", "11", "--settle", "0.5"])
+        assert code == 0, out.getvalue()
+        summary = json.loads(out.getvalue())
+        assert summary["write"]["status"] == "committed"
+        assert summary["write"]["version"] == 1
+        assert summary["write_denied"]["status"] == "rejected"
+        assert summary["read"]["value"] == "over-the-wire"
+        assert summary["sensitive_read"]["status"] == "accepted"
+        assert summary["audit"]["pledges_audited"] >= 1
+        assert summary["handler_errors"] == []
+        assert summary["transport"]["net_frames_received"] > 0
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -128,3 +149,10 @@ class TestParser:
         args = build_parser().parse_args(["run"])
         assert args.masters == 3
         assert args.double_check_probability == 0.05
+
+    def test_net_demo_defaults(self):
+        args = build_parser().parse_args(["net-demo"])
+        assert args.masters == 2
+        assert args.slaves_per_master == 2
+        assert args.clients == 2
+        assert args.settle == 1.0

@@ -1,0 +1,542 @@
+"""Tests for the socket transport layer (repro.net.transport / server).
+
+Covers the pieces below the protocol: address parsing, the retry
+policy's backoff math, stream framing over real localhost TCP, the
+connection pool's drop/retry/reconnect behaviour, and the node server's
+resilience to hostile bytes -- a garbage frame must never kill a
+listener, and a well-framed-but-malformed body must not desynchronise
+the stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any
+
+import pytest
+
+from repro.metrics import MetricsRegistry
+from repro.net import codec
+from repro.net.codec import NetHello, encode_frame, encode_value
+from repro.net.errors import PeerUnknown, TruncatedFrame
+from repro.net.peers import PeerDirectory, format_address, parse_address
+from repro.net.server import NodeServer, RealtimeScheduler, SocketNetwork
+from repro.net.transport import (
+    ConnectionPool,
+    RetryPolicy,
+    read_frame,
+    write_frame,
+)
+from repro.sim.network import Node
+
+
+def run(coro, timeout: float = 20.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+class RecordingNode(Node):
+    """A protocol-free node that records what the server dispatches."""
+
+    def __init__(self, node_id: str, scheduler: RealtimeScheduler,
+                 network: SocketNetwork) -> None:
+        super().__init__(node_id, scheduler, network)
+        self.received: list[tuple[str, Any]] = []
+
+    def on_message(self, src_id: str, message: Any) -> None:
+        self.received.append((src_id, message))
+
+
+class ExplodingNode(RecordingNode):
+    def on_message(self, src_id: str, message: Any) -> None:
+        super().on_message(src_id, message)
+        raise RuntimeError("handler exploded")
+
+
+class Harness:
+    """One listening node plus the plumbing to reach it."""
+
+    def __init__(self, node_cls: type = RecordingNode) -> None:
+        loop = asyncio.get_running_loop()
+        self.metrics = MetricsRegistry()
+        self.scheduler = RealtimeScheduler(0, loop)
+        self.peers = PeerDirectory()
+        self.pool = ConnectionPool(
+            "tester", self.peers, self.metrics,
+            rng=random.Random(1),
+            retry=RetryPolicy(base_delay=0.01, max_delay=0.05,
+                              max_attempts=3))
+        self.node = node_cls("target", self.scheduler,
+                             SocketNetwork(self.scheduler, self.pool))
+        self.server = NodeServer(self.node, self.metrics,
+                                 handshake_timeout=1.0)
+
+    async def start(self) -> None:
+        host, port = await self.server.start()
+        self.peers.add("target", host, port)
+
+    async def raw_connection(self):
+        host, port = self.peers.endpoint("target")
+        return await asyncio.open_connection(host, port)
+
+    async def wait_received(self, count: int, timeout: float = 5.0) -> None:
+        deadline = asyncio.get_running_loop().time() + timeout
+        while len(self.node.received) < count:
+            if asyncio.get_running_loop().time() > deadline:
+                raise TimeoutError(
+                    f"got {len(self.node.received)}/{count} messages")
+            await asyncio.sleep(0.01)
+
+    async def aclose(self) -> None:
+        self.scheduler.cancel_all()
+        await self.pool.aclose()
+        await self.server.aclose()
+
+
+# -- addresses -----------------------------------------------------------
+
+
+class TestAddresses:
+    def test_roundtrip(self):
+        assert parse_address(format_address("127.0.0.1", 9001)) == \
+            ("127.0.0.1", 9001)
+
+    @pytest.mark.parametrize("bad", ["nohost", "host:", "host:notaport",
+                                     "host:-1", "host:70000", ":80"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+    def test_directory(self):
+        peers = PeerDirectory()
+        peers.add("a", "127.0.0.1", 1)
+        assert peers.knows("a") and not peers.knows("b")
+        assert peers.endpoint("a") == ("127.0.0.1", 1)
+        assert len(peers) == 1
+        with pytest.raises(PeerUnknown):
+            peers.endpoint("b")
+        peers.remove("a")
+        assert not peers.knows("a")
+
+
+# -- retry policy --------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5,
+                             jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay(a, rng) for a in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=1.0, jitter=0.5)
+        rng = random.Random(7)
+        for attempt in range(50):
+            delay = policy.delay(attempt, rng)
+            assert 0.1 <= delay <= 0.1 * 1.5
+
+    def test_deterministic_given_seed(self):
+        policy = RetryPolicy()
+        a = [policy.delay(i, random.Random(3)) for i in range(4)]
+        b = [policy.delay(i, random.Random(3)) for i in range(4)]
+        assert a == b
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(base_delay=0.0), dict(base_delay=-1.0), dict(multiplier=0.5),
+        dict(max_attempts=0), dict(jitter=-0.1), dict(jitter=1.5),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+# -- stream framing over real TCP ---------------------------------------
+
+
+@pytest.mark.net
+class TestStreamFraming:
+    def test_write_then_read(self):
+        async def scenario():
+            server_got: list[Any] = []
+
+            async def handle(reader, writer):
+                value, size = await read_frame(reader, timeout=2.0)
+                server_got.append((value, size))
+                writer.close()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            _reader, writer = await asyncio.open_connection(host, port)
+            sent = await write_frame(writer, {"k": [1, 2.5, "v"]}, 2.0)
+            await asyncio.sleep(0.1)
+            server.close()
+            await server.wait_closed()
+            writer.close()
+            (value, size), = server_got
+            assert value == {"k": [1, 2.5, "v"]}
+            assert size == sent
+
+        run(scenario())
+
+    def test_eof_before_header_is_connection_error(self):
+        async def scenario():
+            async def handle(reader, writer):
+                writer.close()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            with pytest.raises(ConnectionError):
+                await read_frame(reader, timeout=2.0)
+            server.close()
+            await server.wait_closed()
+
+        run(scenario())
+
+    def test_eof_mid_frame_is_truncated(self):
+        async def scenario():
+            async def handle(reader, writer):
+                writer.write(encode_frame([1, 2, 3])[:-2])
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, _writer = await asyncio.open_connection(host, port)
+            with pytest.raises(TruncatedFrame):
+                await read_frame(reader, timeout=2.0)
+            server.close()
+            await server.wait_closed()
+
+        run(scenario())
+
+    def test_read_timeout(self):
+        async def scenario():
+            async def handle(reader, writer):
+                await asyncio.sleep(5.0)
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, _writer = await asyncio.open_connection(host, port)
+            with pytest.raises(asyncio.TimeoutError):
+                await read_frame(reader, timeout=0.1)
+            server.close()
+            await server.wait_closed()
+
+        run(scenario())
+
+
+# -- connection pool -----------------------------------------------------
+
+
+@pytest.mark.net
+class TestConnectionPool:
+    def test_delivery_and_metrics(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            try:
+                h.pool.send("target", {"n": 1})
+                h.pool.send("target", {"n": 2})
+                await h.wait_received(2)
+                assert [msg for _src, msg in h.node.received] == \
+                    [{"n": 1}, {"n": 2}]
+                assert all(src == "tester" for src, _ in h.node.received)
+                snap = h.metrics.snapshot()
+                assert snap["net_connects"] == 1  # one connection, reused
+                assert snap["net_frames_sent"] == 2
+                assert snap["net_frames_received"] == 2
+                assert snap["net_bytes_sent"] > 0
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_unknown_peer_dropped(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            try:
+                h.pool.send("nobody", {"n": 1})
+                snap = h.metrics.snapshot()
+                assert snap["net_unknown_peer"] == 1
+                assert snap["net_frames_dropped"] == 1
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_killed_connection_redials(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            try:
+                h.pool.send("target", "before")
+                await h.wait_received(1)
+                assert h.pool.kill_connection("target")
+                h.pool.send("target", "after")
+                await h.wait_received(2)
+                assert h.metrics.snapshot()["net_connects"] == 2
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_kill_without_connection_is_noop(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            try:
+                assert not h.pool.kill_connection("target")
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_retries_exhausted_drops_frame(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            # Point the peer entry at a dead port.
+            host, port = h.peers.endpoint("target")
+            await h.server.aclose()
+            try:
+                h.pool.send("target", "into the void")
+                deadline = asyncio.get_running_loop().time() + 5.0
+                while not h.metrics.snapshot().get("net_frames_dropped"):
+                    if asyncio.get_running_loop().time() > deadline:
+                        raise TimeoutError("frame never dropped")
+                    await asyncio.sleep(0.02)
+                snap = h.metrics.snapshot()
+                assert snap["net_retries"] == 3  # max_attempts
+                assert snap["net_connect_failures"] == 3
+                assert snap.get("net_frames_sent", 0) == 0
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_server_restart_heals(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            host, port = h.peers.endpoint("target")
+            await h.server.aclose()
+            try:
+                h.pool.send("target", "during outage")
+                await asyncio.sleep(0.02)  # let the first dial fail
+                # Rebind the same port and watch the retry deliver.
+                await h.server.start(host, port)
+                await h.wait_received(1)
+                assert h.node.received[0][1] == "during outage"
+                assert h.metrics.snapshot()["net_retries"] >= 1
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+
+# -- node server resilience ----------------------------------------------
+
+
+@pytest.mark.net
+class TestNodeServerResilience:
+    async def _hello(self, writer, node_id: str = "tester") -> None:
+        writer.write(encode_frame(NetHello(node_id=node_id)))
+        await writer.drain()
+
+    def test_bad_body_skipped_stream_survives(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            try:
+                _reader, writer = await h.raw_connection()
+                await self._hello(writer)
+                # Well-framed garbage: unknown extension id 29.
+                bad_body = (bytes((codec._T_EXT,))
+                            + codec._encode_varint(29))
+                header = codec._HEADER.pack(codec.MAGIC,
+                                            codec.WIRE_VERSION, 0,
+                                            len(bad_body))
+                writer.write(header + bad_body)
+                writer.write(encode_frame("still alive"))
+                await writer.drain()
+                await h.wait_received(1)
+                assert h.node.received == [("tester", "still alive")]
+                assert h.metrics.snapshot()["net_frames_rejected"] == 1
+                writer.close()
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_framing_garbage_closes_connection(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            try:
+                reader, writer = await h.raw_connection()
+                await self._hello(writer)
+                writer.write(b"GARBAGE-NOT-A-FRAME-" * 4)
+                await writer.drain()
+                assert await reader.read() == b""  # server hung up
+                assert h.metrics.snapshot()["net_frames_rejected"] == 1
+                assert h.node.received == []
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_oversized_frame_closes_connection(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            try:
+                reader, writer = await h.raw_connection()
+                await self._hello(writer)
+                header = codec._HEADER.pack(
+                    codec.MAGIC, codec.WIRE_VERSION, 0,
+                    codec.MAX_FRAME_BYTES + 1)
+                writer.write(header)
+                await writer.drain()
+                assert await reader.read() == b""
+                assert h.metrics.snapshot()["net_frames_rejected"] == 1
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_handshake_requires_hello(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            try:
+                reader, writer = await h.raw_connection()
+                writer.write(encode_frame("not a hello"))
+                await writer.drain()
+                assert await reader.read() == b""
+                snap = h.metrics.snapshot()
+                assert snap["net_handshakes_rejected"] == 1
+                assert h.node.received == []
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_handshake_rejects_wrong_wire_version(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            try:
+                reader, writer = await h.raw_connection()
+                body = encode_value(NetHello(node_id="tester",
+                                             wire_version=99))
+                writer.write(codec._HEADER.pack(
+                    codec.MAGIC, codec.WIRE_VERSION, 0, len(body)) + body)
+                await writer.drain()
+                assert await reader.read() == b""
+                assert h.metrics.snapshot()["net_handshakes_rejected"] == 1
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_handler_exception_captured_not_fatal(self):
+        async def scenario():
+            h = Harness(node_cls=ExplodingNode)
+            await h.start()
+            try:
+                _reader, writer = await h.raw_connection()
+                await self._hello(writer)
+                writer.write(encode_frame("boom"))
+                writer.write(encode_frame("boom again"))
+                await writer.drain()
+                await h.wait_received(2)
+                assert h.metrics.snapshot()["net_handler_errors"] == 2
+                assert len(h.server.errors) == 2
+                src, exc = h.server.errors[0]
+                assert src == "tester"
+                assert isinstance(exc, RuntimeError)
+                writer.close()
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_crashed_node_drops_frames(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            try:
+                h.node.crashed = True
+                _reader, writer = await h.raw_connection()
+                await self._hello(writer)
+                writer.write(encode_frame("while down"))
+                await writer.drain()
+                await asyncio.sleep(0.1)
+                assert h.node.received == []
+                assert h.metrics.snapshot()["net_frames_dropped"] == 1
+                writer.close()
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+
+# -- realtime scheduler --------------------------------------------------
+
+
+class TestRealtimeScheduler:
+    def test_timers_fire_and_cancel(self):
+        async def scenario():
+            sched = RealtimeScheduler(0, asyncio.get_running_loop())
+            fired: list[str] = []
+            sched.schedule(0.01, fired.append, "a")
+            doomed = sched.schedule(0.01, fired.append, "never")
+            doomed.cancel()
+            # Negative delays are clamped, not rejected (real time moves
+            # during handlers).
+            sched.schedule(-0.001, fired.append, "asap")
+            await asyncio.sleep(0.1)
+            assert sorted(fired) == ["a", "asap"]
+            assert sched.pending_events() == 0
+            assert sched.events_processed == 2
+
+        run(scenario())
+
+    def test_stepping_disabled(self):
+        async def scenario():
+            sched = RealtimeScheduler(0, asyncio.get_running_loop())
+            with pytest.raises(RuntimeError):
+                sched.run_until(10.0)
+            with pytest.raises(RuntimeError):
+                sched.run_to_completion()
+
+        run(scenario())
+
+    def test_fork_rng_matches_simulator(self):
+        from repro.sim.simulator import Simulator
+
+        async def scenario():
+            sched = RealtimeScheduler(42, asyncio.get_running_loop())
+            sim = Simulator(42)
+            a = sched.fork_rng("keys:owner").random()
+            b = sim.fork_rng("keys:owner").random()
+            assert a == b
+
+        run(scenario())
+
+    def test_cancel_all(self):
+        async def scenario():
+            sched = RealtimeScheduler(0, asyncio.get_running_loop())
+            fired: list[int] = []
+            for i in range(5):
+                sched.schedule(0.01, fired.append, i)
+            sched.cancel_all()
+            await asyncio.sleep(0.05)
+            assert fired == []
+            assert sched.pending_events() == 0
+
+        run(scenario())

@@ -167,7 +167,84 @@ class TestPL001Determinism:
         """
         # Benchmark harness code measures real wall-clock on purpose.
         assert codes(source, path="benchmarks/bench_example.py") == []
-        assert codes(source, path="src/repro/metrics/example.py") == []
+
+    def test_scope_covers_all_protocol_packages(self):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()
+        """
+        # The rule is path-scoped to all of src/repro/, not a module list:
+        # packages added later are covered without touching the rule.
+        for package in ("metrics", "content", "workloads", "analysis"):
+            path = f"src/repro/{package}/example.py"
+            assert codes(source, path=path) == ["PL001"], path
+
+    def test_net_runtime_excluded(self):
+        source = """
+            import time
+
+            def deadline():
+                return time.monotonic() + 5.0
+        """
+        # The socket runtime legitimately lives on real time; the
+        # exclusion carves it out of the otherwise-global scope.
+        assert codes(source, path="src/repro/net/transport.py") == []
+        # ...but the exclusion is exact: a sibling named similarly is
+        # still in scope.
+        assert codes(source, path="src/repro/network_sim/x.py") == ["PL001"]
+
+    def test_pyproject_scope_override_respected(self):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()
+        """
+        pyproject = """
+            [tool.protolint.scope.pl001]
+            include = ["src/repro/core/"]
+            exclude = ["src/repro/core/legacy/"]
+        """
+        from tools.protolint.engine import parse_scope_config
+
+        overrides = parse_scope_config(textwrap.dedent(pyproject))
+        if not overrides:  # Python 3.10: no tomllib, defaults apply
+            pytest.skip("tomllib unavailable; class-default scopes in force")
+        # Codes are normalised to upper case.
+        assert overrides == {
+            "PL001": (("src/repro/core/",), ("src/repro/core/legacy/",))}
+        project = ProjectContext(
+            config_fields=PROJECT.config_fields,
+            config_methods=PROJECT.config_methods,
+            rule_scopes=overrides)
+        # Narrowed include: sim/ no longer in scope, core/ still is,
+        # and the new exclude wins inside core/.
+        assert codes(source, path="src/repro/sim/x.py",
+                     project=project) == []
+        assert codes(source, path="src/repro/core/x.py",
+                     project=project) == ["PL001"]
+        assert codes(source, path="src/repro/core/legacy/x.py",
+                     project=project) == []
+
+    def test_malformed_scope_config_falls_back_to_defaults(self):
+        from tools.protolint.engine import parse_scope_config
+
+        assert parse_scope_config("this is [not TOML") == {}
+        assert parse_scope_config("[tool.other]\nx = 1\n") == {}
+
+    def test_repo_pyproject_mirrors_class_defaults(self):
+        # The TOML override and the 3.10 fallback (class attributes) must
+        # agree, or behaviour would differ across Python versions.
+        from tools.protolint.engine import parse_scope_config
+
+        pyproject = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+        overrides = parse_scope_config(pyproject)
+        if not overrides:
+            pytest.skip("tomllib unavailable; class-default scopes in force")
+        rule = REGISTRY["PL001"]
+        assert overrides["PL001"] == (rule.scope, rule.exclude)
 
 
 # -- PL002: constant-time digest comparison ------------------------------

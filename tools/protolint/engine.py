@@ -88,10 +88,17 @@ class ProjectContext:
     dataclass (``ProtocolConfig``): the names PL006 validates references
     against.  ``None`` (config source not found) disables PL006 rather
     than producing false positives.
+
+    ``rule_scopes`` holds per-rule (include, exclude) path-fragment
+    overrides parsed from ``[tool.protolint.scope.<CODE>]`` tables in
+    ``pyproject.toml``; rules without an entry keep their class-default
+    scope.
     """
 
     config_fields: frozenset[str] | None = None
     config_methods: frozenset[str] = frozenset()
+    rule_scopes: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = field(
+        default_factory=dict)
 
     CONFIG_RELPATH = PurePosixPath("src/repro/core/config.py")
     CONFIG_CLASS = "ProtocolConfig"
@@ -101,15 +108,22 @@ class ProjectContext:
         """Build project facts by locating the config module near ``anchor``.
 
         Walks up from ``anchor`` (a linted path or the CWD) until a
-        directory containing ``src/repro/core/config.py`` is found.
+        directory containing ``src/repro/core/config.py`` is found; the
+        same directory's ``pyproject.toml`` (if any) supplies the rule
+        scope overrides.
         """
         anchor = anchor.resolve()
         candidates = [anchor, *anchor.parents]
         for base in candidates:
             config_path = base / cls.CONFIG_RELPATH
             if config_path.is_file():
-                return cls.from_config_source(
+                project = cls.from_config_source(
                     config_path.read_text(encoding="utf-8"))
+                pyproject = base / "pyproject.toml"
+                if pyproject.is_file():
+                    project.rule_scopes = parse_scope_config(
+                        pyproject.read_text(encoding="utf-8"))
+                return project
         return cls()
 
     @classmethod
@@ -133,6 +147,41 @@ class ProjectContext:
                 return cls(config_fields=frozenset(fields),
                            config_methods=frozenset(methods))
         return cls()
+
+
+def parse_scope_config(
+    pyproject_source: str,
+) -> dict[str, tuple[tuple[str, ...], tuple[str, ...]]]:
+    """Parse ``[tool.protolint.scope.<CODE>]`` include/exclude tables.
+
+    Returns rule code -> (include, exclude).  On Python 3.10 (no
+    ``tomllib``) or on TOML that does not parse, returns no overrides --
+    rules then fall back to their class-default scopes, which this
+    repo's ``pyproject.toml`` mirrors exactly, so behaviour is identical
+    either way.
+    """
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11
+        return {}
+    try:
+        data = tomllib.loads(pyproject_source)
+    except tomllib.TOMLDecodeError:
+        return {}
+    tool = data.get("tool")
+    scope_tables = (tool or {}).get("protolint", {}).get("scope", {})
+    if not isinstance(scope_tables, dict):
+        return {}
+    overrides: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {}
+    for code, entry in scope_tables.items():
+        if not isinstance(entry, dict):
+            continue
+        include = tuple(str(fragment)
+                        for fragment in entry.get("include", ()))
+        exclude = tuple(str(fragment)
+                        for fragment in entry.get("exclude", ()))
+        overrides[str(code).upper()] = (include, exclude)
+    return overrides
 
 
 @dataclass(slots=True)
@@ -174,7 +223,7 @@ def lint_source(source: str, path: str,
                       project=project or ProjectContext())
     found: list[Violation] = []
     for rule in (all_rules() if rules is None else rules):
-        if not rule.applies_to(posix_path):
+        if not rule.applies_to(posix_path, ctx.project):
             continue
         for violation in rule.check(ctx):
             if not suppressions.is_suppressed(violation):

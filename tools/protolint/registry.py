@@ -46,6 +46,15 @@ class Rule:
         Path fragments (posix, e.g. ``"src/repro/sim/"``); the rule runs
         only on files whose path contains one of them.  An empty scope
         means the rule runs on every linted file.
+    ``exclude``
+        Path fragments carved *out* of the scope (e.g. the socket
+        runtime under ``src/repro/net/``, which legitimately reads real
+        clocks).  Exclusion wins over inclusion.
+
+    Both tuples are class defaults; a repo can override them per rule in
+    ``pyproject.toml`` under ``[tool.protolint.scope.<CODE>]`` with
+    ``include`` / ``exclude`` keys, which the engine delivers through
+    :class:`~tools.protolint.engine.ProjectContext`.
 
     The class docstring doubles as the ``--explain`` text, so it should
     state the protocol invariant the rule protects and how to fix or
@@ -55,14 +64,31 @@ class Rule:
     code: str = ""
     name: str = ""
     scope: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
 
-    def applies_to(self, path: str) -> bool:
+    def effective_scope(
+        self, project: "ProjectContext | None" = None,
+    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """The (include, exclude) pair in force: config override or
+        class defaults."""
+        if project is not None:
+            override = project.rule_scopes.get(self.code)
+            if override is not None:
+                return override
+        return self.scope, self.exclude
+
+    def applies_to(self, path: str,
+                   project: "ProjectContext | None" = None) -> bool:
         """Whether this rule runs on ``path`` (posix-normalised)."""
-        if not self.scope:
-            return True
+        include, exclude = self.effective_scope(project)
         anchored = "/" + path.lstrip("/")
-        return any("/" + fragment.lstrip("/") in anchored
-                   for fragment in self.scope)
+
+        def hit(fragment: str) -> bool:
+            return "/" + fragment.lstrip("/") in anchored
+
+        if include and not any(hit(fragment) for fragment in include):
+            return False
+        return not any(hit(fragment) for fragment in exclude)
 
     def check(self, ctx: "FileContext") -> Iterator[Violation]:
         raise NotImplementedError

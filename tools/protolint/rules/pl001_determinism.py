@@ -9,7 +9,15 @@ constructs an argument-less ``random.Random()``, silently breaks
 bit-reproducibility -- and with the PR-1 fastpath caches in place such
 a regression would not even show up as a performance anomaly.
 
-Flags, inside ``src/repro/{sim,core,broadcast,baselines,crypto}``:
+Scope: all of ``src/repro/`` *except* the socket runtime under
+``src/repro/net/``, which legitimately lives on real time and asyncio
+(the determinism contract there is key material only, via
+``fork_rng``).  The scope is path-configured -- override per rule in
+``pyproject.toml`` under ``[tool.protolint.scope.PL001]`` with
+``include``/``exclude`` lists; the class defaults below mirror this
+repo's configuration for toolchains without ``tomllib``.
+
+Flags:
 
 * wall-clock/process-clock reads: ``time.time``, ``time.monotonic``,
   ``time.perf_counter`` (and ``_ns`` variants), ``time.process_time``,
@@ -55,13 +63,8 @@ _ENTROPY_CALLS = {
 class NoNondeterminism(Rule):
     code = "PL001"
     name = "no-wallclock-nondeterminism"
-    scope = (
-        "src/repro/sim/",
-        "src/repro/core/",
-        "src/repro/broadcast/",
-        "src/repro/baselines/",
-        "src/repro/crypto/",
-    )
+    scope = ("src/repro/",)
+    exclude = ("src/repro/net/",)
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         aliases = import_aliases(ctx.tree)

@@ -28,7 +28,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from tools.protolint.engine import FileContext
+from tools.protolint.engine import FileContext, ProjectContext
 from tools.protolint.names import import_aliases, resolve_call_target, terminal_name
 from tools.protolint.registry import Rule, Violation, register
 
@@ -41,10 +41,11 @@ class VerifyThroughDispatch(Rule):
     name = "verify-through-scheme-dispatch"
     scope = ("src/", "benchmarks/", "examples/")
 
-    def applies_to(self, path: str) -> bool:
+    def applies_to(self, path: str,
+                   project: ProjectContext | None = None) -> bool:
         if "src/repro/crypto/" in "/" + path.lstrip("/"):
             return False
-        return super().applies_to(path)
+        return super().applies_to(path, project)
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         aliases = import_aliases(ctx.tree)
