@@ -2,7 +2,8 @@
 
 Gives future changes a trajectory to regress against: each run records
 the E4 auditor-throughput numbers, the S0 simulation-substrate rates,
-the F0 fast-path before/after rates and the N0 socket-transport rates,
+the F0 fast-path before/after rates, the N0 socket-transport rates and
+the C1 crash-recovery latencies,
 plus enough environment context to interpret them.  Snapshots are cheap (quick-mode sweeps) and meant to be
 committed alongside performance-relevant PRs::
 
@@ -23,6 +24,7 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
+from benchmarks import bench_chaos_recovery as c1
 from benchmarks import bench_e04_auditor_throughput as e04
 from benchmarks import bench_fastpath_micro as f0
 from benchmarks import bench_net_roundtrip as n0
@@ -31,11 +33,12 @@ from benchmarks.common import FULL
 
 
 def collect() -> dict:
-    """Run the four snapshot sweeps and assemble the record."""
+    """Run the five snapshot sweeps and assemble the record."""
     e04_rows = e04.run_sweep()
     s0_result = s0.run_sweep()
     f0_result = f0.run_sweep()
     n0_result = n0.run_sweep()
+    c1_result = c1.run_sweep()
     return {
         "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime()),
         "environment": {
@@ -59,6 +62,7 @@ def collect() -> dict:
         "s0_sim_micro": s0_result,
         "f0_fastpath_micro": f0_result,
         "n0_net_roundtrip": n0_result,
+        "c1_chaos_recovery": c1_result,
     }
 
 

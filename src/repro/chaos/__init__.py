@@ -1,0 +1,51 @@
+"""Deterministic chaos engineering for the socket stack.
+
+Everything the simulator can do to a deployment -- drop, delay,
+duplicate, reorder and corrupt messages, partition links, crash and
+restart nodes -- replayed against the *real* transport
+(:mod:`repro.net`), with every decision drawn from seeded per-link
+streams so a failing schedule replays exactly.
+
+Layers:
+
+* :mod:`repro.chaos.faults` -- the per-link fault plane and the
+  fault-injecting connection pool;
+* :mod:`repro.chaos.cluster` -- :class:`ChaosCluster`, a
+  :class:`~repro.net.deploy.LocalCluster` wired through the fault plane
+  with node crash/restart lifecycle faults;
+* :mod:`repro.chaos.invariants` -- the offline safety oracle (zero
+  accepted stale/forged reads, consistency window, convergence);
+* :mod:`repro.chaos.scenarios` -- the named scenario catalog with
+  per-scenario JSON verdicts (also behind ``repro-sim chaos``).
+"""
+
+from repro.chaos.cluster import ChaosCluster
+from repro.chaos.faults import (
+    HEALTHY,
+    ChaosConnectionPool,
+    FaultPlane,
+    FramePlan,
+    LinkFaults,
+)
+from repro.chaos.invariants import CheckResult, run_safety_checks
+from repro.chaos.scenarios import (
+    SCENARIOS,
+    ScenarioVerdict,
+    run_scenario,
+    run_scenario_sync,
+)
+
+__all__ = [
+    "HEALTHY",
+    "ChaosCluster",
+    "ChaosConnectionPool",
+    "CheckResult",
+    "FaultPlane",
+    "FramePlan",
+    "LinkFaults",
+    "SCENARIOS",
+    "ScenarioVerdict",
+    "run_safety_checks",
+    "run_scenario",
+    "run_scenario_sync",
+]

@@ -1,0 +1,127 @@
+"""A :class:`LocalCluster` whose every link answers to a fault plane.
+
+:class:`ChaosCluster` swaps the plain connection pool for
+:class:`~repro.chaos.faults.ChaosConnectionPool` (one shared
+:class:`~repro.chaos.faults.FaultPlane`, seeded from the deployment
+spec) and adds the node-lifecycle conveniences scenarios need: scripted
+crash/restart schedules in the :class:`~repro.sim.failures.ScheduledFault`
+vocabulary, partition helpers, and polling waits for detection and
+recovery conditions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Iterable
+
+from repro.chaos.faults import ChaosConnectionPool, FaultPlane, LinkFaults
+from repro.net.deploy import LocalCluster, NetDeploymentSpec
+from repro.sim.failures import ScheduledFault
+
+
+class ChaosCluster(LocalCluster):
+    """A localhost deployment with a seeded fault plane on every link."""
+
+    def __init__(self, spec: NetDeploymentSpec,
+                 loop: asyncio.AbstractEventLoop) -> None:
+        # The plane must exist before _build() creates the pools.
+        self.plane = FaultPlane(seed=spec.seed)
+        self._fault_tasks: list["asyncio.Task[None]"] = []
+        super().__init__(spec, loop)
+
+    def _make_pool(self, node_id: str) -> ChaosConnectionPool:
+        return ChaosConnectionPool(
+            node_id, self.peers, self.metrics,
+            rng=self.scheduler.fork_rng(f"net:{node_id}"),
+            plane=self.plane,
+            retry=self.spec.retry,
+            connect_timeout=self.spec.connect_timeout,
+            io_timeout=self.spec.io_timeout)
+
+    # -- link faults -------------------------------------------------------
+
+    def set_link(self, src: str, dst: str, faults: LinkFaults,
+                 symmetric: bool = False) -> None:
+        self.plane.set_link(src, dst, faults, symmetric=symmetric)
+
+    def set_default_faults(self, faults: LinkFaults) -> None:
+        self.plane.set_default(faults)
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut both directions between two nodes."""
+        self.plane.partition(a, b)
+
+    def heal(self, a: str, b: str) -> None:
+        self.plane.heal(a, b)
+
+    def heal_all(self) -> None:
+        self.plane.heal_all()
+
+    # -- scripted node lifecycle faults ------------------------------------
+
+    def schedule(self, script: Iterable[ScheduledFault]) -> None:
+        """Run a crash/restart script against live nodes, in real time.
+
+        Fault times are seconds from now.  The spawned tasks are awaited
+        by :meth:`wait_faults` (and cancelled by :meth:`aclose`).
+        """
+        for fault in script:
+            self.node(fault.node_id)  # fail fast on typos
+            task = self._loop.create_task(
+                self._run_fault(fault),
+                name=f"chaos-fault:{fault.node_id}@{fault.at}")
+            self._fault_tasks.append(task)
+
+    async def _run_fault(self, fault: ScheduledFault) -> None:
+        await asyncio.sleep(fault.at)
+        await self.crash_node(fault.node_id)
+        if fault.duration is not None:
+            await asyncio.sleep(fault.duration)
+            await self.restart_node(fault.node_id)
+
+    async def wait_faults(self) -> None:
+        """Block until every scheduled fault has fully played out."""
+        if self._fault_tasks:
+            await asyncio.gather(*self._fault_tasks)
+
+    # -- condition polling -------------------------------------------------
+
+    async def wait_for(self, condition: Callable[[], bool], timeout: float,
+                       what: str = "condition",
+                       poll: float = 0.02) -> float:
+        """Poll until ``condition()`` holds; returns seconds waited.
+
+        Raises :class:`TimeoutError` naming ``what`` -- scenario checks
+        use the wait itself as the liveness assertion.
+        """
+        start = self._loop.time()
+        deadline = start + timeout
+        while not condition():
+            if self._loop.time() > deadline:
+                raise TimeoutError(
+                    f"{what} did not hold within {timeout:.1f}s")
+            await asyncio.sleep(poll)
+        return self._loop.time() - start
+
+    async def aclose(self) -> None:
+        for task in self._fault_tasks:
+            task.cancel()
+        for task in self._fault_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._fault_tasks.clear()
+        await super().aclose()
+
+
+async def launch_chaos(spec: NetDeploymentSpec | None = None,
+                       settle: float = 1.0,
+                       **spec_kwargs: Any) -> ChaosCluster:
+    """Convenience: :meth:`ChaosCluster.launch` with precise typing."""
+    cluster = await ChaosCluster.launch(spec, settle=settle, **spec_kwargs)
+    assert isinstance(cluster, ChaosCluster)
+    return cluster
+
+
+__all__ = ["ChaosCluster", "launch_chaos"]

@@ -1,0 +1,317 @@
+"""Seeded per-link fault plane and the fault-injecting connection pool.
+
+The :class:`FaultPlane` is the single decision authority for every link
+in a deployment: for each ``(src, dst)`` pair it holds a
+:class:`LinkFaults` profile (probabilities and shaping parameters) and a
+private random stream derived from ``seed`` and the link name alone --
+*not* from fork order or traffic interleaving -- so the fate of the
+n-th frame on a link is a pure function of ``(seed, src, dst, n)``.
+Wall-clock timing over real sockets still varies run to run; the fault
+*decisions* do not, which is what makes a failing schedule replayable.
+
+:class:`ChaosConnectionPool` applies those decisions inside the sender
+path of :class:`~repro.net.transport.ConnectionPool`:
+
+* drop / duplicate / delay / reorder act on whole messages before they
+  are queued (mirroring what a lossy, reordering network does);
+* corrupt-frame and throttle act at the byte layer via the pool's
+  ``_transmit`` seam -- a corrupted frame keeps its header intact so
+  the receiver stays frame-aligned and must survive the garbage *body*
+  (codec rejection, signature failure or a contained handler error);
+* partitions silently eat every frame in both directions until healed,
+  exactly like :meth:`repro.sim.network.Network.partition`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.metrics import MetricsRegistry
+from repro.net import codec
+from repro.net.peers import PeerDirectory
+from repro.net.transport import ConnectionPool, RetryPolicy, _Peer
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFaults:
+    """Fault profile for one directed link (all probabilities per frame).
+
+    ``delay``/``delay_jitter`` are seconds added before the frame is
+    queued; ``throttle_bps`` serialises the link's bytes at that rate
+    (0 = unlimited).  The all-defaults instance is a healthy link.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    reorder: float = 0.0
+    delay: float = 0.0
+    delay_jitter: float = 0.0
+    throttle_bps: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "corrupt", "reorder"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"{name} must be a probability in [0, 1], got {value}")
+        for name in ("delay", "delay_jitter", "throttle_bps"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+
+    @property
+    def healthy(self) -> bool:
+        return self == HEALTHY
+
+
+HEALTHY = LinkFaults()
+
+
+@dataclass(frozen=True, slots=True)
+class FramePlan:
+    """One frame's fate, decided by the plane before the frame moves."""
+
+    drop: bool = False
+    corrupt: bool = False
+    duplicates: int = 0
+    hold: bool = False
+    delay: float = 0.0
+
+
+_PASS = FramePlan()
+
+
+class FaultPlane:
+    """Shared, seeded fault-decision authority for every link.
+
+    Mirrors the simulator's fault API (:class:`repro.sim.network.Network`
+    partitions plus loss/latency knobs) for the socket stack.  All
+    mutators are plain synchronous calls, so scripted schedules are just
+    code that calls them at chosen times.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._default = HEALTHY
+        self._links: dict[tuple[str, str], LinkFaults] = {}
+        self._rngs: dict[tuple[str, str], random.Random] = {}
+        self._partitions: set[frozenset[str]] = set()
+        #: Total frames planned; a cheap determinism fingerprint.
+        self.decisions = 0
+
+    # -- profile management ----------------------------------------------
+
+    def set_default(self, faults: LinkFaults) -> None:
+        """Profile for every link without an explicit entry."""
+        self._default = faults
+
+    def set_link(self, src: str, dst: str, faults: LinkFaults,
+                 symmetric: bool = False) -> None:
+        """Profile for the ``src -> dst`` link (both ways if symmetric)."""
+        self._links[(src, dst)] = faults
+        if symmetric:
+            self._links[(dst, src)] = faults
+
+    def clear_link(self, src: str, dst: str, symmetric: bool = False) -> None:
+        self._links.pop((src, dst), None)
+        if symmetric:
+            self._links.pop((dst, src), None)
+
+    def reset(self) -> None:
+        """Drop every profile and partition; decision streams persist."""
+        self._default = HEALTHY
+        self._links.clear()
+        self._partitions.clear()
+
+    def faults_for(self, src: str, dst: str) -> LinkFaults:
+        return self._links.get((src, dst), self._default)
+
+    # -- partitions (bidirectional, like the simulator's) ------------------
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut both directions between ``a`` and ``b``."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitions.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._partitions
+
+    # -- per-frame decisions ----------------------------------------------
+
+    def _rng(self, src: str, dst: str) -> random.Random:
+        key = (src, dst)
+        rng = self._rngs.get(key)
+        if rng is None:
+            # Keyed by seed and link name only (never fork order), so a
+            # link's decision stream survives topology/traffic changes.
+            rng = random.Random(f"{self._seed}/chaos/{src}->{dst}")
+            self._rngs[key] = rng
+        return rng
+
+    def plan(self, src: str, dst: str) -> FramePlan:
+        """Decide one frame's fate on ``src -> dst``.
+
+        Every probability is drawn on every call, in a fixed order, so
+        the link's stream position is exactly its frame count.
+        """
+        faults = self.faults_for(src, dst)
+        if faults.healthy:
+            return _PASS
+        self.decisions += 1
+        rng = self._rng(src, dst)
+        drop = rng.random() < faults.drop
+        corrupt = rng.random() < faults.corrupt
+        duplicates = 1 if rng.random() < faults.duplicate else 0
+        hold = rng.random() < faults.reorder
+        delay = 0.0
+        if faults.delay or faults.delay_jitter:
+            delay = faults.delay + rng.random() * faults.delay_jitter
+        if drop:
+            return FramePlan(drop=True)
+        return FramePlan(corrupt=corrupt, duplicates=duplicates,
+                         hold=hold, delay=delay)
+
+    def randrange(self, src: str, dst: str, low: int, high: int) -> int:
+        """One extra draw from the link's stream (corruption offsets)."""
+        return self._rng(src, dst).randrange(low, high)
+
+
+class _Corrupted:
+    """Marks a message whose encoded frame must be damaged in transit."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: Any) -> None:
+        self.message = message
+
+
+class ChaosConnectionPool(ConnectionPool):
+    """A :class:`ConnectionPool` whose frames answer to a fault plane.
+
+    Message-level faults (drop, duplicate, delay, reorder, partition)
+    are applied in :meth:`send`, before queueing; byte-level faults
+    (corrupt, throttle) in :meth:`_transmit`, after framing.  Reordered
+    frames are parked until the next frame to the same destination
+    passes them, with a timer backstop so a quiet link still delivers.
+    """
+
+    #: Backstop: a held (reordered) frame is flushed after this long
+    #: even if no later frame comes along to overtake it.
+    REORDER_FLUSH = 0.05
+
+    def __init__(self, node_id: str, peers: PeerDirectory,
+                 metrics: MetricsRegistry, rng: random.Random,
+                 plane: FaultPlane,
+                 retry: RetryPolicy | None = None,
+                 connect_timeout: float = 2.0,
+                 io_timeout: float = 5.0) -> None:
+        super().__init__(node_id, peers, metrics, rng, retry=retry,
+                         connect_timeout=connect_timeout,
+                         io_timeout=io_timeout)
+        self.plane = plane
+        self._held: dict[str, list[Any]] = {}
+        self._throttle_free: dict[str, float] = {}
+
+    # -- message-level faults ---------------------------------------------
+
+    def send(self, dst_id: str, message: Any) -> None:
+        if self._closed:
+            return
+        if self.plane.is_partitioned(self.node_id, dst_id):
+            self._drop(dst_id, "partitioned")
+            return
+        plan = self.plane.plan(self.node_id, dst_id)
+        if plan.drop:
+            self._drop(dst_id, "chaos")
+            return
+        payload: Any = message
+        if plan.corrupt:
+            payload = _Corrupted(message)
+            self.metrics.incr("chaos_corrupted_frames")
+        if plan.duplicates:
+            self.metrics.incr("chaos_duplicated_frames", plan.duplicates)
+        if plan.hold:
+            self.metrics.incr("chaos_reordered_frames")
+            self._held.setdefault(dst_id, []).append(payload)
+            asyncio.get_running_loop().call_later(
+                self.REORDER_FLUSH, self._flush_held, dst_id)
+            return
+        self._forward(dst_id, payload, plan.duplicates, plan.delay)
+        # Anything parked on this link is now out of order; release it.
+        self._flush_held(dst_id)
+
+    def _forward(self, dst_id: str, payload: Any, duplicates: int,
+                 delay: float) -> None:
+        if delay > 0:
+            self.metrics.incr("chaos_delayed_frames")
+            asyncio.get_running_loop().call_later(
+                delay, self._enqueue, dst_id, payload, duplicates)
+        else:
+            self._enqueue(dst_id, payload, duplicates)
+
+    def _enqueue(self, dst_id: str, payload: Any, duplicates: int) -> None:
+        for _copy in range(1 + duplicates):
+            super().send(dst_id, payload)
+
+    def _flush_held(self, dst_id: str) -> None:
+        held = self._held.get(dst_id)
+        if held:
+            self._held[dst_id] = []
+            for payload in held:
+                self._enqueue(dst_id, payload, 0)
+
+    # -- byte-level faults -------------------------------------------------
+
+    async def _transmit(self, dst_id: str, peer: _Peer, message: Any) -> int:
+        payload = message
+        corrupted = isinstance(payload, _Corrupted)
+        if corrupted:
+            payload = payload.message
+        frame = codec.encode_frame(payload)
+        if corrupted:
+            frame = self._damage(dst_id, frame)
+        faults = self.plane.faults_for(self.node_id, dst_id)
+        if faults.throttle_bps > 0:
+            await self._throttle(dst_id, len(frame), faults.throttle_bps)
+        assert peer.writer is not None
+        peer.writer.write(frame)
+        await asyncio.wait_for(peer.writer.drain(), self.io_timeout)
+        return len(frame)
+
+    def _damage(self, dst_id: str, frame: bytes) -> bytes:
+        """Flip one body byte, leaving the header (and framing) intact."""
+        if len(frame) <= codec.HEADER_SIZE:
+            return frame
+        buffer = bytearray(frame)
+        index = self.plane.randrange(self.node_id, dst_id,
+                                     codec.HEADER_SIZE, len(buffer))
+        buffer[index] ^= 0xFF
+        return bytes(buffer)
+
+    async def _throttle(self, dst_id: str, size: int, bps: float) -> None:
+        """Serialise this link's bytes at ``bps`` (token-bucket style)."""
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        start = max(now, self._throttle_free.get(dst_id, now))
+        self._throttle_free[dst_id] = start + size / bps
+        wait = start - now
+        if wait > 0:
+            self.metrics.incr("chaos_throttled_frames")
+            await asyncio.sleep(wait)
+
+
+__all__ = [
+    "HEALTHY",
+    "ChaosConnectionPool",
+    "FaultPlane",
+    "FramePlan",
+    "LinkFaults",
+]

@@ -1,0 +1,191 @@
+"""Offline safety oracle for chaos runs against a socket cluster.
+
+The same ground-truth checks :class:`repro.core.system.ReplicationSystem`
+performs after a simulation, ported to :class:`repro.net.deploy.LocalCluster`:
+replay the trusted op log to reconstruct the content at every committed
+version, then hold every accepted read against it.  Under chaos the
+reference master must be chosen (the rank-0 master may be the one that
+was crashed), so the checker picks the live master with the longest
+archive and additionally verifies the survivors agree with it.
+
+These checks close the loop the paper's Section 3.5 leaves to the
+reader: after crashes, partitions and corrupted frames, no client may
+have accepted a stale or forged result, and the surviving trusted set
+must have converged on one history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.content.queries import ReadQuery, operation_from_wire
+from repro.content.store import ContentStore
+from repro.core.master import MasterServer
+from repro.crypto.hashing import constant_time_equals, sha1_hex
+from repro.net.deploy import LocalCluster
+
+
+@dataclass(frozen=True, slots=True)
+class CheckResult:
+    """One named invariant verdict with a human-readable detail."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def to_json(self) -> dict[str, Any]:
+        return {"name": self.name, "passed": self.passed,
+                "detail": self.detail}
+
+
+def reference_master(cluster: LocalCluster) -> MasterServer:
+    """The master whose archive defines trusted history for the run.
+
+    Prefer non-crashed masters; among those, the longest archive wins
+    (a master that restarted mid-run may have gaps the survivors do
+    not).  Ties break by node id for determinism.
+    """
+    candidates = sorted(
+        cluster.masters,
+        key=lambda m: (not m.crashed, len(m._ops_archive), m.node_id),
+        reverse=True)
+    return candidates[0]
+
+
+def trusted_version_stores(cluster: LocalCluster,
+                           reference: MasterServer) -> dict[int, ContentStore]:
+    """Replay the reference master's op archive from the initial content."""
+    stores: dict[int, ContentStore] = {}
+    current = cluster.initial_store.clone()
+    stores[0] = current.clone()
+    version = 0
+    while version in reference._ops_archive:
+        current.apply_write(
+            operation_from_wire(reference._ops_archive[version]))
+        version += 1
+        stores[version] = current.clone()
+    return stores
+
+
+def check_no_forged_reads(cluster: LocalCluster) -> CheckResult:
+    """Every accepted read matches the trusted re-execution at its version."""
+    reference = reference_master(cluster)
+    stores = trusted_version_stores(cluster, reference)
+    cache: dict[tuple[int, str], str] = {}
+    total = 0
+    wrong: list[str] = []
+    unverifiable = 0
+    for client in cluster.clients:
+        for record in client.accepted_log:
+            total += 1
+            key = (record.version, sha1_hex(record.query_wire))
+            trusted_hash = cache.get(key)
+            if trusted_hash is None:
+                store = stores.get(record.version)
+                if store is None:
+                    unverifiable += 1
+                    continue
+                query = operation_from_wire(record.query_wire)
+                assert isinstance(query, ReadQuery)
+                trusted_hash = sha1_hex(store.execute_read(query).result)
+                cache[key] = trusted_hash
+            if not constant_time_equals(record.result_hash, trusted_hash):
+                wrong.append(record.request_id)
+    # A version beyond the reference archive would mean a client accepted
+    # content the trusted history cannot account for -- treat as failure.
+    passed = not wrong and not unverifiable
+    return CheckResult(
+        name="no_forged_reads", passed=passed,
+        detail=(f"{total} accepted reads, {len(wrong)} forged "
+                f"({wrong[:5]}), {unverifiable} beyond trusted history"
+                if not passed else f"{total} accepted reads all match "
+                f"trusted history (reference {reference.node_id})"))
+
+
+def check_consistency_window(cluster: LocalCluster,
+                             slack: float = 0.05) -> CheckResult:
+    """Section 3.1's max_latency bound over every accepted read.
+
+    ``slack`` absorbs real-clock scheduling noise (the simulator uses
+    1e-9; an event loop under load needs tens of milliseconds).
+    """
+    reference = reference_master(cluster)
+    commit_times = reference.commit_times
+    bound = cluster.config.effective_client_max_latency()
+    violations = 0
+    total = 0
+    for client in cluster.clients:
+        client_bound = max(bound, client.max_latency)
+        for record in client.accepted_log:
+            total += 1
+            next_commit = commit_times.get(record.version + 1)
+            if next_commit is None:
+                continue
+            if record.accepted_at > next_commit + client_bound + slack:
+                violations += 1
+    return CheckResult(
+        name="consistency_window", passed=violations == 0,
+        detail=f"{violations} of {total} accepted reads outside the "
+               f"{bound:.2f}s window (+{slack:.2f}s slack)")
+
+
+def check_survivors_converged(cluster: LocalCluster) -> CheckResult:
+    """Every live master agrees with the reference version and history."""
+    reference = reference_master(cluster)
+    lagging: list[str] = []
+    diverged: list[str] = []
+    for master in cluster.masters:
+        if master.crashed:
+            continue
+        if master.version != reference.version:
+            lagging.append(f"{master.node_id}@{master.version}")
+            continue
+        for version, op in master._ops_archive.items():
+            if reference._ops_archive.get(version) != op:
+                diverged.append(f"{master.node_id}@{version}")
+                break
+    passed = not lagging and not diverged
+    return CheckResult(
+        name="survivors_converged", passed=passed,
+        detail=(f"reference {reference.node_id}@{reference.version}; "
+                f"lagging={lagging} diverged={diverged}" if not passed
+                else f"all live masters at version {reference.version} "
+                f"with identical histories"))
+
+
+def check_clients_on_live_masters(cluster: LocalCluster) -> CheckResult:
+    """No ready client is still pointed at a crashed master."""
+    stranded = [
+        client.node_id for client in cluster.clients
+        if client.ready and client.master_id is not None
+        and cluster.node(client.master_id).crashed
+    ]
+    return CheckResult(
+        name="clients_on_live_masters", passed=not stranded,
+        detail=(f"stranded on crashed masters: {stranded}" if stranded
+                else f"{len(cluster.clients)} clients all assigned to "
+                f"live masters"))
+
+
+def run_safety_checks(cluster: LocalCluster,
+                      window_slack: float = 0.05) -> list[CheckResult]:
+    """The full post-run oracle; call after faults healed and load stopped."""
+    return [
+        check_no_forged_reads(cluster),
+        check_consistency_window(cluster, slack=window_slack),
+        check_survivors_converged(cluster),
+        check_clients_on_live_masters(cluster),
+    ]
+
+
+__all__ = [
+    "CheckResult",
+    "check_clients_on_live_masters",
+    "check_consistency_window",
+    "check_no_forged_reads",
+    "check_survivors_converged",
+    "reference_master",
+    "run_safety_checks",
+    "trusted_version_stores",
+]

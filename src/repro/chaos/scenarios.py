@@ -1,0 +1,756 @@
+"""Named chaos scenarios: fault schedules with machine-checked verdicts.
+
+Each scenario boots a :class:`~repro.chaos.cluster.ChaosCluster`, runs a
+live read/write workload while a scripted fault schedule plays out, and
+returns a :class:`ScenarioVerdict`: named checks (the paper's safety and
+liveness obligations), measured timings (detection latency, recovery,
+read-unavailability) and the relevant counters -- JSON-shaped so
+``repro-sim chaos`` can print them and CI can assert on them.
+
+The catalog covers the corrective-action matrix of Section 3.5 over
+real sockets:
+
+* ``master_crash``    -- crash a master mid-workload: survivors detect it
+  within the keep-alive bound, divide its slave set, its clients
+  re-home to live masters, and a restart rejoins and catches up;
+* ``partition_heal``  -- partition a master into a minority while lying
+  slaves are being caught on the majority side: accusations and
+  exclusions propagate to the partitioned master after healing;
+* ``corrupt_frames``  -- random byte corruption on every client<->slave
+  link: forged bytes never become accepted reads;
+* ``auditor_failover``-- crash an auditor: masters fail its clients over
+  to a survivor and pledges keep flowing; a restart rejoins;
+* ``slave_crash``     -- crash and restart a serving slave: clients ride
+  through on retries, the slave resyncs on rejoin.
+
+Every random decision (workload and faults) comes from seeded streams,
+so a verdict is reproducible for a given ``(scenario, seed)`` up to
+real-clock timing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+
+from repro.chaos.cluster import ChaosCluster, launch_chaos
+from repro.chaos.faults import LinkFaults
+from repro.chaos.invariants import (
+    CheckResult,
+    reference_master,
+    run_safety_checks,
+)
+from repro.content.kvstore import KVGet, KVPut
+from repro.content.queries import Operation
+from repro.core.adversary import AlwaysLie
+from repro.core.client import Client
+from repro.crypto.hashing import sha1_hex
+from repro.net.deploy import NetDeploymentSpec, fast_protocol_config
+
+#: Detection bound as a multiple of ``keepalive_interval``: the
+#: broadcast layer suspects a silent member after
+#: ``broadcast_suspect_after`` (six keep-alive intervals in the chaos
+#: configs below) plus a couple of heartbeat periods of slack.
+K_DETECT = 10
+
+
+@dataclass
+class ScenarioVerdict:
+    """The JSON-shaped outcome of one scenario run."""
+
+    scenario: str
+    seed: int
+    passed: bool
+    checks: list[CheckResult] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "passed": self.passed,
+            "checks": [check.to_json() for check in self.checks],
+            "timings": self.timings,
+            "counters": self.counters,
+        }
+
+    def failures(self) -> list[CheckResult]:
+        return [check for check in self.checks if not check.passed]
+
+
+class ReadLoad:
+    """Continuous background reads, one task per client.
+
+    Accept timestamps are kept so scenarios can measure the
+    read-unavailability window around a fault (the longest gap between
+    accepted reads while the schedule played out).
+    """
+
+    def __init__(self, cluster: ChaosCluster, query: Operation,
+                 interval: float = 0.04, timeout: float = 8.0) -> None:
+        self.cluster = cluster
+        self.query = query
+        self.interval = interval
+        self.timeout = timeout
+        self.accepted = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.accepted_at: list[float] = []
+        self._tasks: list["asyncio.Task[None]"] = []
+
+    def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._tasks = [
+            loop.create_task(self._run_one(client),
+                             name=f"chaos-load:{client.node_id}")
+            for client in self.cluster.clients
+        ]
+
+    async def _run_one(self, client: Client) -> None:
+        try:
+            while True:
+                try:
+                    reply = await self.cluster.read(
+                        client, self.query, timeout=self.timeout)
+                except (TimeoutError, asyncio.TimeoutError):
+                    self.timeouts += 1
+                else:
+                    if reply.get("status") == "accepted":
+                        self.accepted += 1
+                        self.accepted_at.append(self.cluster.scheduler.now)
+                    else:
+                        self.rejected += 1
+                await asyncio.sleep(self.interval)
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks.clear()
+
+    def max_gap(self, start: float, end: float) -> float:
+        """Longest stretch inside [start, end] with no accepted read."""
+        stamps = sorted(t for t in self.accepted_at if start <= t <= end)
+        edges = [start, *stamps, end]
+        return max(b - a for a, b in zip(edges, edges[1:]))
+
+
+def _preferred_master(client_id: str, num_masters: int) -> str:
+    """The master a client deterministically homes to (client.py's rule)."""
+    index = int(sha1_hex(client_id)[:4], 16) % num_masters
+    return f"master-{index:02d}"
+
+
+def _check(name: str, passed: bool, detail: str) -> CheckResult:
+    return CheckResult(name=name, passed=passed, detail=detail)
+
+
+_COUNTER_PREFIXES = ("chaos_", "net_drop_")
+_COUNTER_NAMES = (
+    "reads_accepted", "reads_failed", "writes_committed", "writes_failed",
+    "exclusions", "slaves_adopted", "master_crash_noticed",
+    "auditor_crash_noticed", "auditor_recovery_noticed",
+    "clients_auditor_failover", "client_reassignments", "reads_tainted",
+    "net_frames_rejected", "net_handler_errors", "net_frames_dropped",
+    "immediate_detections",
+)
+
+
+def _verdict(cluster: ChaosCluster, name: str, seed: int,
+             checks: list[CheckResult],
+             timings: dict[str, float]) -> ScenarioVerdict:
+    snapshot = cluster.metrics.snapshot()
+    counters = {
+        key: value for key, value in sorted(snapshot.items())
+        if key in _COUNTER_NAMES or key.startswith(_COUNTER_PREFIXES)
+    }
+    return ScenarioVerdict(
+        scenario=name, seed=seed,
+        passed=all(check.passed for check in checks),
+        checks=checks, timings={k: round(v, 4) for k, v in timings.items()},
+        counters=counters)
+
+
+async def _drain(cluster: ChaosCluster, extra: float = 0.3) -> None:
+    """Let in-flight commits propagate and the audit queue clear."""
+    await asyncio.sleep(cluster.config.max_latency
+                        + cluster.config.audit_grace + extra)
+
+
+def _detections_since(cluster: ChaosCluster, t0: float) -> list[float]:
+    timeline = cluster.metrics.timelines.get("master_crash_detections")
+    if timeline is None:
+        return []
+    return [at for at, _value in timeline.points if at >= t0]
+
+
+# -- scenario: master crash + restart (Section 3.5 end to end) -------------
+
+
+async def master_crash(seed: int = 0) -> ScenarioVerdict:
+    keepalive = 0.2
+    config = fast_protocol_config(
+        double_check_probability=0.0,
+        keepalive_interval=keepalive,
+        broadcast_heartbeat_interval=keepalive,
+        broadcast_suspect_after=6 * keepalive,
+        request_timeout=1.0,
+        max_read_retries=3,
+    )
+    spec = NetDeploymentSpec(num_masters=3, slaves_per_master=2,
+                             num_clients=4, seed=seed, protocol=config)
+    cluster = await launch_chaos(spec, settle=0.8)
+    checks: list[CheckResult] = []
+    timings: dict[str, float] = {}
+    load = ReadLoad(cluster, KVGet(key="k"))
+    victim = "master-01"  # a follower: the sequencer stays up
+    try:
+        write = await cluster.write(cluster.clients[0],
+                                    KVPut(key="k", value="v0"))
+        checks.append(_check("baseline_write", write["status"] == "committed",
+                             f"pre-fault write: {write['status']}"))
+        await asyncio.sleep(config.max_latency + keepalive)
+        load.start()
+        await asyncio.sleep(0.5)
+
+        crash_t = cluster.scheduler.now
+        stranded = [c for c in cluster.clients if c.master_id == victim]
+        await cluster.crash_node(victim)
+
+        # 1. Detection: survivors notice within K_DETECT keep-alives.
+        bound = K_DETECT * keepalive
+        try:
+            await cluster.wait_for(
+                lambda: bool(_detections_since(cluster, crash_t)),
+                timeout=3 * bound, what="crash detection")
+        except TimeoutError:
+            pass
+        detections = _detections_since(cluster, crash_t)
+        latency = (detections[0] - crash_t) if detections else float("inf")
+        timings["detection_latency"] = latency
+        timings["detection_bound"] = bound
+        checks.append(_check(
+            "detection_within_bound", latency <= bound,
+            f"first survivor acted {latency:.2f}s after the crash "
+            f"(bound {bound:.2f}s = {K_DETECT} x keepalive)"))
+
+        # 2. Slave-set division: both orphaned slaves adopted.
+        try:
+            waited = await cluster.wait_for(
+                lambda: cluster.metrics.count("slaves_adopted")
+                >= spec.slaves_per_master,
+                timeout=2 * bound, what="slave adoption")
+            timings["slave_adoption"] = latency + waited
+        except TimeoutError:
+            pass
+        adopted = cluster.metrics.count("slaves_adopted")
+        checks.append(_check(
+            "slave_set_divided", adopted >= spec.slaves_per_master,
+            f"{adopted:.0f}/{spec.slaves_per_master} orphaned slaves "
+            f"adopted by survivors"))
+
+        # 3. Client reassignment: writes from the dead master's clients
+        # time out and re-home them (Section 3.5's re-setup path).
+        for index, client in enumerate(stranded):
+            asyncio.get_running_loop().create_task(
+                cluster.write(client, KVPut(key=f"re{index}", value="x"),
+                              timeout=14.0))
+        try:
+            await cluster.wait_for(
+                lambda: all(c.ready and c.master_id is not None
+                            and not cluster.node(c.master_id).crashed
+                            for c in cluster.clients),
+                timeout=12.0, what="client reassignment")
+        except TimeoutError:
+            pass
+        still_stranded = [c.node_id for c in cluster.clients
+                          if not c.ready or c.master_id == victim]
+        checks.append(_check(
+            "clients_reassigned", not still_stranded,
+            f"{len(stranded)} clients were homed on {victim}; "
+            f"still stranded: {still_stranded or 'none'}"))
+
+        # 4. Liveness through the fault: a post-crash write commits.
+        post = await cluster.write(cluster.clients[0],
+                                   KVPut(key="k", value="v1"), timeout=14.0)
+        checks.append(_check(
+            "post_crash_write", post["status"] == "committed",
+            f"write after the crash: {post['status']}"))
+
+        # 5. Restart with rejoin: the master comes back on the same
+        # endpoint, announces recovery and catches up the missed history.
+        restart_t = cluster.scheduler.now
+        await cluster.restart_node(victim)
+        victim_master = next(m for m in cluster.masters
+                             if m.node_id == victim)
+        try:
+            waited = await cluster.wait_for(
+                lambda: victim_master.version
+                == reference_master(cluster).version,
+                timeout=10.0, what="restarted master catch-up")
+            timings["rejoin_catchup"] = waited
+        except TimeoutError:
+            pass
+        checks.append(_check(
+            "restart_rejoined",
+            victim_master.version == reference_master(cluster).version,
+            f"{victim} at version {victim_master.version} vs reference "
+            f"{reference_master(cluster).version} after restart"))
+
+        await load.stop()
+        timings["read_unavailability"] = load.max_gap(crash_t,
+                                                      restart_t)
+        checks.append(_check(
+            "reads_survived", load.accepted > 0,
+            f"{load.accepted} accepted, {load.timeouts} timed out, "
+            f"{load.rejected} failed during the schedule"))
+        await _drain(cluster)
+        checks.extend(run_safety_checks(cluster))
+        return _verdict(cluster, "master_crash", seed, checks, timings)
+    finally:
+        await load.stop()
+        await cluster.aclose()
+
+
+# -- scenario: partition + heal with lying slaves --------------------------
+
+
+async def partition_heal(seed: int = 0) -> ScenarioVerdict:
+    num_masters = 3
+    liar_master = _preferred_master("client-00", num_masters)
+    liar_index = int(liar_master[-2:])
+    # Isolate a master that is not the liars' owner, so the Byzantine
+    # detection runs on the majority side while the target sits out the
+    # partition entirely (cut from every other trusted member, so the
+    # exclusion broadcasts genuinely cannot reach it).
+    candidates = [f"master-{i:02d}" for i in range(1, num_masters)
+                  if f"master-{i:02d}" != liar_master]
+    target = candidates[-1]
+    config = fast_protocol_config(
+        double_check_probability=0.05,
+        request_timeout=1.0,
+        max_read_retries=3,
+    )
+    spec = NetDeploymentSpec(
+        num_masters=num_masters, slaves_per_master=2, num_clients=3,
+        seed=seed, protocol=config,
+        # Both of the liar master's slaves corrupt every answer...
+        adversaries={2 * liar_index: AlwaysLie(),
+                     2 * liar_index + 1: AlwaysLie()},
+        # ...and every client double-checks every read, so the first lie
+        # a client sees becomes an accusation immediately.
+        client_double_check_overrides={i: 1.0 for i in range(3)})
+    cluster = await launch_chaos(spec, settle=0.8)
+    checks: list[CheckResult] = []
+    timings: dict[str, float] = {}
+    load = ReadLoad(cluster, KVGet(key="k"))
+    try:
+        write = await cluster.write(cluster.clients[0],
+                                    KVPut(key="k", value="v0"))
+        checks.append(_check("baseline_write", write["status"] == "committed",
+                             f"pre-fault write: {write['status']}"))
+        await asyncio.sleep(config.max_latency + config.keepalive_interval)
+
+        partition_t = cluster.scheduler.now
+        trusted = [m.node_id for m in cluster.masters] + \
+            [a.node_id for a in cluster.auditors]
+        for other in trusted:
+            if other != target:
+                cluster.partition(target, other)
+        load.start()
+
+        # While partitioned, the majority side must catch the liars and
+        # exclude both of the liar master's slaves.
+        try:
+            waited = await cluster.wait_for(
+                lambda: cluster.metrics.count("exclusions") >= 2,
+                timeout=12.0, what="exclusion of both lying slaves")
+            timings["exclusions_done"] = waited
+        except TimeoutError:
+            pass
+        exclusions = cluster.metrics.count("exclusions")
+        checks.append(_check(
+            "liars_excluded_during_partition", exclusions >= 2,
+            f"{exclusions:.0f} exclusions while {target} was partitioned"))
+
+        # Commit on the majority side and hold the partition long past
+        # the suspicion window, so the target provably misses history
+        # (it goes leaderless in its minority and cannot order anything).
+        mid = await cluster.write(cluster.clients[0],
+                                  KVPut(key="k", value="mid"), timeout=14.0)
+        checks.append(_check(
+            "write_during_partition", mid["status"] == "committed",
+            f"majority-side write while {target} was cut off: "
+            f"{mid['status']}"))
+        await asyncio.sleep(2 * config.broadcast_suspect_after)
+
+        target_master = next(m for m in cluster.masters
+                             if m.node_id == target)
+        version_at_heal = target_master.version
+        reference_at_heal = reference_master(cluster).version
+        checks.append(_check(
+            "target_missed_partition_history",
+            version_at_heal < reference_at_heal,
+            f"{target} at version {version_at_heal} vs majority "
+            f"{reference_at_heal} just before the heal"))
+
+        timings["partition_window"] = cluster.scheduler.now - partition_t
+        cluster.heal_all()
+        heal_t = cluster.scheduler.now
+
+        # After healing, the partitioned master repairs the missed
+        # broadcasts -- including the exclusions it never saw.
+        liars = {f"slave-{liar_index:02d}-00", f"slave-{liar_index:02d}-01"}
+        try:
+            waited = await cluster.wait_for(
+                lambda: liars <= target_master.excluded_slaves
+                and target_master.version
+                == reference_master(cluster).version,
+                timeout=12.0, what="partitioned master catch-up")
+            timings["heal_catchup"] = waited
+        except TimeoutError:
+            pass
+        checks.append(_check(
+            "accusations_propagated_through_heal",
+            liars <= target_master.excluded_slaves,
+            f"{target} learned {len(liars & target_master.excluded_slaves)}"
+            f"/2 exclusions after the heal"))
+        checks.append(_check(
+            "partitioned_master_caught_up",
+            target_master.version == reference_master(cluster).version,
+            f"{target} at version {target_master.version} vs reference "
+            f"{reference_master(cluster).version}"))
+
+        post = await cluster.write(cluster.clients[0],
+                                   KVPut(key="k", value="v1"), timeout=14.0)
+        checks.append(_check(
+            "post_heal_write", post["status"] == "committed",
+            f"write after the heal: {post['status']}"))
+        timings["heal_to_write"] = cluster.scheduler.now - heal_t
+
+        await load.stop()
+        checks.append(_check(
+            "reads_survived", load.accepted > 0,
+            f"{load.accepted} accepted, {load.timeouts} timed out, "
+            f"{load.rejected} failed during the schedule"))
+        await _drain(cluster)
+        checks.extend(run_safety_checks(cluster))
+        return _verdict(cluster, "partition_heal", seed, checks, timings)
+    finally:
+        await load.stop()
+        await cluster.aclose()
+
+
+# -- scenario: corrupt frames on every client<->slave link -----------------
+
+
+async def corrupt_frames(seed: int = 0) -> ScenarioVerdict:
+    config = fast_protocol_config(
+        double_check_probability=0.1,
+        request_timeout=1.0,
+        max_read_retries=4,
+    )
+    spec = NetDeploymentSpec(num_masters=2, slaves_per_master=2,
+                             num_clients=2, seed=seed, protocol=config)
+    cluster = await launch_chaos(spec, settle=0.8)
+    checks: list[CheckResult] = []
+    timings: dict[str, float] = {}
+    load = ReadLoad(cluster, KVGet(key="k"))
+    try:
+        write = await cluster.write(cluster.clients[0],
+                                    KVPut(key="k", value="v0"))
+        checks.append(_check("baseline_write", write["status"] == "committed",
+                             f"pre-fault write: {write['status']}"))
+        await asyncio.sleep(config.max_latency + config.keepalive_interval)
+
+        # Benign asynchrony everywhere; byte corruption only on the
+        # untrusted edges (the paper assumes secure channels between
+        # trusted principals -- their integrity is the crypto's job on
+        # the client/slave edges, the channel's job between masters).
+        cluster.set_default_faults(LinkFaults(
+            drop=0.03, duplicate=0.05, reorder=0.05,
+            delay=0.002, delay_jitter=0.004))
+        noisy = LinkFaults(corrupt=0.15, drop=0.03, duplicate=0.05,
+                           reorder=0.05, delay=0.002, delay_jitter=0.004)
+        for slave in cluster.slaves:
+            for client in cluster.clients:
+                cluster.set_link(slave.node_id, client.node_id, noisy,
+                                 symmetric=True)
+
+        chaos_t = cluster.scheduler.now
+        load.start()
+        await asyncio.sleep(5.0)
+        mid = await cluster.write(cluster.clients[0],
+                                  KVPut(key="k", value="v1"), timeout=14.0)
+        checks.append(_check(
+            "write_under_corruption", mid["status"] == "committed",
+            f"write during the corruption schedule: {mid['status']}"))
+        await asyncio.sleep(1.0)
+        timings["corruption_window"] = cluster.scheduler.now - chaos_t
+        cluster.plane.reset()
+        await load.stop()
+
+        corrupted = cluster.metrics.count("chaos_corrupted_frames")
+        rejected = cluster.metrics.count("net_frames_rejected")
+        checks.append(_check(
+            "frames_actually_corrupted", corrupted >= 5,
+            f"{corrupted:.0f} frames corrupted in transit, "
+            f"{rejected:.0f} rejected by the codec"))
+        checks.append(_check(
+            "reads_survived", load.accepted >= 10,
+            f"{load.accepted} accepted, {load.timeouts} timed out, "
+            f"{load.rejected} failed during the schedule"))
+
+        # A clean read after the faults are lifted proves liveness.
+        await asyncio.sleep(config.max_latency + config.keepalive_interval)
+        final = await cluster.read(cluster.clients[1], KVGet(key="k"),
+                                   timeout=14.0)
+        checks.append(_check(
+            "post_chaos_read",
+            final.get("status") == "accepted"
+            and (final.get("result") or {}).get("value") == "v1",
+            f"read after faults lifted: {final.get('status')} -> "
+            f"{(final.get('result') or {}).get('value')!r}"))
+        await _drain(cluster)
+        checks.extend(run_safety_checks(cluster))
+        return _verdict(cluster, "corrupt_frames", seed, checks, timings)
+    finally:
+        await load.stop()
+        await cluster.aclose()
+
+
+# -- scenario: auditor crash + failover + rejoin ---------------------------
+
+
+async def auditor_failover(seed: int = 0) -> ScenarioVerdict:
+    keepalive = 0.2
+    config = fast_protocol_config(
+        double_check_probability=0.0,  # every read goes the audit path
+        keepalive_interval=keepalive,
+        broadcast_heartbeat_interval=keepalive,
+        broadcast_suspect_after=6 * keepalive,
+        request_timeout=1.0,
+    )
+    spec = NetDeploymentSpec(num_masters=2, slaves_per_master=2,
+                             num_clients=4, num_auditors=2, seed=seed,
+                             protocol=config)
+    cluster = await launch_chaos(spec, settle=0.8)
+    checks: list[CheckResult] = []
+    timings: dict[str, float] = {}
+    load = ReadLoad(cluster, KVGet(key="k"))
+    try:
+        write = await cluster.write(cluster.clients[0],
+                                    KVPut(key="k", value="v0"))
+        checks.append(_check("baseline_write", write["status"] == "committed",
+                             f"pre-fault write: {write['status']}"))
+        await asyncio.sleep(config.max_latency + keepalive)
+        load.start()
+        await asyncio.sleep(0.5)
+
+        # Crash the auditor client-00 reports to, so at least one client
+        # demonstrably needs the failover.
+        victim = cluster.clients[0].auditor_id
+        affected = [c.node_id for c in cluster.clients
+                    if c.auditor_id == victim]
+        crash_t = cluster.scheduler.now
+        await cluster.crash_node(victim)
+
+        bound = K_DETECT * keepalive
+        try:
+            waited = await cluster.wait_for(
+                lambda: cluster.metrics.count("auditor_crash_noticed") >= 1,
+                timeout=3 * bound, what="auditor crash detection")
+            timings["detection_latency"] = waited
+        except TimeoutError:
+            pass
+        timings["detection_bound"] = bound
+        noticed = cluster.metrics.count("auditor_crash_noticed")
+        checks.append(_check(
+            "auditor_crash_detected", noticed >= 1,
+            f"masters noticed the crash {noticed:.0f} time(s)"))
+
+        try:
+            waited = await cluster.wait_for(
+                lambda: all(c.auditor_id != victim for c in cluster.clients
+                            if c.ready),
+                timeout=10.0, what="auditor failover")
+            timings["failover_done"] = waited
+        except TimeoutError:
+            pass
+        remaining = [c.node_id for c in cluster.clients
+                     if c.auditor_id == victim]
+        checks.append(_check(
+            "clients_failed_over", not remaining,
+            f"{len(affected)} clients reported to {victim}; still "
+            f"pointing at it: {remaining or 'none'}"))
+
+        # Pledges keep flowing to the survivor while the victim is down.
+        survivor = next(a for a in cluster.auditors
+                        if a.node_id != victim)
+        before = survivor.pledges_received
+        await asyncio.sleep(1.5)
+        checks.append(_check(
+            "pledges_keep_flowing", survivor.pledges_received > before,
+            f"survivor {survivor.node_id} pledges "
+            f"{before} -> {survivor.pledges_received}"))
+
+        await cluster.restart_node(victim)
+        try:
+            waited = await cluster.wait_for(
+                lambda: cluster.metrics.count("auditor_recovery_noticed")
+                >= 1,
+                timeout=10.0, what="auditor rejoin")
+            timings["rejoin_noticed"] = waited
+        except TimeoutError:
+            pass
+        rejoined = cluster.metrics.count("auditor_recovery_noticed")
+        checks.append(_check(
+            "auditor_rejoined", rejoined >= 1,
+            f"masters noticed the recovery {rejoined:.0f} time(s)"))
+        timings["fault_window"] = cluster.scheduler.now - crash_t
+
+        await load.stop()
+        checks.append(_check(
+            "reads_survived", load.accepted > 0,
+            f"{load.accepted} accepted, {load.timeouts} timed out, "
+            f"{load.rejected} failed during the schedule"))
+        await _drain(cluster)
+        checks.extend(run_safety_checks(cluster))
+        return _verdict(cluster, "auditor_failover", seed, checks, timings)
+    finally:
+        await load.stop()
+        await cluster.aclose()
+
+
+# -- scenario: slave crash + restart with resync ---------------------------
+
+
+async def slave_crash(seed: int = 0) -> ScenarioVerdict:
+    config = fast_protocol_config(
+        double_check_probability=0.05,
+        request_timeout=1.0,
+        max_read_retries=4,
+    )
+    spec = NetDeploymentSpec(num_masters=2, slaves_per_master=2,
+                             num_clients=2, seed=seed, protocol=config)
+    cluster = await launch_chaos(spec, settle=0.8)
+    checks: list[CheckResult] = []
+    timings: dict[str, float] = {}
+    load = ReadLoad(cluster, KVGet(key="k"))
+    try:
+        write = await cluster.write(cluster.clients[0],
+                                    KVPut(key="k", value="v0"))
+        checks.append(_check("baseline_write", write["status"] == "committed",
+                             f"pre-fault write: {write['status']}"))
+        await asyncio.sleep(config.max_latency + config.keepalive_interval)
+        load.start()
+        await asyncio.sleep(0.5)
+
+        # Crash a slave that is actually serving a client.
+        victim = cluster.clients[0].assigned_slaves[0]
+        crash_t = cluster.scheduler.now
+        await cluster.crash_node(victim)
+
+        # Write while the slave is down so the restart has a version gap
+        # to resync across.
+        gap_write = await cluster.write(cluster.clients[0],
+                                        KVPut(key="k", value="v1"),
+                                        timeout=14.0)
+        checks.append(_check(
+            "write_during_outage", gap_write["status"] == "committed",
+            f"write while {victim} was down: {gap_write['status']}"))
+        await asyncio.sleep(2.0)
+
+        await cluster.restart_node(victim)
+        restart_t = cluster.scheduler.now
+        timings["outage"] = restart_t - crash_t
+        victim_slave = next(s for s in cluster.slaves
+                            if s.node_id == victim)
+        try:
+            waited = await cluster.wait_for(
+                lambda: victim_slave.version
+                == reference_master(cluster).version,
+                timeout=10.0, what="slave resync after restart")
+            timings["resync"] = waited
+        except TimeoutError:
+            pass
+        checks.append(_check(
+            "slave_resynced",
+            victim_slave.version == reference_master(cluster).version,
+            f"{victim} at version {victim_slave.version} vs reference "
+            f"{reference_master(cluster).version} after restart"))
+
+        await load.stop()
+        checks.append(_check(
+            "reads_survived", load.accepted > 0,
+            f"{load.accepted} accepted, {load.timeouts} timed out, "
+            f"{load.rejected} failed during the schedule"))
+        await _drain(cluster)
+        checks.extend(run_safety_checks(cluster))
+        return _verdict(cluster, "slave_crash", seed, checks, timings)
+    finally:
+        await load.stop()
+        await cluster.aclose()
+
+
+# -- registry and runners --------------------------------------------------
+
+
+SCENARIOS: dict[str, Callable[[int], Awaitable[ScenarioVerdict]]] = {
+    "master_crash": master_crash,
+    "partition_heal": partition_heal,
+    "corrupt_frames": corrupt_frames,
+    "auditor_failover": auditor_failover,
+    "slave_crash": slave_crash,
+}
+
+#: Hard wall-clock ceiling per scenario.  Normal runs finish in well
+#: under 20s; the ceiling turns any wedged wait into a named failure
+#: instead of a hung test run (cluster teardown still runs via the
+#: scenario's own ``finally``).
+SCENARIO_DEADLINE = 120.0
+
+
+async def run_scenario(name: str, seed: int = 0) -> ScenarioVerdict:
+    """Run one named scenario; raises ``KeyError`` for unknown names."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; "
+                       f"known: {sorted(SCENARIOS)}") from None
+    try:
+        return await asyncio.wait_for(scenario(seed), SCENARIO_DEADLINE)
+    except asyncio.TimeoutError:
+        raise TimeoutError(
+            f"scenario {name!r} (seed {seed}) exceeded the "
+            f"{SCENARIO_DEADLINE:.0f}s deadline") from None
+
+
+def run_scenario_sync(name: str, seed: int = 0) -> ScenarioVerdict:
+    """Synchronous wrapper for the CLI and tests."""
+    return asyncio.run(run_scenario(name, seed))
+
+
+async def run_all(seed: int = 0) -> list[ScenarioVerdict]:
+    """Run the full catalog sequentially (each gets a fresh cluster)."""
+    return [await run_scenario(name, seed) for name in SCENARIOS]
+
+
+__all__ = [
+    "K_DETECT",
+    "ReadLoad",
+    "SCENARIOS",
+    "SCENARIO_DEADLINE",
+    "ScenarioVerdict",
+    "run_all",
+    "run_scenario",
+    "run_scenario_sync",
+]

@@ -40,6 +40,7 @@ from repro.core.adversary import (
 )
 from repro.core.config import ProtocolConfig
 from repro.core.system import DeploymentSpec, ReplicationSystem
+from repro.sim.failures import parse_crash_spec
 from repro.workloads import (
     catalog_dataset,
     filesystem_dataset,
@@ -174,6 +175,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--adversary", action="append", default=[],
                      metavar="INDEX:KIND[:PARAM]",
                      help=f"kinds: {', '.join(_ADVERSARY_KINDS)}")
+    run.add_argument("--crash", action="append", default=[],
+                     metavar="NODE@T[,DURATION]",
+                     help="benign crash schedule, e.g. master-01@20,10 "
+                          "(crash 20s into the workload, recover after "
+                          "10s; omit the duration to stay down)")
+    run.add_argument("--churn-mtbf", type=float, default=0.0,
+                     metavar="SECONDS",
+                     help="drive every trusted server through an "
+                          "exponential crash process with this mean time "
+                          "between failures (requires --churn-mttr)")
+    run.add_argument("--churn-mttr", type=float, default=0.0,
+                     metavar="SECONDS",
+                     help="mean time to repair for --churn-mtbf")
     run.add_argument("--json", action="store_true",
                      help="print the summary as JSON")
     run.add_argument("--report", metavar="FILE",
@@ -195,6 +209,17 @@ def build_parser() -> argparse.ArgumentParser:
     net_demo.add_argument("--settle", type=float, default=1.0,
                           help="seconds to let the topology hand-shake "
                                "before the first client op")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay named fault scenarios over real sockets and check "
+             "the Section 3.5 recovery obligations")
+    chaos.add_argument("--scenario", action="append", default=[],
+                       metavar="NAME",
+                       help="scenario to run (repeatable; default: all)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--list", action="store_true",
+                       help="list scenario names and exit")
     return parser
 
 
@@ -238,6 +263,24 @@ def cmd_run(args: argparse.Namespace) -> int:
                 system.clients[0], t,
                 _sample_write(args.content, args.content_size, writes,
                               rng))
+    if (args.churn_mtbf > 0) != (args.churn_mttr > 0):
+        raise SystemExit("--churn-mtbf and --churn-mttr go together")
+    if args.crash:
+        nodes = {node.node_id: node
+                 for node in (*system.masters, *system.auditors,
+                              *system.slaves)}
+        try:
+            system.failures.apply_script(
+                [parse_crash_spec(spec) for spec in args.crash], nodes)
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(f"bad --crash schedule: {exc}")
+    if args.churn_mtbf > 0:
+        # Benign churn hits the trusted servers (the paper's crash-fault
+        # set); Byzantine slave behaviour stays with --adversary.
+        for node in (*system.masters, *system.auditors):
+            system.failures.exponential_churn(
+                node, args.churn_mtbf, args.churn_mttr, until=t)
+
     drain = 60.0 + writes * protocol.max_latency
     system.run_for(t - system.now + drain)
 
@@ -285,6 +328,15 @@ def _print_summary(summary: dict) -> None:
           f"{summary['auditor']['pledges_audited']}/"
           f"{summary['auditor']['pledges_received']} pledges, "
           f"cache hit rate {summary['auditor']['cache_hit_rate']:.2f}")
+    failures = summary.get("failures", {})
+    if failures.get("crashes") or failures.get("recoveries"):
+        print(f"benign failures         : {failures['crashes']} crashes, "
+              f"{failures['recoveries']} recoveries")
+        for event in failures["events"][:12]:
+            print(f"    {event['at']:>8.1f}s  {event['kind']:<8} "
+                  f"{event['node']}")
+        if len(failures["events"]) > 12:
+            print(f"    ... {len(failures['events']) - 12} more events")
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -334,6 +386,27 @@ def cmd_net_demo(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import SCENARIOS, run_scenario_sync
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            print(name)
+        return 0
+    names = args.scenario or sorted(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise SystemExit(f"unknown scenario(s) {unknown}; "
+                         f"known: {sorted(SCENARIOS)}")
+    verdicts = [run_scenario_sync(name, args.seed) for name in names]
+    print(json.dumps([verdict.to_json() for verdict in verdicts],
+                     indent=2, default=str))
+    failed = [v.scenario for v in verdicts if not v.passed]
+    if failed:
+        print(f"FAILED: {failed}", file=sys.stderr)
+    return 0 if not failed else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -342,6 +415,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return cmd_demo(args)
     if args.command == "net-demo":
         return cmd_net_demo(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

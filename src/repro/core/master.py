@@ -550,6 +550,10 @@ class MasterServer(TrustedServer):
                             excluded_slave_id="", replacement=replacement))
                         self.metrics.incr("clients_auditor_failover")
             return
+        self.metrics.incr("master_crash_noticed")
+        # Timestamped so harnesses can measure detection latency (the gap
+        # between injecting a crash and the survivors acting on it).
+        self.metrics.record("master_crash_detections", self.now, 1.0)
         orphan_certs = self.announced_lists.pop(member_id, ())
         survivors = sorted(m for m in self.broadcast.alive_view
                            if m not in self.auditor_ids)

@@ -380,4 +380,15 @@ class ReplicationSystem:
                 "version": self.auditor.version,
             },
             "versions": {m.node_id: m.version for m in self.masters},
+            "failures": {
+                "crashes": sum(1 for event in self.failures.log
+                               if event.kind == "crash"),
+                "recoveries": sum(1 for event in self.failures.log
+                                  if event.kind == "recover"),
+                "events": [
+                    {"at": round(event.at, 3), "node": event.node_id,
+                     "kind": event.kind}
+                    for event in self.failures.log
+                ],
+            },
         }

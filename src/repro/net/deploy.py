@@ -144,14 +144,23 @@ class LocalCluster:
         await cluster._start(settle)
         return cluster
 
-    def _fabric(self, node_id: str) -> SocketNetwork:
-        """One node's private network seam (pool + facade + listener slot)."""
-        pool = ConnectionPool(
+    def _make_pool(self, node_id: str) -> ConnectionPool:
+        """Build one node's outbound pool.
+
+        The single seam subclasses override to swap in a fault-injecting
+        pool (:class:`repro.chaos.ChaosConnectionPool`); also called by
+        :meth:`restart_node` to give a rebooted node a fresh pool.
+        """
+        return ConnectionPool(
             node_id, self.peers, self.metrics,
             rng=self.scheduler.fork_rng(f"net:{node_id}"),
             retry=self.spec.retry,
             connect_timeout=self.spec.connect_timeout,
             io_timeout=self.spec.io_timeout)
+
+    def _fabric(self, node_id: str) -> SocketNetwork:
+        """One node's private network seam (pool + facade + listener slot)."""
+        pool = self._make_pool(node_id)
         self.pools[node_id] = pool
         return SocketNetwork(self.scheduler, pool)
 
@@ -281,6 +290,54 @@ class LocalCluster:
         """Abort the live src->dst TCP connection (retry-path exercise)."""
         pool = self.pools.get(src_id)
         return pool.kill_connection(dst_id) if pool is not None else False
+
+    def node(self, node_id: str) -> Node:
+        """Look up any deployed node by id."""
+        server = self.servers.get(node_id)
+        if server is None:
+            raise KeyError(f"no node {node_id!r} in this cluster")
+        return server.node
+
+    async def crash_node(self, node_id: str) -> None:
+        """Benign host crash: stop serving and reset every connection.
+
+        The process is gone, not just the protocol state machine --
+        outbound frames stop (the pool is closed, queued frames are
+        discarded), the listener closes (peers dialling back get
+        connection-refused) and accepted connections are reset.  The
+        protocol-level ``node.crash()`` runs first so role cleanup (e.g.
+        stopping broadcast participation) happens before the wires go.
+        """
+        server = self.servers[node_id]
+        if server.node.crashed:
+            return
+        server.node.crash()
+        await self.pools[node_id].aclose()
+        await server.suspend()
+        self.metrics.record("chaos_crashes", self.scheduler.now, 1.0)
+
+    async def restart_node(self, node_id: str) -> None:
+        """Reboot a crashed node on its original endpoint.
+
+        A restarted host comes back with a fresh connection pool (new
+        sockets, same deterministic rng derivation scheme) bound to the
+        same address its peers already know, then runs the role's
+        ``on_recover`` path -- trusted servers announce recovery to the
+        broadcast group and catch up, slaves resync off their master's
+        next keep-alive.
+        """
+        server = self.servers[node_id]
+        node = server.node
+        if not node.crashed:
+            return
+        pool = self._make_pool(node_id)
+        self.pools[node_id] = pool
+        network = node.network
+        assert isinstance(network, SocketNetwork)
+        network.pool = pool
+        await server.resume()
+        node.recover()
+        self.metrics.record("chaos_restarts", self.scheduler.now, 1.0)
 
     # -- reporting ---------------------------------------------------------
 

@@ -145,6 +145,7 @@ class NodeServer:
         self.port = 0
         self.errors: list[tuple[str, Exception]] = []
         self._server: asyncio.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
 
     async def start(self, host: str = "127.0.0.1",
                     port: int = 0) -> tuple[str, int]:
@@ -157,19 +158,23 @@ class NodeServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        self._connections.add(writer)
         try:
-            src_id = await self._handshake(reader)
-        except (CodecError, HandshakeError, ConnectionError, OSError,
-                asyncio.TimeoutError) as exc:
-            if isinstance(exc, asyncio.TimeoutError):
-                self.metrics.incr("net_timeouts")
-            self.metrics.incr("net_handshakes_rejected")
-            writer.transport.abort()
-            return
-        try:
-            await self._serve_frames(src_id, reader)
+            try:
+                src_id = await self._handshake(reader)
+            except (CodecError, HandshakeError, ConnectionError, OSError,
+                    asyncio.TimeoutError) as exc:
+                if isinstance(exc, asyncio.TimeoutError):
+                    self.metrics.incr("net_timeouts")
+                self.metrics.incr("net_handshakes_rejected")
+                writer.transport.abort()
+                return
+            try:
+                await self._serve_frames(src_id, reader)
+            finally:
+                writer.transport.abort()
         finally:
-            writer.transport.abort()
+            self._connections.discard(writer)
 
     async def _handshake(self, reader: asyncio.StreamReader) -> str:
         hello, _size = await read_frame(reader, self.handshake_timeout)
@@ -206,6 +211,7 @@ class NodeServer:
         node = self.node
         if node.crashed:
             self.metrics.incr("net_frames_dropped")
+            self.metrics.incr("net_drop_node_crashed")
             return
         node.messages_received += 1
         try:
@@ -214,8 +220,39 @@ class NodeServer:
             self.metrics.incr("net_handler_errors")
             self.errors.append((src_id, exc))
 
+    def abort_connections(self) -> int:
+        """Abort every accepted inbound connection; returns the count.
+
+        A crashed host does not politely close its sockets -- peers see
+        connections reset and must walk the redial path.
+        """
+        aborted = 0
+        for writer in list(self._connections):
+            writer.transport.abort()
+            aborted += 1
+        return aborted
+
+    async def suspend(self) -> None:
+        """Stop listening and reset inbound connections (node crash).
+
+        Keeps ``self.port`` so :meth:`resume` can rebind the same
+        endpoint -- peers redial the address they already know.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.abort_connections()
+
+    async def resume(self) -> tuple[str, int]:
+        """Rebind the previously bound (host, port) after a crash."""
+        if self._server is not None:
+            raise RuntimeError(f"{self.node.node_id} is already listening")
+        return await self.start(self.host, self.port)
+
     async def aclose(self) -> None:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        self.abort_connections()

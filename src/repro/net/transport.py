@@ -149,7 +149,7 @@ class ConnectionPool:
         if self._closed:
             return
         if not self.peers.knows(dst_id):
-            self.metrics.incr("net_frames_dropped")
+            self._drop(dst_id, "unknown_peer")
             self.metrics.incr("net_unknown_peer")
             return
         peer = self._peers.get(dst_id)
@@ -162,7 +162,12 @@ class ConnectionPool:
         try:
             peer.queue.put_nowait(message)
         except asyncio.QueueFull:
-            self.metrics.incr("net_frames_dropped")
+            self._drop(dst_id, "queue_full")
+
+    def _drop(self, dst_id: str, reason: str) -> None:
+        """Count one dropped frame: aggregate plus a per-reason counter."""
+        self.metrics.incr("net_frames_dropped")
+        self.metrics.incr(f"net_drop_{reason}")
 
     def kill_connection(self, dst_id: str) -> bool:
         """Abort the live TCP connection to ``dst_id`` (fault injection).
@@ -191,16 +196,18 @@ class ConnectionPool:
                 try:
                     if peer.writer is None:
                         _reader, peer.writer = await self._connect(dst_id)
-                    size = await write_frame(peer.writer, message,
-                                             self.io_timeout)
+                    size = await self._transmit(dst_id, peer, message)
                 except (ConnectionError, OSError, asyncio.TimeoutError,
                         TransportError) as exc:
                     if isinstance(exc, asyncio.TimeoutError):
                         self.metrics.incr("net_timeouts")
                     self._teardown(peer)
                     self.metrics.incr("net_retries")
-                    await asyncio.sleep(
-                        self.retry.delay(attempt, self.rng))
+                    if attempt + 1 < self.retry.max_attempts:
+                        # No point backing off after the last attempt:
+                        # the frame is already lost either way.
+                        await asyncio.sleep(
+                            self.retry.delay(attempt, self.rng))
                     continue
                 self.metrics.incr("net_frames_sent")
                 self.metrics.incr("net_bytes_sent", size)
@@ -208,7 +215,17 @@ class ConnectionPool:
                 break
             if not delivered:
                 self._teardown(peer)
-                self.metrics.incr("net_frames_dropped")
+                self._drop(dst_id, "retries_exhausted")
+
+    async def _transmit(self, dst_id: str, peer: _Peer, message: Any) -> int:
+        """Write one frame on an established connection; returns its size.
+
+        Split out of :meth:`_sender` as the single seam where bytes leave
+        this node, so fault-injecting pools (:mod:`repro.chaos`) can
+        corrupt or throttle the frame without touching retry logic.
+        """
+        assert peer.writer is not None
+        return await write_frame(peer.writer, message, self.io_timeout)
 
     async def _connect(
         self, dst_id: str,

@@ -14,6 +14,7 @@ repair process.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Mapping
 
 from repro.sim.network import Node
 from repro.sim.simulator import Simulator
@@ -26,6 +27,44 @@ class FailureEvent:
     at: float
     node_id: str
     kind: str  # "crash" | "recover"
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduledFault:
+    """One scripted node fault, the shared vocabulary between the
+    simulator CLI (``--crash``), :class:`FailureInjector` scripts and
+    the socket chaos layer (:meth:`repro.chaos.ChaosCluster.schedule`).
+
+    ``at`` is seconds after the schedule is applied; ``duration=None``
+    means the node stays down for the rest of the run.
+    """
+
+    node_id: str
+    at: float
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"fault time cannot be negative: {self.at}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(
+                f"fault duration must be positive: {self.duration}")
+
+
+def parse_crash_spec(spec: str) -> ScheduledFault:
+    """Parse ``node@t[,duration]`` (e.g. ``master-01@20,10``)."""
+    node_id, sep, timing = spec.partition("@")
+    if not sep or not node_id:
+        raise ValueError(
+            f"crash spec {spec!r} must look like node@t[,duration]")
+    at_text, _sep, duration_text = timing.partition(",")
+    try:
+        at = float(at_text)
+        duration = float(duration_text) if duration_text else None
+    except ValueError:
+        raise ValueError(
+            f"crash spec {spec!r} has non-numeric timing") from None
+    return ScheduledFault(node_id=node_id, at=at, duration=duration)
 
 
 @dataclass
@@ -47,6 +86,29 @@ class FailureInjector:
         """Crash ``node`` at ``when`` and recover it ``duration`` later."""
         self.crash_at(node, when)
         self.recover_at(node, when + duration)
+
+    def apply_script(self, script: Iterable[ScheduledFault],
+                     nodes: Mapping[str, Node]) -> int:
+        """Schedule every :class:`ScheduledFault` against ``nodes``.
+
+        Fault times are relative to the simulator's current clock.
+        Returns the number of faults scheduled; unknown node ids raise
+        (a silently ignored typo would void the experiment).
+        """
+        base = self.simulator.now
+        count = 0
+        for fault in script:
+            node = nodes.get(fault.node_id)
+            if node is None:
+                raise KeyError(
+                    f"crash schedule names unknown node {fault.node_id!r}; "
+                    f"known: {sorted(nodes)}")
+            if fault.duration is None:
+                self.crash_at(node, base + fault.at)
+            else:
+                self.crash_for(node, base + fault.at, fault.duration)
+            count += 1
+        return count
 
     def exponential_churn(self, node: Node, mtbf: float, mttr: float,
                           until: float, seed_label: str = "") -> None:

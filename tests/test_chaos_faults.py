@@ -1,0 +1,312 @@
+"""Tests for the chaos fault plane (repro.chaos.faults).
+
+The plane's contract is determinism: for a given seed the fate of the
+n-th frame on a link is fixed, independent of traffic on other links,
+profile changes, or the order links were first used.  Plus the
+socket-level behaviours riding on the transport: partition drops with
+their own reason counter, corrupted frames that stay frame-aligned,
+and duplicate/reorder delivery.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.chaos.faults import (
+    HEALTHY,
+    ChaosConnectionPool,
+    FaultPlane,
+    FramePlan,
+    LinkFaults,
+)
+from repro.metrics import MetricsRegistry
+from repro.net.codec import encode_frame
+from repro.net.peers import PeerDirectory
+from repro.net.server import NodeServer, RealtimeScheduler, SocketNetwork
+from repro.net.transport import RetryPolicy
+from repro.sim.network import Node
+
+NOISY = LinkFaults(drop=0.2, duplicate=0.2, corrupt=0.2, reorder=0.2,
+                   delay=0.001, delay_jitter=0.002)
+
+
+def run(coro, timeout: float = 20.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+class TestLinkFaults:
+    def test_healthy_default(self):
+        assert LinkFaults().healthy
+        assert HEALTHY.healthy
+        assert not LinkFaults(drop=0.1).healthy
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(drop=-0.1), dict(drop=1.5), dict(duplicate=2.0),
+        dict(corrupt=-1.0), dict(reorder=1.01), dict(delay=-0.5),
+        dict(delay_jitter=-0.1), dict(throttle_bps=-1.0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LinkFaults(**kwargs)
+
+
+class TestFaultPlane:
+    def _plans(self, plane: FaultPlane, src: str, dst: str,
+               n: int = 200) -> list[FramePlan]:
+        return [plane.plan(src, dst) for _ in range(n)]
+
+    def test_same_seed_same_decisions(self):
+        a = FaultPlane(seed=7)
+        b = FaultPlane(seed=7)
+        for plane in (a, b):
+            plane.set_link("x", "y", NOISY)
+        assert self._plans(a, "x", "y") == self._plans(b, "x", "y")
+
+    def test_different_seeds_diverge(self):
+        a = FaultPlane(seed=1)
+        b = FaultPlane(seed=2)
+        for plane in (a, b):
+            plane.set_link("x", "y", NOISY)
+        assert self._plans(a, "x", "y") != self._plans(b, "x", "y")
+
+    def test_links_have_independent_streams(self):
+        plane = FaultPlane(seed=3)
+        plane.set_default(NOISY)
+        solo = FaultPlane(seed=3)
+        solo.set_default(NOISY)
+        # Interleave traffic on a second link; x->y must be unaffected.
+        interleaved = []
+        for i in range(100):
+            interleaved.append(plane.plan("x", "y"))
+            plane.plan("a", "b")
+            if i % 3 == 0:
+                plane.plan("y", "x")
+        assert interleaved == self._plans(solo, "x", "y", 100)
+
+    def test_healthy_frames_do_not_consume_the_stream(self):
+        plane = FaultPlane(seed=5)
+        solo = FaultPlane(seed=5)
+        plane.set_link("x", "y", NOISY)
+        solo.set_link("x", "y", NOISY)
+        first = [plane.plan("x", "y") for _ in range(50)]
+        # Heal the link, push traffic through it, then re-arm: the
+        # stream resumes exactly where frame 50 left off.
+        plane.clear_link("x", "y")
+        for _ in range(37):
+            assert plane.plan("x", "y") == FramePlan()
+        plane.set_link("x", "y", NOISY)
+        resumed = [plane.plan("x", "y") for _ in range(50)]
+        expected = [solo.plan("x", "y") for _ in range(100)]
+        assert first + resumed == expected
+
+    def test_reset_clears_profiles_not_streams(self):
+        plane = FaultPlane(seed=9)
+        plane.set_default(NOISY)
+        plane.set_link("x", "y", LinkFaults(drop=1.0))
+        plane.partition("p", "q")
+        plane.plan("x", "y")
+        plane.reset()
+        assert plane.faults_for("x", "y").healthy
+        assert not plane.is_partitioned("p", "q")
+
+    def test_symmetric_set_and_clear(self):
+        plane = FaultPlane(seed=0)
+        plane.set_link("x", "y", NOISY, symmetric=True)
+        assert plane.faults_for("y", "x") == NOISY
+        plane.clear_link("x", "y", symmetric=True)
+        assert plane.faults_for("y", "x").healthy
+
+    def test_partitions_are_bidirectional(self):
+        plane = FaultPlane(seed=0)
+        plane.partition("a", "b")
+        assert plane.is_partitioned("a", "b")
+        assert plane.is_partitioned("b", "a")
+        plane.heal("b", "a")
+        assert not plane.is_partitioned("a", "b")
+        plane.partition("a", "b")
+        plane.heal_all()
+        assert not plane.is_partitioned("a", "b")
+
+    def test_drop_certainty_and_never(self):
+        plane = FaultPlane(seed=1)
+        plane.set_link("x", "y", LinkFaults(drop=1.0))
+        assert all(p.drop for p in self._plans(plane, "x", "y", 50))
+        plane.set_link("x", "y", LinkFaults(delay=0.5))
+        plans = self._plans(plane, "x", "y", 50)
+        assert not any(p.drop for p in plans)
+        assert all(p.delay >= 0.5 for p in plans)
+
+    def test_randrange_deterministic(self):
+        a = FaultPlane(seed=4)
+        b = FaultPlane(seed=4)
+        assert [a.randrange("x", "y", 0, 100) for _ in range(20)] == \
+            [b.randrange("x", "y", 0, 100) for _ in range(20)]
+
+
+class ChaosHarness:
+    """One listening node reached through a chaos pool."""
+
+    def __init__(self) -> None:
+        loop = asyncio.get_running_loop()
+        self.metrics = MetricsRegistry()
+        self.scheduler = RealtimeScheduler(0, loop)
+        self.peers = PeerDirectory()
+        self.plane = FaultPlane(seed=0)
+        self.pool = ChaosConnectionPool(
+            "tester", self.peers, self.metrics, rng=random.Random(1),
+            plane=self.plane,
+            retry=RetryPolicy(base_delay=0.01, max_delay=0.05,
+                              max_attempts=3))
+        self.received: list = []
+        outer = self
+
+        class Sink(Node):
+            def on_message(self, src_id: str, message) -> None:
+                outer.received.append(message)
+
+        self.node = Sink("target", self.scheduler,
+                         SocketNetwork(self.scheduler, self.pool))
+        self.server = NodeServer(self.node, self.metrics,
+                                 handshake_timeout=1.0)
+
+    async def start(self) -> None:
+        host, port = await self.server.start()
+        self.peers.add("target", host, port)
+
+    async def wait_received(self, count: int, timeout: float = 5.0) -> None:
+        deadline = asyncio.get_running_loop().time() + timeout
+        while len(self.received) < count:
+            if asyncio.get_running_loop().time() > deadline:
+                raise TimeoutError(
+                    f"got {len(self.received)}/{count} messages")
+            await asyncio.sleep(0.01)
+
+    async def aclose(self) -> None:
+        self.scheduler.cancel_all()
+        await self.pool.aclose()
+        await self.server.aclose()
+
+
+@pytest.mark.net
+class TestChaosConnectionPool:
+    def test_healthy_plane_is_transparent(self):
+        async def scenario():
+            h = ChaosHarness()
+            await h.start()
+            try:
+                for n in range(5):
+                    h.pool.send("target", {"n": n})
+                await h.wait_received(5)
+                assert h.received == [{"n": n} for n in range(5)]
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_partition_eats_frames_with_reason(self):
+        async def scenario():
+            h = ChaosHarness()
+            await h.start()
+            try:
+                h.plane.partition("tester", "target")
+                h.pool.send("target", "lost")
+                h.pool.send("target", "lost too")
+                await asyncio.sleep(0.05)
+                snap = h.metrics.snapshot()
+                assert snap["net_drop_partitioned"] == 2
+                assert snap["net_frames_dropped"] == 2
+                assert h.received == []
+                h.plane.heal("tester", "target")
+                h.pool.send("target", "healed")
+                await h.wait_received(1)
+                assert h.received == ["healed"]
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_duplicates_delivered_twice(self):
+        async def scenario():
+            h = ChaosHarness()
+            await h.start()
+            try:
+                h.plane.set_link("tester", "target",
+                                 LinkFaults(duplicate=1.0))
+                h.pool.send("target", "echo")
+                await h.wait_received(2)
+                assert h.received == ["echo", "echo"]
+                assert h.metrics.count("chaos_duplicated_frames") == 1
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_corrupt_frame_rejected_not_delivered_wrong(self):
+        async def scenario():
+            h = ChaosHarness()
+            await h.start()
+            try:
+                h.plane.set_link("tester", "target",
+                                 LinkFaults(corrupt=1.0))
+                payload = {"k": "v" * 50}
+                for _ in range(4):
+                    h.pool.send("target", payload)
+                h.plane.clear_link("tester", "target")
+                h.pool.send("target", "clean")
+                await h.wait_received(1, timeout=8.0)
+                # Whatever survived decoding must be bit-exact; the rest
+                # must be visibly rejected, never silently mangled.
+                snap = h.metrics.snapshot()
+                assert snap["chaos_corrupted_frames"] == 4
+                rejected = snap.get("net_frames_rejected", 0)
+                survived = [m for m in h.received if m != "clean"]
+                assert all(m == payload for m in survived) or rejected > 0
+                assert h.received[-1] == "clean"
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_reorder_holds_then_releases(self):
+        async def scenario():
+            h = ChaosHarness()
+            await h.start()
+            try:
+                plans = iter([FramePlan(hold=True), FramePlan()])
+                h.plane.plan = lambda src, dst: next(
+                    plans, FramePlan())  # type: ignore[method-assign]
+                h.pool.send("target", "first")
+                h.pool.send("target", "second")
+                await h.wait_received(2)
+                # The held first frame is overtaken by the second.
+                assert h.received == ["second", "first"]
+                assert h.metrics.count("chaos_reordered_frames") == 1
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_throttle_paces_the_link(self):
+        async def scenario():
+            h = ChaosHarness()
+            await h.start()
+            try:
+                frame_size = len(encode_frame("x" * 100))
+                # ~25ms per frame at this rate; 5 frames ≈ 100ms+.
+                h.plane.set_link(
+                    "tester", "target",
+                    LinkFaults(throttle_bps=frame_size * 40.0))
+                t0 = asyncio.get_running_loop().time()
+                for _ in range(5):
+                    h.pool.send("target", "x" * 100)
+                await h.wait_received(5, timeout=8.0)
+                elapsed = asyncio.get_running_loop().time() - t0
+                assert elapsed > 0.08
+                assert h.metrics.count("chaos_throttled_frames") >= 1
+            finally:
+                await h.aclose()
+
+        run(scenario())

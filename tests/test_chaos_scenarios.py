@@ -1,0 +1,67 @@
+"""End-to-end chaos scenario tests (repro.chaos.scenarios).
+
+Each test replays one named fault schedule against a live socket
+cluster and asserts the full verdict -- these are the Section 3.5
+acceptance tests over real sockets, so they carry the ``chaos`` marker
+and run in their own CI step under a hard timeout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import SCENARIOS, run_scenario_sync
+
+pytestmark = pytest.mark.chaos
+
+
+def _assert_verdict(name: str, seed: int = 0):
+    verdict = run_scenario_sync(name, seed)
+    failed = [f"{check.name}: {check.detail}"
+              for check in verdict.failures()]
+    assert verdict.passed, f"{name} failed checks: {failed}"
+    json_form = verdict.to_json()
+    assert json_form["scenario"] == name
+    assert json_form["seed"] == seed
+    assert all(check["passed"] for check in json_form["checks"])
+    return verdict
+
+
+def test_master_crash_recovery():
+    verdict = _assert_verdict("master_crash")
+    # Liveness bound: detection within K_DETECT keep-alive intervals.
+    assert verdict.timings["detection_latency"] <= \
+        verdict.timings["detection_bound"]
+    assert verdict.counters["slaves_adopted"] >= 2
+
+
+def test_partition_heal_propagates_accusations():
+    verdict = _assert_verdict("partition_heal")
+    assert verdict.counters["exclusions"] >= 2
+    assert verdict.counters["net_drop_partitioned"] > 0
+
+
+def test_corrupt_frames_never_accepted():
+    verdict = _assert_verdict("corrupt_frames")
+    assert verdict.counters["chaos_corrupted_frames"] >= 5
+
+
+def test_auditor_failover_and_rejoin():
+    verdict = _assert_verdict("auditor_failover")
+    assert verdict.counters["auditor_crash_noticed"] >= 1
+
+
+def test_slave_crash_resync():
+    _assert_verdict("slave_crash")
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(KeyError, match="unknown scenario"):
+        run_scenario_sync("not-a-scenario")
+
+
+def test_registry_complete():
+    assert set(SCENARIOS) == {
+        "master_crash", "partition_heal", "corrupt_frames",
+        "auditor_failover", "slave_crash",
+    }

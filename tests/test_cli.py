@@ -105,6 +105,43 @@ class TestRunCommand:
         assert code == 0
         assert "auditor coverage        : 60/60" in output
 
+    def test_crash_schedule_reported(self):
+        code, output = self.run_cli("--masters", "3",
+                                    "--crash", "master-01@1,2")
+        assert code == 0
+        assert "benign failures         : 1 crashes, 1 recoveries" in output
+        assert "crash" in output and "master-01" in output
+
+    def test_crash_schedule_json_events(self):
+        code, output = self.run_cli("--masters", "3", "--json",
+                                    "--crash", "master-02@1")
+        assert code == 0
+        failures = json.loads(output)["failures"]
+        assert failures["crashes"] == 1
+        assert failures["recoveries"] == 0
+        assert failures["events"][0]["node"] == "master-02"
+
+    def test_bad_crash_spec_rejected(self):
+        with pytest.raises(SystemExit, match="bad --crash"):
+            self.run_cli("--crash", "nonsense")
+        with pytest.raises(SystemExit, match="bad --crash"):
+            self.run_cli("--crash", "ghost-99@1")
+
+    def test_churn_flags_go_together(self):
+        with pytest.raises(SystemExit, match="go together"):
+            self.run_cli("--churn-mtbf", "10")
+
+    def test_churn_run_survives(self):
+        # Aggressive trusted-server churn: the run must still complete
+        # and the summary must carry the failure log.
+        code, output = self.run_cli("--masters", "3", "--json",
+                                    "--churn-mtbf", "2.0",
+                                    "--churn-mttr", "0.5",
+                                    "--seed", "9")
+        summary = json.loads(output)
+        assert summary["failures"]["crashes"] >= 1
+        assert code in (0, 1)  # churn may legitimately cost liveness
+
 
 class TestDemoCommand:
     def test_all_scenarios_run(self):

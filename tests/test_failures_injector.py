@@ -1,0 +1,168 @@
+"""Edge-case tests for benign failure injection (repro.sim.failures).
+
+Covers the corners the system tests never hit: churn events landing
+exactly on the ``until`` boundary, crashing an already-crashed node,
+seed determinism of the exponential process, scripted faults layered on
+top of churn, and the ``node@t[,duration]`` crash-spec grammar the CLI
+feeds into :meth:`FailureInjector.apply_script`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.failures import (
+    FailureInjector,
+    ScheduledFault,
+    parse_crash_spec,
+)
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import Network, Node
+from repro.sim.simulator import Simulator
+
+
+class Quiet(Node):
+    def on_message(self, src_id, message):
+        pass
+
+
+def build(names=("a", "b"), seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=ConstantLatency(0.1))
+    nodes = {name: Quiet(name, sim, net) for name in names}
+    return sim, FailureInjector(sim), nodes
+
+
+class TestScheduledFault:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScheduledFault(node_id="a", at=-1.0)
+        with pytest.raises(ValueError):
+            ScheduledFault(node_id="a", at=0.0, duration=0.0)
+        with pytest.raises(ValueError):
+            ScheduledFault(node_id="a", at=0.0, duration=-3.0)
+        assert ScheduledFault(node_id="a", at=0.0).duration is None
+
+
+class TestParseCrashSpec:
+    def test_with_duration(self):
+        fault = parse_crash_spec("master-01@20,10")
+        assert fault == ScheduledFault(node_id="master-01", at=20.0,
+                                       duration=10.0)
+
+    def test_without_duration(self):
+        fault = parse_crash_spec("auditor-00@5")
+        assert fault.node_id == "auditor-00"
+        assert fault.at == 5.0
+        assert fault.duration is None
+
+    @pytest.mark.parametrize("bad", [
+        "master-01", "@5", "master-01@", "master-01@x",
+        "master-01@5,y", "master-01@-2",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_crash_spec(bad)
+
+
+class TestInjectorEdgeCases:
+    def test_crash_of_already_crashed_node_is_silent(self):
+        sim, injector, nodes = build()
+        injector.crash_at(nodes["a"], 1.0)
+        injector.crash_at(nodes["a"], 2.0)  # no-op: already down
+        injector.recover_at(nodes["a"], 3.0)
+        injector.recover_at(nodes["a"], 4.0)  # no-op: already up
+        sim.run_until(5.0)
+        assert [(e.kind, e.at) for e in injector.log] == \
+            [("crash", 1.0), ("recover", 3.0)]
+        assert not nodes["a"].crashed
+
+    def test_churn_event_exactly_at_until_is_excluded(self):
+        # Find a seed/label whose first inter-event gap is known, then
+        # set ``until`` exactly there: the boundary event must not fire.
+        sim, injector, nodes = build(seed=42)
+        rng = sim.fork_rng("churn:a:probe")
+        first_gap = rng.expovariate(1.0 / 10.0)
+        sim2, injector2, nodes2 = build(seed=42)
+        injector2.exponential_churn(nodes2["a"], mtbf=10.0, mttr=1.0,
+                                    until=first_gap, seed_label="probe")
+        sim2.run_until(first_gap + 100.0)
+        assert injector2.log == []
+        assert not nodes2["a"].crashed
+
+    def test_churn_deterministic_per_seed(self):
+        def trace(seed):
+            sim, injector, nodes = build(seed=seed)
+            injector.exponential_churn(nodes["a"], mtbf=5.0, mttr=2.0,
+                                       until=200.0)
+            sim.run_until(250.0)
+            return [(e.kind, round(e.at, 9)) for e in injector.log]
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)
+        assert len(trace(7)) > 0
+
+    def test_churn_alternates_crash_recover(self):
+        sim, injector, nodes = build(seed=3)
+        injector.exponential_churn(nodes["a"], mtbf=5.0, mttr=2.0,
+                                   until=300.0)
+        sim.run_until(400.0)
+        kinds = [e.kind for e in injector.log]
+        assert kinds[::2] == ["crash"] * len(kinds[::2])
+        assert kinds[1::2] == ["recover"] * len(kinds[1::2])
+
+    def test_churn_validation(self):
+        sim, injector, nodes = build()
+        with pytest.raises(ValueError):
+            injector.exponential_churn(nodes["a"], mtbf=0.0, mttr=1.0,
+                                       until=10.0)
+        with pytest.raises(ValueError):
+            injector.exponential_churn(nodes["a"], mtbf=1.0, mttr=-1.0,
+                                       until=10.0)
+
+
+class TestApplyScript:
+    def test_times_are_relative_to_now(self):
+        sim, injector, nodes = build()
+        sim.run_until(10.0)
+        count = injector.apply_script(
+            [ScheduledFault(node_id="a", at=2.0, duration=3.0),
+             ScheduledFault(node_id="b", at=4.0)],
+            nodes)
+        assert count == 2
+        sim.run_until(30.0)
+        assert [(e.kind, e.node_id, e.at) for e in injector.log] == \
+            [("crash", "a", 12.0), ("crash", "b", 14.0),
+             ("recover", "a", 15.0)]
+        assert not nodes["a"].crashed
+        assert nodes["b"].crashed  # no duration: stays down
+
+    def test_unknown_node_raises(self):
+        sim, injector, nodes = build()
+        with pytest.raises(KeyError, match="ghost"):
+            injector.apply_script(
+                [ScheduledFault(node_id="ghost", at=1.0)], nodes)
+
+    def test_script_interleaves_with_churn(self):
+        # A scripted outage on one node and churn on another share the
+        # injector and the log; the script must not perturb the churn
+        # stream (its rng is forked by label, not draw order).
+        def churn_only(seed):
+            sim, injector, nodes = build(seed=seed)
+            injector.exponential_churn(nodes["b"], mtbf=5.0, mttr=2.0,
+                                       until=100.0)
+            sim.run_until(150.0)
+            return [(e.kind, round(e.at, 9)) for e in injector.log]
+
+        sim, injector, nodes = build(seed=11)
+        injector.apply_script(
+            [ScheduledFault(node_id="a", at=1.0, duration=50.0)], nodes)
+        injector.exponential_churn(nodes["b"], mtbf=5.0, mttr=2.0,
+                                   until=100.0)
+        sim.run_until(150.0)
+        b_events = [(e.kind, round(e.at, 9)) for e in injector.log
+                    if e.node_id == "b"]
+        a_events = [(e.kind, e.at) for e in injector.log
+                    if e.node_id == "a"]
+        assert b_events == churn_only(11)
+        assert a_events == [("crash", 1.0), ("recover", 51.0)]

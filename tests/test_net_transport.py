@@ -318,6 +318,57 @@ class TestConnectionPool:
 
         run(scenario())
 
+    def test_drop_reasons_split_from_aggregate(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            await h.server.aclose()  # dead port: retries will exhaust
+            try:
+                h.pool.send("nobody", {"n": 1})
+                h.pool.send("target", "into the void")
+                deadline = asyncio.get_running_loop().time() + 5.0
+                while h.metrics.snapshot().get(
+                        "net_frames_dropped", 0) < 2:
+                    if asyncio.get_running_loop().time() > deadline:
+                        raise TimeoutError("drops never counted")
+                    await asyncio.sleep(0.02)
+                snap = h.metrics.snapshot()
+                # The aggregate stays (dashboards key on it) and every
+                # drop also lands on exactly one per-reason counter.
+                assert snap["net_frames_dropped"] == 2
+                assert snap["net_drop_unknown_peer"] == 1
+                assert snap["net_drop_retries_exhausted"] == 1
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_no_backoff_sleep_after_final_attempt(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            # Two attempts, a long flat backoff: exactly one 0.4s sleep
+            # should happen (between the attempts), none after the last.
+            h.pool.retry = RetryPolicy(base_delay=0.4, multiplier=1.0,
+                                       jitter=0.0, max_attempts=2)
+            await h.server.aclose()
+            try:
+                t0 = asyncio.get_running_loop().time()
+                h.pool.send("target", "goodbye")
+                deadline = t0 + 5.0
+                while not h.metrics.snapshot().get("net_frames_dropped"):
+                    if asyncio.get_running_loop().time() > deadline:
+                        raise TimeoutError("frame never dropped")
+                    await asyncio.sleep(0.02)
+                elapsed = asyncio.get_running_loop().time() - t0
+                assert elapsed < 0.75, \
+                    f"terminal backoff sleep still present ({elapsed:.2f}s)"
+                assert h.metrics.snapshot()["net_connect_failures"] == 2
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
     def test_server_restart_heals(self):
         async def scenario():
             h = Harness()
@@ -538,5 +589,66 @@ class TestRealtimeScheduler:
             await asyncio.sleep(0.05)
             assert fired == []
             assert sched.pending_events() == 0
+
+        run(scenario())
+
+
+# -- server lifecycle (suspend/resume, used by chaos crash/restart) ------
+
+
+@pytest.mark.net
+class TestServerLifecycle:
+    def test_suspend_refuses_new_connections(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            try:
+                h.pool.send("target", "up")
+                await h.wait_received(1)
+                await h.server.suspend()
+                host, port = h.peers.endpoint("target")
+                with pytest.raises(ConnectionError):
+                    reader, writer = await asyncio.open_connection(
+                        host, port)
+                    # Some platforms accept then reset; force the issue.
+                    writer.write(b"x")
+                    await writer.drain()
+                    await reader.read(1)
+                    raise ConnectionError("half-open")
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_resume_rebinds_same_port(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            try:
+                before = h.peers.endpoint("target")
+                await h.server.suspend()
+                host, port = await h.server.resume()
+                assert (host, port) == before
+                h.pool.send("target", "after reboot")
+                await h.wait_received(1)
+                with pytest.raises(RuntimeError):
+                    await h.server.resume()  # already listening
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_abort_connections_resets_inbound(self):
+        async def scenario():
+            h = Harness()
+            await h.start()
+            try:
+                h.pool.send("target", "hello")
+                await h.wait_received(1)
+                assert h.server.abort_connections() == 1
+                await asyncio.sleep(0.05)
+                assert h.server.abort_connections() == 0
+            finally:
+                await h.aclose()
 
         run(scenario())

@@ -10,9 +10,10 @@ bit-reproducibility -- and with the PR-1 fastpath caches in place such
 a regression would not even show up as a performance anomaly.
 
 Scope: all of ``src/repro/`` *except* the socket runtime under
-``src/repro/net/``, which legitimately lives on real time and asyncio
-(the determinism contract there is key material only, via
-``fork_rng``).  The scope is path-configured -- override per rule in
+``src/repro/net/`` and the fault-injection layer under
+``src/repro/chaos/``, which legitimately live on real time and asyncio
+(the determinism contract there is key material and fault decisions
+only, via ``fork_rng`` and the chaos layer's seeded per-link streams).  The scope is path-configured -- override per rule in
 ``pyproject.toml`` under ``[tool.protolint.scope.PL001]`` with
 ``include``/``exclude`` lists; the class defaults below mirror this
 repo's configuration for toolchains without ``tomllib``.
@@ -64,7 +65,7 @@ class NoNondeterminism(Rule):
     code = "PL001"
     name = "no-wallclock-nondeterminism"
     scope = ("src/repro/",)
-    exclude = ("src/repro/net/",)
+    exclude = ("src/repro/net/", "src/repro/chaos/")
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         aliases = import_aliases(ctx.tree)
