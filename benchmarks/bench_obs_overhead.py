@@ -1,0 +1,246 @@
+"""O0 -- Observability overhead: tracing must cost ~nothing when off.
+
+The repro.obs design contract (see docs/OBSERVABILITY.md) is a
+three-tier cost model:
+
+* **detached** (``obs_enabled=False``, the default): instrumented call
+  sites pay one attribute load and an ``is None`` check -- the E7-style
+  write path must stay within noise of its pre-instrumentation rate;
+* **attached but idle** (runtime present, nothing sampled): the
+  scheduler additionally checks ``obs.current`` per event;
+* **recording**: span allocation and buffering, proportional to the
+  sampled workload -- a real cost, bought deliberately, bounded by
+  ``sample_rate``.
+
+This module measures all three tiers plus the wire-envelope cost of
+``TraceCarrier`` at the codec layer, and records per-op span latency
+percentiles through the same fixed-bucket :class:`Histogram` the
+exporters use.  Wall-clock ratios are the regression-stable signal;
+absolute rates are machine-dependent.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import random
+import time
+
+from repro.content.kvstore import KVGet, KVPut
+from repro.core.config import ProtocolConfig
+from repro.net.codec import decode_frame, encode_frame
+from repro.obs.context import TraceCarrier, TraceContext
+from repro.obs.spans import ObsRuntime
+from repro.sim.simulator import Simulator
+
+from benchmarks.common import (
+    build_system,
+    latency_stats,
+    print_table,
+    scaled,
+)
+
+
+# -- tier 1/2: the scheduler hot path ----------------------------------
+
+
+def event_kernel_rate(events: int, attach: str) -> float:
+    """Events/s through a bare scheduling chain.
+
+    ``attach``: "none" leaves ``sim.obs`` unset (the detached guard),
+    "idle" attaches a runtime with no active context, "active" keeps a
+    root context live so every schedule pays the capture/restore wrap.
+    """
+    sim = Simulator(seed=1)
+    obs = None
+    if attach != "none":
+        obs = ObsRuntime(sim, seed=1, sample_rate=1.0, buffer_size=64)
+        sim.obs = obs
+    count = 0
+
+    def tick() -> None:
+        nonlocal count
+        count += 1
+        if count < events:
+            sim.schedule(0.001, tick)
+
+    if attach == "active" and obs is not None:
+        root = obs.trace("bench", "bench.root")
+        with obs.activation(root):
+            sim.schedule(0.0, tick)
+    else:
+        sim.schedule(0.0, tick)
+    start = time.perf_counter()
+    sim.run_to_completion(max_events=events + 10)
+    return events / (time.perf_counter() - start)
+
+
+def event_kernel(events: int, repeats: int = 5) -> dict:
+    """Best-of-N rates per attach mode.
+
+    Repeats are interleaved (none/idle/active, none/idle/active, ...)
+    and each mode keeps its best run, so CPU frequency ramps and GC
+    pauses hit every mode alike instead of biasing whichever mode is
+    measured first.
+    """
+    modes = ("none", "idle", "active")
+    for mode in modes:  # warm caches off the clock
+        event_kernel_rate(events // 4, mode)
+    rates = dict.fromkeys(modes, 0.0)
+    for _ in range(repeats):
+        for mode in modes:
+            rates[mode] = max(rates[mode], event_kernel_rate(events, mode))
+    return {
+        "events_per_s_detached": rates["none"],
+        "events_per_s_attached_idle": rates["idle"],
+        "events_per_s_recording": rates["active"],
+        "attached_idle_overhead": rates["none"] / rates["idle"] - 1.0,
+        "recording_overhead": rates["none"] / rates["active"] - 1.0,
+    }
+
+
+# -- tier 1/3: the full protocol write path (E7-style) -----------------
+
+
+def write_path(mode: str, writes: int, reads: int, seed: int = 8) -> dict:
+    """Wall-clock cost of a saturating write+read run under one mode."""
+    protocol = ProtocolConfig(max_latency=0.5, keepalive_interval=0.25,
+                              double_check_probability=0.05)
+    obs_kwargs = {
+        "off": {},
+        "sampled": {"obs_enabled": True, "obs_sample_rate": 0.1},
+        "full": {"obs_enabled": True, "obs_sample_rate": 1.0},
+    }[mode]
+    system = build_system(protocol=protocol, seed=seed, **obs_kwargs)
+    rng = random.Random(seed + 1)
+    t = system.now
+    for i in range(writes):
+        t += 0.01
+        system.schedule_op(system.clients[i % 4], t,
+                           KVPut(key=f"w{i:04d}", value=i))
+    for i in range(reads):
+        t += 0.01
+        system.schedule_op(system.clients[i % 4], t,
+                           KVGet(key=f"k{rng.randrange(200):04d}"))
+    start = time.perf_counter()
+    system.run_for(max(t - system.now, writes * 0.5) + 10.0)
+    elapsed = time.perf_counter() - start
+    committed = system.metrics.count("writes_committed") or \
+        sum(1 for _ in system.masters[0].commit_times)
+    spans = system.obs.collector.spans() if system.obs is not None else []
+    return {
+        "elapsed_s": elapsed,
+        "committed": committed,
+        "spans_recorded": len(spans),
+        "write_span_stats": latency_stats(
+            s.duration for s in spans
+            if s.op == "client.write" and s.duration is not None),
+    }
+
+
+def write_path_sweep(writes: int, reads: int, repeats: int = 3) -> dict:
+    modes = ("off", "sampled", "full")
+    runs: dict[str, dict] = {}
+    for _ in range(repeats):  # interleaved, best elapsed per mode
+        for mode in modes:
+            run = write_path(mode, writes, reads)
+            if mode not in runs or \
+                    run["elapsed_s"] < runs[mode]["elapsed_s"]:
+                runs[mode] = run
+    off = runs["off"]["elapsed_s"]
+    return {
+        "off_s": off,
+        "sampled_s": runs["sampled"]["elapsed_s"],
+        "full_s": runs["full"]["elapsed_s"],
+        "sampled_overhead": runs["sampled"]["elapsed_s"] / off - 1.0,
+        "full_overhead": runs["full"]["elapsed_s"] / off - 1.0,
+        "spans_sampled": runs["sampled"]["spans_recorded"],
+        "spans_full": runs["full"]["spans_recorded"],
+        "write_span_stats": runs["full"]["write_span_stats"],
+    }
+
+
+# -- the wire envelope -------------------------------------------------
+
+
+def carrier_codec_rate(frames: int, wrapped: bool) -> float:
+    """Frames/s through encode+decode, bare vs TraceCarrier-wrapped."""
+    import repro.core.messages as m
+    from repro.crypto.keys import KeyPair
+    from repro.crypto.signatures import new_signer
+
+    keys = KeyPair("master-00", new_signer("hmac", random.Random(1)))
+    stamp = m.VersionStamp.make(keys, version=3, timestamp=12.5)
+    message: object = m.KeepAlive(stamp=stamp)
+    if wrapped:
+        message = TraceCarrier(TraceContext("t000001", "s000002", True),
+                               message)
+    start = time.perf_counter()
+    for _ in range(frames):
+        decode_frame(encode_frame(message))
+    return frames / (time.perf_counter() - start)
+
+
+def carrier_codec(frames: int, repeats: int = 3) -> dict:
+    bare = wrapped = 0.0
+    for _ in range(repeats):  # interleaved, best rate per shape
+        bare = max(bare, carrier_codec_rate(frames, False))
+        wrapped = max(wrapped, carrier_codec_rate(frames, True))
+    return {
+        "frames_per_s_bare": bare,
+        "frames_per_s_carried": wrapped,
+        "carrier_overhead": bare / wrapped - 1.0,
+    }
+
+
+def run_sweep() -> dict:
+    kernel = event_kernel(scaled(200_000, 40_000))
+    writes = write_path_sweep(writes=scaled(20, 8), reads=scaled(200, 60))
+    codec = carrier_codec(scaled(20_000, 4_000))
+    result = {"event_kernel": kernel, "write_path": writes,
+              "carrier_codec": codec}
+    stats = writes["write_span_stats"]
+    print_table(
+        "O0: observability overhead (wall clock; ratios are the signal)",
+        ["metric", "value"],
+        [("sim events/s, obs detached", kernel["events_per_s_detached"]),
+         ("sim events/s, attached idle",
+          kernel["events_per_s_attached_idle"]),
+         ("sim events/s, recording", kernel["events_per_s_recording"]),
+         ("attached-idle overhead", kernel["attached_idle_overhead"]),
+         ("recording overhead", kernel["recording_overhead"]),
+         ("E7-style run, tracing off (s)", writes["off_s"]),
+         ("E7-style run, 10% sampled (s)", writes["sampled_s"]),
+         ("E7-style run, full tracing (s)", writes["full_s"]),
+         ("full-tracing overhead", writes["full_overhead"]),
+         ("spans recorded (full)", writes["spans_full"]),
+         ("client.write span p90 (sim s)",
+          stats.get("p90", float("nan"))),
+         ("codec frames/s bare", codec["frames_per_s_bare"]),
+         ("codec frames/s carried", codec["frames_per_s_carried"]),
+         ("carrier envelope overhead", codec["carrier_overhead"])])
+    return result
+
+
+def test_o0_obs_overhead(benchmark):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    kernel = result["event_kernel"]
+    # The detached and attached-idle tiers are guard checks only; allow
+    # generous CI noise but catch an accidental always-on allocation.
+    assert kernel["attached_idle_overhead"] < 0.25
+    # Recording costs real work but must stay the same order of
+    # magnitude as the bare scheduler.
+    assert kernel["recording_overhead"] < 3.0
+    # Full tracing recorded spans; 10% sampling recorded fewer.
+    writes = result["write_path"]
+    assert writes["spans_full"] > writes["spans_sampled"] >= 0
+    assert writes["write_span_stats"]["count"] > 0
+    # The envelope adds one small dataclass per frame, not a re-encode.
+    assert result["carrier_codec"]["carrier_overhead"] < 1.0
+
+
+if __name__ == "__main__":
+    run_sweep()

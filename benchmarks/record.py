@@ -2,8 +2,9 @@
 
 Gives future changes a trajectory to regress against: each run records
 the E4 auditor-throughput numbers, the S0 simulation-substrate rates,
-the F0 fast-path before/after rates, the N0 socket-transport rates and
-the C1 crash-recovery latencies,
+the F0 fast-path before/after rates, the N0 socket-transport rates,
+the C1 crash-recovery latencies and the O0 observability-overhead
+ratios,
 plus enough environment context to interpret them.  Snapshots are cheap (quick-mode sweeps) and meant to be
 committed alongside performance-relevant PRs::
 
@@ -28,17 +29,19 @@ from benchmarks import bench_chaos_recovery as c1
 from benchmarks import bench_e04_auditor_throughput as e04
 from benchmarks import bench_fastpath_micro as f0
 from benchmarks import bench_net_roundtrip as n0
+from benchmarks import bench_obs_overhead as o0
 from benchmarks import bench_sim_micro as s0
 from benchmarks.common import FULL
 
 
 def collect() -> dict:
-    """Run the five snapshot sweeps and assemble the record."""
+    """Run the six snapshot sweeps and assemble the record."""
     e04_rows = e04.run_sweep()
     s0_result = s0.run_sweep()
     f0_result = f0.run_sweep()
     n0_result = n0.run_sweep()
     c1_result = c1.run_sweep()
+    o0_result = o0.run_sweep()
     return {
         "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime()),
         "environment": {
@@ -63,6 +66,7 @@ def collect() -> dict:
         "f0_fastpath_micro": f0_result,
         "n0_net_roundtrip": n0_result,
         "c1_chaos_recovery": c1_result,
+        "o0_obs_overhead": o0_result,
     }
 
 

@@ -47,6 +47,7 @@ from repro.core.adversary import AlwaysLie
 from repro.core.client import Client
 from repro.crypto.hashing import sha1_hex
 from repro.net.deploy import NetDeploymentSpec, fast_protocol_config
+from repro.obs.spans import Span
 
 #: Detection bound as a multiple of ``keepalive_interval``: the
 #: broadcast layer suspects a silent member after
@@ -185,6 +186,13 @@ async def _drain(cluster: ChaosCluster, extra: float = 0.3) -> None:
                         + cluster.config.audit_grace + extra)
 
 
+def _spans(cluster: ChaosCluster) -> list[Span]:
+    """Every span recorded so far (empty when tracing is off)."""
+    if cluster.obs is None:
+        return []
+    return cluster.obs.collector.spans()
+
+
 def _detections_since(cluster: ChaosCluster, t0: float) -> list[float]:
     timeline = cluster.metrics.timelines.get("master_crash_detections")
     if timeline is None:
@@ -206,7 +214,10 @@ async def master_crash(seed: int = 0) -> ScenarioVerdict:
         max_read_retries=3,
     )
     spec = NetDeploymentSpec(num_masters=3, slaves_per_master=2,
-                             num_clients=4, seed=seed, protocol=config)
+                             num_clients=4, seed=seed, protocol=config,
+                             # Tracing on: the takeover must also be
+                             # visible as a span (checked below).
+                             obs_enabled=True)
     cluster = await launch_chaos(spec, settle=0.8)
     checks: list[CheckResult] = []
     timings: dict[str, float] = {}
@@ -241,6 +252,19 @@ async def master_crash(seed: int = 0) -> ScenarioVerdict:
             "detection_within_bound", latency <= bound,
             f"first survivor acted {latency:.2f}s after the crash "
             f"(bound {bound:.2f}s = {K_DETECT} x keepalive)"))
+
+        # 1b. Same bound, independently observed through repro.obs: a
+        # survivor's ``master.takeover`` span must land within
+        # K_DETECT keep-alives of the crash.
+        takeovers = [s for s in _spans(cluster)
+                     if s.op == "master.takeover" and s.start >= crash_t]
+        span_latency = (min(s.start for s in takeovers) - crash_t
+                        if takeovers else float("inf"))
+        timings["takeover_span_latency"] = span_latency
+        checks.append(_check(
+            "takeover_span_within_bound", span_latency <= bound,
+            f"{len(takeovers)} master.takeover span(s); first "
+            f"{span_latency:.2f}s after the crash (bound {bound:.2f}s)"))
 
         # 2. Slave-set division: both orphaned slaves adopted.
         try:

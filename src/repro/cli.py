@@ -40,6 +40,7 @@ from repro.core.adversary import (
 )
 from repro.core.config import ProtocolConfig
 from repro.core.system import DeploymentSpec, ReplicationSystem
+from repro.crypto.hashing import sha1_hex
 from repro.sim.failures import parse_crash_spec
 from repro.workloads import (
     catalog_dataset,
@@ -220,6 +221,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--list", action="store_true",
                        help="list scenario names and exit")
+
+    obs = sub.add_parser(
+        "obs",
+        help="boot a traced socket cluster with a lying slave, scrape "
+             "spans over the admin plane and write exporter outputs plus "
+             "a report checking the Section 3.4/3.5 invariants from "
+             "spans alone")
+    obs.add_argument("--seed", type=int, default=0)
+    obs.add_argument("--masters", type=int, default=2)
+    obs.add_argument("--slaves-per-master", type=int, default=2)
+    obs.add_argument("--clients", type=int, default=2)
+    obs.add_argument("--reads", type=int, default=12,
+                     help="reads per client")
+    obs.add_argument("--writes", type=int, default=3)
+    obs.add_argument("--sample-rate", type=float, default=1.0)
+    obs.add_argument("--out", default="obs-out", metavar="DIR",
+                     help="directory for spans.jsonl, trace.json, "
+                          "metrics.prom and report.json")
+    obs.add_argument("--settle", type=float, default=1.0)
     return parser
 
 
@@ -407,6 +427,105 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if not failed else 1
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.net.deploy import (
+        LocalCluster,
+        NetDeploymentSpec,
+        fast_protocol_config,
+    )
+    from repro.obs.admin import span_from_wire
+    from repro.obs.analyze import run_report
+    from repro.obs.export import chrome_trace, prometheus_text, spans_jsonl
+    from repro.obs.spans import Span
+
+    async def drive() -> tuple[list[Span], dict[str, Any], Any]:
+        config = fast_protocol_config()
+        # The lying pair sits under the master client-00 deterministically
+        # homes to (the same hash rule the client uses), so the immediate-
+        # discovery path of Section 3.5 is guaranteed to fire; the other
+        # client never double-checks, exercising the audit path.
+        liar_master = int(sha1_hex("client-00")[:4], 16) % args.masters
+        liars = {args.slaves_per_master * liar_master + i: AlwaysLie()
+                 for i in range(args.slaves_per_master)}
+        spec = NetDeploymentSpec(
+            num_masters=args.masters,
+            slaves_per_master=args.slaves_per_master,
+            num_clients=args.clients,
+            seed=args.seed, protocol=config,
+            adversaries=liars,
+            client_double_check_overrides={0: 1.0},
+            obs_enabled=True, obs_sample_rate=args.sample_rate)
+        cluster = await LocalCluster.launch(spec, settle=args.settle)
+        try:
+            for i in range(args.writes):
+                await cluster.write(cluster.clients[0],
+                                    KVPut(key=f"k{i}", value=f"v{i}"),
+                                    timeout=20.0)
+            await asyncio.sleep(config.max_latency)
+            for i in range(args.reads):
+                for client in cluster.clients:
+                    try:
+                        await cluster.read(client,
+                                           KVGet(key=f"k{i % args.writes}"),
+                                           timeout=10.0)
+                    except (TimeoutError, asyncio.TimeoutError):
+                        pass
+            # Let the auditor's deliberate lag expire and audits drain.
+            await asyncio.sleep(2 * (config.max_latency
+                                     + config.audit_grace) + 0.5)
+            spans: list[Span] = []
+            health: dict[str, Any] = {}
+            for node_id in sorted(cluster.servers):
+                dump = await cluster.scrape_spans(node_id)
+                spans.extend(span_from_wire(wire) for wire in dump.spans)
+                probe = await cluster.scrape_health(node_id)
+                health[node_id] = {
+                    "spans_buffered": probe.spans_buffered,
+                    "spans_dropped": probe.spans_dropped,
+                    "contexts_received": probe.contexts_received,
+                }
+            report = run_report(spans, config.max_latency)
+            report["section_3_5"] = {
+                "immediate_detections":
+                    cluster.metrics.count("immediate_detections"),
+                "exclusions": cluster.metrics.count("exclusions"),
+                "exclusion_spans": sum(
+                    1 for s in spans if s.op == "master.exclusion"),
+                "contexts_received":
+                    sum(h["contexts_received"] for h in health.values()),
+                "ok": cluster.metrics.count("exclusions") >= 1 and any(
+                    s.op == "master.exclusion" for s in spans),
+            }
+            report["health"] = health
+            report["ok"] = bool(report["ok"]
+                                and report["section_3_5"]["ok"])
+            return spans, report, cluster.metrics
+        finally:
+            await cluster.aclose()
+
+    spans, report, metrics = asyncio.run(drive())
+    os.makedirs(args.out, exist_ok=True)
+
+    def emit(name: str, text: str) -> None:
+        path = os.path.join(args.out, name)
+        with open(path, "w") as handle:
+            handle.write(text)
+        print(f"wrote {path}")
+
+    emit("spans.jsonl", spans_jsonl(spans))
+    emit("trace.json", json.dumps(chrome_trace(spans), indent=2))
+    emit("metrics.prom", prometheus_text(metrics))
+    emit("report.json", json.dumps(report, indent=2, default=str))
+    print(f"spans scraped           : {len(spans)}")
+    print(f"audit lag ok (S3.4)     : {report['audit_lag']['ok']}")
+    print(f"detections ok (S3.4)    : {report['detection']['ok']}")
+    print(f"exclusions ok (S3.5)    : {report['section_3_5']['ok']}")
+    return 0 if report["ok"] else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -417,6 +536,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return cmd_net_demo(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "obs":
+        return cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

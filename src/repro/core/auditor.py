@@ -114,6 +114,12 @@ class AuditorServer(TrustedServer):
     def _advance_version(self, payload: BcastWrite) -> None:
         self.commit_op(payload.op_wire)
         self.metrics.incr("auditor_version_advances")
+        obs = self.simulator.obs
+        if obs is not None:
+            # Always recorded: paired with master.commit spans by the
+            # Section 3.4 audit-lag check.
+            obs.event(self.node_id, "auditor.advance",
+                      version=self.version)
         # Pledges parked for the now-reachable version become auditable.
         ready = self._parked.pop(self.version, None)
         if ready:
@@ -208,7 +214,16 @@ class AuditorServer(TrustedServer):
             # Unsigned garbage cannot incriminate anyone (no framing).
             self.metrics.incr("audits_bad_signature")
             return
-        if sha1_hex_equal(trusted_hash, pledge.result_hash):
+        detection = not sha1_hex_equal(trusted_hash, pledge.result_hash)
+        obs = self.simulator.obs
+        if obs is not None:
+            # Always recorded: the Section 3.4/3.5 checks verify audits
+            # run after the version advance and with non-negative lag.
+            obs.event(self.node_id, "auditor.audit",
+                      version=pledge.stamp.version,
+                      detection=detection,
+                      lag=self.now - pledge.stamp.timestamp)
+        if not detection:
             self.metrics.incr("audits_clean")
             return
         # Delayed discovery (Section 3.5): ship the incriminating pledge

@@ -34,7 +34,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (obs is optional)
+    from repro.obs.spans import Span
 
 from repro.content.queries import Operation, ReadQuery, WriteOp
 from repro.core.config import ProtocolConfig
@@ -90,6 +93,10 @@ class _ReadAttempt:
     state: str = "waiting_slaves"
     replies: dict[str, ReadReply] = field(default_factory=dict)
     timer: EventHandle | None = None
+    #: Root tracing span (None when tracing is off or unsampled).
+    span: "Span | None" = None
+    #: Open double-check child span, ended on reply/timeout.
+    dc_span: "Span | None" = None
 
 
 @dataclass
@@ -100,6 +107,8 @@ class _WriteAttempt:
     started_at: float
     retries: int = 0
     timer: EventHandle | None = None
+    #: Root tracing span (None when tracing is off or unsampled).
+    span: "Span | None" = None
 
 
 class Client(Node):
@@ -261,10 +270,19 @@ class Client(Node):
         # trusted hosts" (Section 4).  A greedy client's override of 1.0
         # is different: it still reads from its slave, then abuses the
         # double-check quota (Section 3.3).
-        if probability >= 1.0 and self.double_check_override is None:
-            self._read_on_master(attempt)
+        obs = self.simulator.obs
+        if obs is not None:
+            attempt.span = obs.trace(self.node_id, "client.read",
+                                     request_id=request_id,
+                                     level=level or "default")
+        route = (self._read_on_master
+                 if probability >= 1.0 and self.double_check_override is None
+                 else self._send_to_slaves)
+        if obs is not None and attempt.span is not None:
+            with obs.activation(attempt.span):
+                route(attempt)
         else:
-            self._send_to_slaves(attempt)
+            route(attempt)
 
     def submit_write(self, op: WriteOp,
                      callback: Callable[[dict], None] | None = None) -> None:
@@ -277,7 +295,15 @@ class Client(Node):
                                 callback=callback, started_at=self.now)
         self._writes[request_id] = attempt
         self.metrics.incr("writes_submitted")
-        self._send_write(attempt)
+        obs = self.simulator.obs
+        if obs is not None:
+            attempt.span = obs.trace(self.node_id, "client.write",
+                                     request_id=request_id)
+        if obs is not None and attempt.span is not None:
+            with obs.activation(attempt.span):
+                self._send_write(attempt)
+        else:
+            self._send_write(attempt)
 
     def _double_check_probability(self, level: str | None) -> float:
         if self.double_check_override is not None:
@@ -328,12 +354,16 @@ class Client(Node):
 
     def _evaluate_replies(self, attempt: _ReadAttempt) -> None:
         _cancel(attempt.timer)
-        valid: dict[str, ReadReply] = {}
-        for slave_id, reply in attempt.replies.items():
-            verdict = self._validate_reply(slave_id, reply)
-            self.metrics.incr(f"read_reply_{verdict}")
-            if verdict == "ok":
-                valid[slave_id] = reply
+        obs = self.simulator.obs
+        if obs is not None:
+            with obs.child_span(self.node_id, "read.verify",
+                                request_id=attempt.request_id,
+                                quorum=attempt.quorum) as vspan:
+                valid = self._verify_replies(attempt)
+                if vspan is not None:
+                    vspan.attrs["valid"] = len(valid)
+        else:
+            valid = self._verify_replies(attempt)
         if len(valid) < attempt.quorum:
             # At least one reply was stale / out-of-sync / malformed: the
             # paper's answer is drop and retry (Section 3.2).
@@ -353,6 +383,15 @@ class Client(Node):
             self._start_double_check(attempt, forced=False)
         else:
             self._accept_via_auditor(attempt)
+
+    def _verify_replies(self, attempt: _ReadAttempt) -> dict[str, ReadReply]:
+        valid: dict[str, ReadReply] = {}
+        for slave_id, reply in attempt.replies.items():
+            verdict = self._validate_reply(slave_id, reply)
+            self.metrics.incr(f"read_reply_{verdict}")
+            if verdict == "ok":
+                valid[slave_id] = reply
+        return valid
 
     def _validate_reply(self, slave_id: str, reply: ReadReply) -> str:
         if not reply.in_sync or reply.pledge is None:
@@ -399,6 +438,11 @@ class Client(Node):
         self.metrics.incr("double_checks_sent")
         if forced:
             self.metrics.incr("double_checks_forced")
+        obs = self.simulator.obs
+        if obs is not None and attempt.span is not None:
+            attempt.dc_span = obs.begin(
+                self.node_id, "read.double_check",
+                parent=obs.current or attempt.span, forced=forced)
         assert self.master_id is not None
         self.send(self.master_id, DoubleCheckRequest(
             client_id=self.node_id, request_id=attempt.request_id,
@@ -422,6 +466,11 @@ class Client(Node):
         if attempt.state != "double_checking":
             return
         _cancel(attempt.timer)
+        obs = self.simulator.obs
+        if obs is not None and attempt.dc_span is not None:
+            obs.end(attempt.dc_span, outcome="reply",
+                    version=reply.version)
+            attempt.dc_span = None
         matching: list[tuple[str, ReadReply]] = []
         mismatching: list[tuple[str, ReadReply]] = []
         for slave_id, slave_reply in attempt.replies.items():
@@ -440,6 +489,9 @@ class Client(Node):
             # Caught red-handed (immediate discovery, Section 3.5).
             for slave_id, slave_reply in mismatching:
                 self.metrics.incr("immediate_detections")
+                if obs is not None:
+                    obs.event(self.node_id, "client.accuse",
+                              slave=slave_id, discovery="immediate")
                 assert self.master_id is not None
                 self.send(self.master_id, Accusation(
                     pledge=slave_reply.pledge, accuser_id=self.node_id,
@@ -509,6 +561,11 @@ class Client(Node):
         latency = self.now - attempt.started_at
         self.metrics.incr("reads_accepted")
         self.metrics.observe("read_latency", latency)
+        obs = self.simulator.obs
+        if obs is not None:
+            obs.end(attempt.span, status="accepted", version=version,
+                    double_checked=double_checked,
+                    retries=attempt.retries)
         record = AcceptedRead(
             request_id=attempt.request_id,
             query_wire=attempt.query_wire,
@@ -591,6 +648,10 @@ class Client(Node):
             return
         attempt.dc_retries += 1
         self.metrics.incr("double_check_timeouts")
+        obs = self.simulator.obs
+        if obs is not None and attempt.dc_span is not None:
+            obs.end(attempt.dc_span, outcome="timeout")
+            attempt.dc_span = None
         if attempt.dc_retries <= 1:
             self._start_double_check(attempt, forced=False)
             return
@@ -608,6 +669,10 @@ class Client(Node):
         del self._reads[attempt.request_id]
         attempt.state = "done"
         self.metrics.incr("reads_failed")
+        obs = self.simulator.obs
+        if obs is not None:
+            obs.end(attempt.span, status="failed", reason=reason,
+                    retries=attempt.retries)
         if attempt.callback is not None:
             attempt.callback({"status": "failed", "reason": reason})
 
@@ -632,6 +697,11 @@ class Client(Node):
             self.metrics.observe("write_latency", latency)
         else:
             self.metrics.incr("writes_rejected")
+        obs = self.simulator.obs
+        if obs is not None:
+            obs.end(attempt.span,
+                    status="committed" if reply.committed else "rejected",
+                    version=reply.version, retries=attempt.retries)
         if attempt.callback is not None:
             attempt.callback({"status": "committed" if reply.committed
                               else "rejected",
@@ -648,6 +718,10 @@ class Client(Node):
         if attempt.retries > 2:
             del self._writes[request_id]
             self.metrics.incr("writes_failed")
+            obs = self.simulator.obs
+            if obs is not None:
+                obs.end(attempt.span, status="failed", reason="timeout",
+                        retries=attempt.retries)
             if attempt.callback is not None:
                 attempt.callback({"status": "failed", "reason": "timeout"})
             return

@@ -239,6 +239,10 @@ class MasterServer(TrustedServer):
                               message: WriteRequest) -> None:
         allowed = (self.config.writers_allowed is None
                    or client_id in self.config.writers_allowed)
+        obs = self.simulator.obs
+        if obs is not None and obs.current is not None:
+            obs.event(self.node_id, "master.acl_check",
+                      request_id=message.request_id, allowed=allowed)
         if not allowed:
             self.metrics.incr("writes_denied")
             self.send(client_id, WriteReply(
@@ -317,6 +321,18 @@ class MasterServer(TrustedServer):
         self.after(commit_at - self.now, self._commit_write, payload)
 
     def _commit_write(self, payload: BcastWrite) -> None:
+        obs = self.simulator.obs
+        if obs is None:
+            self._do_commit(payload)
+            return
+        # Always recorded (sampled or not): the Section 3.4 audit-lag
+        # check pairs every commit with the auditor's advance.
+        with obs.span(self.node_id, "master.commit",
+                      request_id=payload.request_id) as span:
+            self._do_commit(payload)
+            span.attrs["version"] = self.version
+
+    def _do_commit(self, payload: BcastWrite) -> None:
         self.commit_op(payload.op_wire)
         self.metrics.incr(f"commits@{self.node_id}")
         stamp = self.current_stamp()
@@ -402,6 +418,16 @@ class MasterServer(TrustedServer):
                 self.metrics.incr("double_checks_dropped_greedy")
                 return  # "simply ignoring" the greedy client's request
         self.metrics.incr("double_checks_served")
+        obs = self.simulator.obs
+        if obs is None:
+            self._serve_double_check(client_id, message)
+        else:
+            with obs.child_span(self.node_id, "master.double_check",
+                                request_id=message.request_id):
+                self._serve_double_check(client_id, message)
+
+    def _serve_double_check(self, client_id: str,
+                            message: DoubleCheckRequest) -> None:
         query = operation_from_wire(message.query_wire)
         if not isinstance(query, ReadQuery):
             raise TypeError("double-check payload must be a read query")
@@ -424,6 +450,11 @@ class MasterServer(TrustedServer):
         pledge = message.pledge
         verdict = self.evaluate_pledge(pledge)
         self.metrics.incr(f"accusations_{verdict}")
+        obs = self.simulator.obs
+        if obs is not None:
+            obs.event(self.node_id, "master.accusation",
+                      slave=pledge.slave_id, verdict=verdict,
+                      discovery=message.discovery)
         if verdict != "guilty":
             return
         owner = self.master_of.get(pledge.slave_id, self.node_id)
@@ -469,6 +500,11 @@ class MasterServer(TrustedServer):
         if payload.slave_id in self.excluded_slaves:
             return
         self.excluded_slaves.add(payload.slave_id)
+        obs = self.simulator.obs
+        if obs is not None:
+            obs.event(self.node_id, "master.exclusion",
+                      slave=payload.slave_id,
+                      discovery=payload.discovery)
         if payload.owning_master == self.node_id or (
                 payload.owning_master not in self.broadcast.alive_view
                 and self.broadcast.alive_view
@@ -554,6 +590,10 @@ class MasterServer(TrustedServer):
         # Timestamped so harnesses can measure detection latency (the gap
         # between injecting a crash and the survivors acting on it).
         self.metrics.record("master_crash_detections", self.now, 1.0)
+        obs = self.simulator.obs
+        if obs is not None:
+            obs.event(self.node_id, "master.takeover",
+                      crashed=member_id)
         orphan_certs = self.announced_lists.pop(member_id, ())
         survivors = sorted(m for m in self.broadcast.alive_view
                            if m not in self.auditor_ids)

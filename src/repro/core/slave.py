@@ -113,19 +113,30 @@ class SlaveServer(Node):
             self.send(master_id, ResyncRequest(have_version=self.version))
 
     def _apply_ready_updates(self) -> None:
+        obs = self.simulator.obs
         mangle = getattr(self.strategy, "mangle_write", None)
         while self.version in self._pending_updates:
             update = self._pending_updates.pop(self.version)
-            for op_wire in update.ops_wire:
-                op = operation_from_wire(op_wire)
-                if mangle is not None:
-                    op = mangle(op)  # CorruptState adversary
-                self.store.apply_write(op)
-                self.version += 1
+            if obs is not None:
+                with obs.child_span(self.node_id, "slave.apply",
+                                    from_version=update.from_version) as sp:
+                    self._apply_update(update, mangle)
+                    if sp is not None:
+                        sp.attrs["version"] = self.version
+            else:
+                self._apply_update(update, mangle)
             self._adopt_stamp(update.stamp)
         # Drop superseded buffered updates.
         for key in [k for k in self._pending_updates if k < self.version]:
             del self._pending_updates[key]
+
+    def _apply_update(self, update: SlaveUpdate, mangle: Any) -> None:
+        for op_wire in update.ops_wire:
+            op = operation_from_wire(op_wire)
+            if mangle is not None:
+                op = mangle(op)  # CorruptState adversary
+            self.store.apply_write(op)
+            self.version += 1
 
     def _handle_snapshot(self, master_id: str,
                          message: SlaveSnapshot) -> None:
@@ -180,6 +191,17 @@ class SlaveServer(Node):
     # -- read protocol (Section 3.2) ----------------------------------------------
 
     def _handle_read(self, client_id: str, message: ReadRequest) -> None:
+        obs = self.simulator.obs
+        if obs is None:
+            self._serve_read(client_id, message)
+            return
+        with obs.child_span(self.node_id, "slave.read",
+                            request_id=message.request_id) as span:
+            self._serve_read(client_id, message)
+            if span is not None:
+                span.attrs["version"] = self.version
+
+    def _serve_read(self, client_id: str, message: ReadRequest) -> None:
         query = operation_from_wire(message.query_wire)
         if not isinstance(query, ReadQuery):
             raise TypeError("read request payload must be a read query")

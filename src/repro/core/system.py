@@ -36,6 +36,7 @@ from repro.core.slave import SlaveServer
 from repro.crypto import fastpath
 from repro.crypto.hashing import constant_time_equals, sha1_hex
 from repro.metrics import MetricsRegistry
+from repro.obs.spans import ObsRuntime
 from repro.sim.failures import FailureInjector
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.network import Network
@@ -67,6 +68,14 @@ class DeploymentSpec:
     #: Record every wire message in ``system.tracer`` (debugging aid and
     #: message-count accounting; modest memory cost, bounded buffer).
     trace_messages: bool = False
+    #: Attach a ``repro.obs`` runtime: causal spans across every node on
+    #: this simulator.  Off by default -- instrumented hot paths then
+    #: cost one ``is None`` check (see benchmarks/bench_obs_overhead.py).
+    obs_enabled: bool = False
+    #: Fraction of client-operation traces recorded (seeded sampler).
+    obs_sample_rate: float = 1.0
+    #: Per-node span ring-buffer capacity.
+    obs_buffer_size: int = 4096
     #: Builds the initial content; all replicas start from clones of it.
     store_factory: Callable[[], ContentStore] | None = None
     #: Global slave index -> adversary strategy (honest when absent).
@@ -100,6 +109,15 @@ class ReplicationSystem:
         self.config = spec.protocol
         self.metrics = MetricsRegistry()
         self.simulator = Simulator(seed=spec.seed)
+        self.obs: ObsRuntime | None = None
+        if spec.obs_enabled:
+            # Seeded independently of fork_rng so enabling tracing never
+            # shifts key derivation or workload randomness.
+            self.obs = ObsRuntime(
+                self.simulator, seed=spec.seed,
+                sample_rate=spec.obs_sample_rate,
+                buffer_size=spec.obs_buffer_size)
+            self.simulator.obs = self.obs
         self.tracer = MessageTracer() if spec.trace_messages else None
         self.network = Network(
             self.simulator,

@@ -1,10 +1,11 @@
-"""Counters, timestamped series and percentile summaries."""
+"""Counters, timestamped series, histograms and percentile summaries."""
 
 from __future__ import annotations
 
 import math
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Sequence
 
 
 @dataclass
@@ -25,17 +26,33 @@ class Timeline:
     def max(self) -> float | None:
         return max(self.values()) if self.points else None
 
-    def time_weighted_mean(self) -> float | None:
-        """Mean of the series weighted by how long each value held."""
-        if len(self.points) < 2:
-            return self.points[0][1] if self.points else None
+    def time_weighted_mean(self, until: float | None = None) -> float | None:
+        """Mean of the series weighted by how long each value held.
+
+        Without ``until``, the last recorded value carries no weight (its
+        holding period has no end), which understates steady-state series
+        that settle on one value and stop changing.  Pass the observation
+        end time -- e.g. ``simulator.now`` when the run stopped -- to
+        credit the final value with its ``until - last_t`` holding period.
+        """
+        if not self.points:
+            return None
+        if until is not None and until < self.points[-1][0]:
+            raise ValueError(
+                f"until={until} precedes last recorded point at "
+                f"t={self.points[-1][0]}")
+        points = self.points
+        if until is not None:
+            points = points + [(until, points[-1][1])]
+        if len(points) < 2:
+            return points[0][1]
         total = 0.0
         duration = 0.0
-        for (t0, v0), (t1, _v1) in zip(self.points, self.points[1:]):
+        for (t0, v0), (t1, _v1) in zip(points, points[1:]):
             total += v0 * (t1 - t0)
             duration += t1 - t0
         if duration == 0:
-            return self.points[-1][1]
+            return points[-1][1]
         return total / duration
 
     def sparkline(self, width: int = 60) -> str:
@@ -67,9 +84,135 @@ class Timeline:
             for value in buckets)
 
 
+#: Default latency buckets (seconds): 1 ms to ~66 s, doubling.  Wide
+#: enough for both simulated protocol latencies (max_latency up to tens
+#: of seconds) and wall-clock socket round-trips.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = tuple(
+    0.001 * 2 ** i for i in range(17))
+
+
+class Histogram:
+    """Fixed-bucket histogram: O(1) memory however many values arrive.
+
+    Buckets are cumulative-style upper bounds (ascending); values above
+    the last bound land in an implicit overflow bucket.  Exact count,
+    sum, min and max are tracked alongside, so ``mean`` is exact while
+    percentiles are bucket-resolution (the reported percentile is the
+    upper bound of the bucket containing that rank -- a conservative,
+    Prometheus-compatible answer).
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total",
+                 "min_value", "max_value")
+
+    def __init__(self, bounds: Sequence[float] | None = None) -> None:
+        chosen = tuple(bounds) if bounds is not None \
+            else DEFAULT_LATENCY_BUCKETS
+        if not chosen:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(chosen) != sorted(chosen):
+            raise ValueError(f"bucket bounds must ascend, got {chosen}")
+        self.bounds: tuple[float, ...] = chosen
+        self.bucket_counts: list[int] = [0] * (len(chosen) + 1)
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min_value: float = math.inf
+        self.max_value: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        index = _bucket_index(self.bounds, value)
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile at bucket resolution.
+
+        Returns the upper bound of the bucket holding the q-th ranked
+        value; ranks falling in the overflow bucket return the exact
+        observed maximum (the only sharp bound available there).
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max_value
+        return self.max_value  # pragma: no cover - ranks always <= count
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (same bucket bounds only)."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}")
+        for index, bucket_count in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+
+    def summary(self) -> dict[str, float]:
+        """Same shape as :func:`summarize`, from buckets."""
+        if self.count == 0:
+            nan = float("nan")
+            return {"count": 0, "mean": nan, "p50": nan, "p90": nan,
+                    "p99": nan, "min": nan, "max": nan}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "min": self.min_value,
+            "max": self.max_value,
+        }
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ending with +inf.
+
+        This is exactly the shape Prometheus text exposition wants for
+        ``_bucket{le=...}`` lines.
+        """
+        pairs: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            cumulative += bucket_count
+            pairs.append((bound, cumulative))
+        pairs.append((math.inf, self.count))
+        return pairs
+
+
+def _bucket_index(bounds: tuple[float, ...], value: float) -> int:
+    """Binary search: first bucket whose upper bound >= value."""
+    lo, hi = 0, len(bounds)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if value <= bounds[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
 @dataclass
 class MetricsRegistry:
-    """Named counters, samples and timelines for one simulation run."""
+    """Named counters, samples, timelines and histograms for one run."""
 
     counters: dict[str, float] = field(
         default_factory=lambda: defaultdict(float))
@@ -77,6 +220,8 @@ class MetricsRegistry:
         default_factory=lambda: defaultdict(list))
     timelines: dict[str, Timeline] = field(
         default_factory=lambda: defaultdict(Timeline))
+    histograms: dict[str, Histogram] = field(
+        default_factory=lambda: defaultdict(Histogram))
 
     def incr(self, name: str, amount: float = 1.0) -> None:
         self.counters[name] += amount
@@ -93,6 +238,10 @@ class MetricsRegistry:
 
     def observe(self, name: str, value: float) -> None:
         self.samples[name].append(value)
+
+    def observe_hist(self, name: str, value: float) -> None:
+        """Record into a fixed-bucket histogram (O(1) memory per name)."""
+        self.histograms[name].observe(value)
 
     def record(self, name: str, at: float, value: float) -> None:
         self.timelines[name].record(at, value)

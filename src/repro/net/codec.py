@@ -50,6 +50,13 @@ from repro.net.errors import (
     TruncatedFrame,
     UnknownWireType,
 )
+from repro.obs.admin import (
+    ObsDumpReply,
+    ObsDumpRequest,
+    ObsHealthReply,
+    ObsHealthRequest,
+)
+from repro.obs.context import TraceCarrier, TraceContext
 
 MAGIC = b"RN"
 WIRE_VERSION = 1
@@ -439,6 +446,17 @@ def _iter_registrations() -> Iterator[tuple[int, type, _EncodeFn, _DecodeFn]]:
     yield (5, BroadcastEnvelope, *_dataclass_codec(BroadcastEnvelope))
     yield (6, CertAnnouncement, *_dataclass_codec(CertAnnouncement))
     yield (7, ContentStore, _encode_store, _decode_store)
+    # Observability (PR 5): the trace-context envelope and the admin
+    # plane.  Appended after the PR 3 carriers -- an older peer that
+    # receives one of these rejects the frame (UnknownWireType ->
+    # net_frames_rejected) and stays frame-aligned, per the
+    # back-compat contract above.
+    yield (8, TraceContext, *_dataclass_codec(TraceContext))
+    yield (9, TraceCarrier, *_dataclass_codec(TraceCarrier))
+    yield (10, ObsDumpRequest, *_dataclass_codec(ObsDumpRequest))
+    yield (11, ObsDumpReply, *_dataclass_codec(ObsDumpReply))
+    yield (12, ObsHealthRequest, *_dataclass_codec(ObsHealthRequest))
+    yield (13, ObsHealthReply, *_dataclass_codec(ObsHealthReply))
     # Protocol messages: ids 32+, positional on WIRE_MESSAGE_TYPES.
     for offset, message_cls in enumerate(WIRE_MESSAGE_TYPES):
         yield (32 + offset, message_cls, *_dataclass_codec(message_cls))

@@ -41,9 +41,13 @@ from repro.core.slave import SlaveServer
 from repro.core.system import auditor_node_id
 from repro.crypto.certificates import Certificate
 from repro.metrics import MetricsRegistry
+from repro.net.codec import NetHello
 from repro.net.peers import PeerDirectory, format_address
 from repro.net.server import NodeServer, RealtimeScheduler, SocketNetwork
-from repro.net.transport import ConnectionPool, RetryPolicy
+from repro.net.transport import ConnectionPool, RetryPolicy, read_frame, \
+    write_frame
+from repro.obs.admin import AdminPlane, ObsDumpRequest, ObsHealthRequest
+from repro.obs.spans import ObsRuntime
 from repro.sim.network import Node
 
 
@@ -93,6 +97,13 @@ class NetDeploymentSpec:
     connect_timeout: float = 2.0
     io_timeout: float = 5.0
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Attach a ``repro.obs`` runtime and serve the admin plane
+    #: (ObsDump/ObsHealth) on every node's listener.
+    obs_enabled: bool = False
+    #: Fraction of client-operation traces recorded (seeded sampler).
+    obs_sample_rate: float = 1.0
+    #: Per-node span ring-buffer capacity.
+    obs_buffer_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.num_masters < 1:
@@ -111,6 +122,15 @@ class LocalCluster:
         self._loop = loop
         self.metrics = MetricsRegistry()
         self.scheduler = RealtimeScheduler(spec.seed, loop)
+        self.obs: ObsRuntime | None = None
+        self.admin: AdminPlane | None = None
+        if spec.obs_enabled:
+            self.obs = ObsRuntime(
+                self.scheduler, seed=spec.seed,
+                sample_rate=spec.obs_sample_rate,
+                buffer_size=spec.obs_buffer_size)
+            self.scheduler.obs = self.obs
+            self.admin = AdminPlane(self.obs)
         self.peers = PeerDirectory()
         self.owner = ContentOwner(
             "content-owner", signer_scheme=self.config.signer_scheme,
@@ -166,7 +186,7 @@ class LocalCluster:
 
     async def _listen(self, node: Node) -> str:
         """Start ``node``'s listener; returns its ``host:port`` address."""
-        server = NodeServer(node, self.metrics)
+        server = NodeServer(node, self.metrics, admin=self.admin)
         host, port = await server.start(self.spec.host)
         self.servers[node.node_id] = server
         self.peers.add(node.node_id, host, port)
@@ -338,6 +358,41 @@ class LocalCluster:
         await server.resume()
         node.recover()
         self.metrics.record("chaos_restarts", self.scheduler.now, 1.0)
+
+    # -- admin plane -------------------------------------------------------
+
+    async def scrape(self, node_id: str, request: Any,
+                     timeout: float = 5.0) -> Any:
+        """Send one admin request to a live node over a fresh connection.
+
+        Dials the node's real listener and speaks the real wire format
+        (NetHello handshake, then request frame, then one reply frame),
+        so a scrape exercises exactly the path an external monitoring
+        agent would.  Requires ``spec.obs_enabled``.
+        """
+        if self.admin is None:
+            raise RuntimeError(
+                "admin plane is off; launch with obs_enabled=True")
+        host, port = self.peers.endpoint(node_id)
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout)
+        try:
+            await write_frame(writer, NetHello(node_id="obs-scraper"),
+                              timeout)
+            await write_frame(writer, request, timeout)
+            reply, _size = await read_frame(reader, timeout)
+            return reply
+        finally:
+            writer.transport.abort()
+
+    async def scrape_spans(self, node_id: str,
+                           max_spans: int = 4096) -> Any:
+        """ObsDump shortcut: one node's buffered spans."""
+        return await self.scrape(node_id, ObsDumpRequest(max_spans))
+
+    async def scrape_health(self, node_id: str) -> Any:
+        """ObsHealth shortcut: one node's liveness summary."""
+        return await self.scrape(node_id, ObsHealthRequest())
 
     # -- reporting ---------------------------------------------------------
 

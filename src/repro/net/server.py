@@ -33,9 +33,11 @@ from repro.net.errors import (
     HandshakeError,
     TruncatedFrame,
 )
-from repro.net.transport import ConnectionPool, read_frame
+from repro.net.transport import ConnectionPool, read_frame, write_frame
+from repro.obs.admin import AdminPlane
+from repro.obs.context import TraceCarrier
 from repro.sim.network import Network, Node
-from repro.sim.simulator import EventHandle, Simulator
+from repro.sim.simulator import EventHandle, Simulator, restore_context
 
 
 class RealtimeHandle(EventHandle):
@@ -80,6 +82,10 @@ class RealtimeScheduler(Simulator):
         # out a few microseconds negative.  "In the past" means "as soon
         # as possible" here.
         delay = max(0.0, delay)
+        obs = self.obs
+        if obs is not None and obs.current is not None:
+            args = (obs, obs.current, callback, args)
+            callback = restore_context
         handle = RealtimeHandle(self.now + delay)
 
         def fire() -> None:
@@ -125,6 +131,12 @@ class SocketNetwork(Network):
         self.pool = pool
 
     def transmit(self, src_id: str, dst_id: str, message: Any) -> None:
+        obs = self.simulator.obs
+        if obs is not None and obs.current is not None:
+            # Envelope, not rewrite: the carried message is re-encoded
+            # by the same codec entry as before, so signatures inside it
+            # verify byte-identically on the far side.
+            message = TraceCarrier(context=obs.current, message=message)
         self.pool.send(dst_id, message)
 
 
@@ -137,10 +149,15 @@ class NodeServer:
     """
 
     def __init__(self, node: Node, metrics: MetricsRegistry,
-                 handshake_timeout: float = 5.0) -> None:
+                 handshake_timeout: float = 5.0,
+                 admin: AdminPlane | None = None) -> None:
         self.node = node
         self.metrics = metrics
         self.handshake_timeout = handshake_timeout
+        #: Opt-in admin plane: when set, ObsDump/ObsHealth requests are
+        #: answered inline on the inbound connection instead of being
+        #: dispatched to the protocol handler.
+        self.admin = admin
         self.host = ""
         self.port = 0
         self.errors: list[tuple[str, Exception]] = []
@@ -170,7 +187,7 @@ class NodeServer:
                 writer.transport.abort()
                 return
             try:
-                await self._serve_frames(src_id, reader)
+                await self._serve_frames(src_id, reader, writer)
             finally:
                 writer.transport.abort()
         finally:
@@ -188,7 +205,8 @@ class NodeServer:
         return hello.node_id
 
     async def _serve_frames(self, src_id: str,
-                            reader: asyncio.StreamReader) -> None:
+                            reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
         while True:
             try:
                 message, size = await read_frame(reader)
@@ -205,6 +223,15 @@ class NodeServer:
                 return
             self.metrics.incr("net_frames_received")
             self.metrics.incr("net_bytes_received", size)
+            if self.admin is not None:
+                reply = self.admin.maybe_handle(self.node, message)
+                if reply is not None:
+                    self.metrics.incr("obs_admin_requests")
+                    try:
+                        await write_frame(writer, reply)
+                    except (ConnectionError, OSError):
+                        return
+                    continue
             self._dispatch(src_id, message)
 
     def _dispatch(self, src_id: str, message: Any) -> None:
@@ -213,9 +240,18 @@ class NodeServer:
             self.metrics.incr("net_frames_dropped")
             self.metrics.incr("net_drop_node_crashed")
             return
+        context = None
+        if isinstance(message, TraceCarrier):
+            context, message = message.context, message.message
         node.messages_received += 1
+        obs = node.simulator.obs
         try:
-            node.on_message(src_id, message)
+            if context is not None and obs is not None:
+                obs.contexts_received += 1
+                restore_context(obs, context,
+                                node.on_message, (src_id, message))
+            else:
+                node.on_message(src_id, message)
         except Exception as exc:
             self.metrics.incr("net_handler_errors")
             self.errors.append((src_id, exc))

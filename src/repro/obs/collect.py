@@ -1,0 +1,96 @@
+"""Bounded per-node span buffers.
+
+Each node gets its own ring buffer so one chatty node cannot evict
+another node's spans, and the admin plane (``ObsDump``) can answer
+per-node queries without filtering a global list.  Buffers are bounded
+(``capacity`` spans) because observability must never become the memory
+leak it is meant to find; overflow drops the *oldest* span and counts
+the drop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spans imports us)
+    from repro.obs.spans import Span
+
+
+class SpanBuffer:
+    """Ring buffer of finished spans for one node."""
+
+    __slots__ = ("capacity", "dropped", "_spans")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._spans: deque[Span] = deque(maxlen=capacity)
+
+    def add(self, span: "Span") -> None:
+        if len(self._spans) == self.capacity:
+            self.dropped += 1
+        self._spans.append(span)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator["Span"]:
+        return iter(self._spans)
+
+    def snapshot(self, limit: int | None = None) -> list["Span"]:
+        """Most recent ``limit`` spans (all if ``None``), oldest first."""
+        spans = list(self._spans)
+        if limit is not None and limit < len(spans):
+            spans = spans[-limit:]
+        return spans
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+
+class SpanCollector:
+    """Per-node :class:`SpanBuffer` map with a uniform capacity."""
+
+    __slots__ = ("capacity", "buffers")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self.buffers: dict[str, SpanBuffer] = {}
+
+    def add(self, span: "Span") -> None:
+        buffer = self.buffers.get(span.node)
+        if buffer is None:
+            buffer = SpanBuffer(self.capacity)
+            self.buffers[span.node] = buffer
+        buffer.add(span)
+
+    def spans(self, node: str | None = None) -> list["Span"]:
+        """Finished spans for one node, or all nodes in node order."""
+        if node is not None:
+            buffer = self.buffers.get(node)
+            return buffer.snapshot() if buffer is not None else []
+        collected: list[Span] = []
+        for node_id in sorted(self.buffers):
+            collected.extend(self.buffers[node_id].snapshot())
+        return collected
+
+    def dropped(self, node: str | None = None) -> int:
+        if node is not None:
+            buffer = self.buffers.get(node)
+            return buffer.dropped if buffer is not None else 0
+        return sum(buffer.dropped for buffer in self.buffers.values())
+
+    def nodes(self) -> list[str]:
+        return sorted(self.buffers)
+
+    def clear(self, node: str | None = None) -> None:
+        if node is not None:
+            buffer = self.buffers.get(node)
+            if buffer is not None:
+                buffer.clear()
+            return
+        for buffer in self.buffers.values():
+            buffer.clear()

@@ -17,7 +17,31 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (obs is optional)
+    from repro.obs.spans import ObsRuntime
+    from repro.obs.context import TraceContext
+
+
+def restore_context(obs: "ObsRuntime", context: "TraceContext",
+                    callback: Callable[..., None],
+                    args: tuple[Any, ...]) -> None:
+    """Fire ``callback(*args)`` with ``context`` as the active trace.
+
+    This is the whole in-process propagation mechanism: schedulers
+    capture ``obs.current`` at schedule time and splice this shim in
+    front of the callback, so causality follows the event graph with no
+    per-call-site plumbing.  Module-level (not a closure) to keep the
+    queue entries picklable-shaped and allocation-free beyond the args
+    tuple.
+    """
+    previous = obs.current
+    obs.current = context
+    try:
+        callback(*args)
+    finally:
+        obs.current = previous
 
 
 class EventHandle:
@@ -53,6 +77,10 @@ class Simulator:
         self.rng = random.Random(seed)
         self._fork_counter = itertools.count(1)
         self.events_processed = 0
+        #: Optional observability runtime (repro.obs).  ``None`` --
+        #: the default -- keeps the schedule path allocation-free; the
+        #: guard below is the subsystem's only disabled-mode cost.
+        self.obs: "ObsRuntime | None" = None
 
     @property
     def now(self) -> float:
@@ -73,6 +101,10 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
+        obs = self.obs
+        if obs is not None and obs.current is not None:
+            args = (obs, obs.current, callback, args)
+            callback = restore_context
         fire_at = self._now + delay
         handle = EventHandle(fire_at)
         heapq.heappush(self._queue, (fire_at, next(self._counter), handle,

@@ -4,7 +4,15 @@ from __future__ import annotations
 
 import math
 
-from repro.metrics import MetricsRegistry, Timeline, summarize
+import pytest
+
+from repro.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    Timeline,
+    summarize,
+)
 
 
 class TestCounters:
@@ -74,3 +82,83 @@ class TestTimeline:
         registry = MetricsRegistry()
         registry.record("backlog", 1.0, 5.0)
         assert registry.timelines["backlog"].last() == 5.0
+
+    def test_time_weighted_mean_until_credits_final_value(self):
+        timeline = Timeline()
+        timeline.record(0.0, 0.0)
+        timeline.record(10.0, 100.0)
+        # Without an end time the final value carries no weight; with
+        # until=20 it holds for half the observed window.
+        assert timeline.time_weighted_mean() == 0.0
+        assert timeline.time_weighted_mean(until=20.0) == 50.0
+
+    def test_time_weighted_mean_until_single_point(self):
+        timeline = Timeline()
+        timeline.record(5.0, 3.0)
+        assert timeline.time_weighted_mean(until=15.0) == 3.0
+
+    def test_time_weighted_mean_until_before_last_point(self):
+        timeline = Timeline()
+        timeline.record(0.0, 1.0)
+        timeline.record(10.0, 2.0)
+        with pytest.raises(ValueError, match="precedes"):
+            timeline.time_weighted_mean(until=5.0)
+
+
+class TestHistogram:
+    def test_exact_mean_bucketed_percentiles(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(1.625)
+        # Percentiles report the containing bucket's upper bound.
+        assert histogram.percentile(0.25) == 1.0
+        assert histogram.percentile(0.75) == 2.0
+        assert histogram.percentile(1.0) == 4.0
+        assert histogram.min_value == 0.5 and histogram.max_value == 3.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        histogram = Histogram(bounds=(1.0,))
+        histogram.observe(50.0)
+        assert histogram.percentile(0.99) == 50.0
+        assert histogram.cumulative_buckets() == [(1.0, 0), (math.inf, 1)]
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(0.001)
+        assert list(DEFAULT_LATENCY_BUCKETS) == \
+            sorted(DEFAULT_LATENCY_BUCKETS)
+        histogram = Histogram()
+        histogram.observe(0.01)
+        assert histogram.summary()["count"] == 1
+
+    def test_summary_matches_summarize_shape(self):
+        histogram = Histogram()
+        assert set(histogram.summary()) == set(summarize([1.0]))
+        assert math.isnan(histogram.summary()["mean"])
+
+    def test_merge(self):
+        left, right = Histogram(bounds=(1.0, 2.0)), Histogram(bounds=(1.0, 2.0))
+        left.observe(0.5)
+        right.observe(1.5)
+        right.observe(9.0)
+        left.merge(right)
+        assert left.count == 3
+        assert left.total == pytest.approx(11.0)
+        assert left.max_value == 9.0
+        with pytest.raises(ValueError, match="different bounds"):
+            left.merge(Histogram(bounds=(3.0,)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ascend"):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram(bounds=())
+        with pytest.raises(ValueError, match="q must be"):
+            Histogram().percentile(0.0)
+
+    def test_registry_observe_hist_autocreates(self):
+        registry = MetricsRegistry()
+        registry.observe_hist("lat", 0.25)
+        registry.observe_hist("lat", 0.5)
+        assert registry.histograms["lat"].count == 2

@@ -54,6 +54,13 @@ from repro.net.errors import (
     TruncatedFrame,
     UnknownWireType,
 )
+from repro.obs.admin import (
+    ObsDumpReply,
+    ObsDumpRequest,
+    ObsHealthReply,
+    ObsHealthRequest,
+)
+from repro.obs.context import TraceCarrier, TraceContext
 
 
 def _keys(owner_id: str, scheme: str = "hmac", seed: int = 1) -> KeyPair:
@@ -137,6 +144,21 @@ EXAMPLES: dict[type, object] = {
         evidence_request_id="r-1", discovery="immediate"),
     m.BroadcastWrapper: m.BroadcastWrapper(
         envelope=BroadcastEnvelope(kind="heartbeat", origin="master-00")),
+    TraceContext: TraceContext(trace_id="t000001", span_id="s000002",
+                               sampled=True),
+    TraceCarrier: TraceCarrier(
+        context=TraceContext("t000001", "s000002", True),
+        message=m.KeepAlive(stamp=STAMP)),
+    ObsDumpRequest: ObsDumpRequest(max_spans=128, clear=True),
+    ObsDumpReply: ObsDumpReply(
+        node_id="master-00",
+        spans=(("t000001", "s000002", "", "master-00", "master.commit",
+                1.0, 2.0, (("version", 3),)),),
+        dropped=0),
+    ObsHealthRequest: ObsHealthRequest(probe=1),
+    ObsHealthReply: ObsHealthReply(
+        node_id="master-00", now=4.5, spans_buffered=7, spans_dropped=0,
+        contexts_received=12, events_processed=99),
 }
 
 
@@ -204,7 +226,10 @@ class TestRegisteredTypes:
         expected_infra = {1: "NetHello", 2: "Certificate",
                           3: "RSAPublicKey", 4: "HMACPublicKey",
                           5: "BroadcastEnvelope", 6: "CertAnnouncement",
-                          7: "ContentStore"}
+                          7: "ContentStore",
+                          8: "TraceContext", 9: "TraceCarrier",
+                          10: "ObsDumpRequest", 11: "ObsDumpReply",
+                          12: "ObsHealthRequest", 13: "ObsHealthReply"}
         table = registered_wire_types()
         assert {k: v for k, v in table.items() if k < 32} == expected_infra
         for offset, cls in enumerate(m.WIRE_MESSAGE_TYPES):

@@ -1,0 +1,162 @@
+"""Tracing and the admin plane over real sockets (repro.net + repro.obs).
+
+Two wire-crossing guarantees:
+
+* **causal propagation**: a ``TraceCarrier`` envelope carries the
+  active context on every TCP send, so spans recorded on the receiving
+  node join the originating client's trace;
+* **admin plane**: ``ObsDump``/``ObsHealth`` are answered on each
+  node's ordinary listener over the ordinary frame codec -- a scrape is
+  just another (handshaken) connection.
+
+Same harness rules as test_net_system: no pytest-asyncio, every test
+drives its own ``asyncio.run`` under a hard timeout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.content.kvstore import KVGet, KVPut
+from repro.net.deploy import (
+    LocalCluster,
+    NetDeploymentSpec,
+    fast_protocol_config,
+)
+from repro.obs.admin import ObsDumpReply, ObsHealthReply, span_from_wire
+from repro.obs.analyze import group_traces
+
+pytestmark = [pytest.mark.net, pytest.mark.obs]
+
+
+def run(coro, timeout: float = 90.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+def obs_spec(seed: int = 11, **overrides) -> NetDeploymentSpec:
+    overrides.setdefault("protocol", fast_protocol_config(
+        double_check_probability=0.0))
+    return NetDeploymentSpec(num_masters=2, slaves_per_master=2,
+                             num_clients=2, seed=seed, obs_enabled=True,
+                             **overrides)
+
+
+async def _workload(cluster: LocalCluster) -> None:
+    committed = await cluster.write(cluster.clients[0],
+                                    KVPut(key="k", value="v1"))
+    assert committed["status"] == "committed"
+    for client in cluster.clients:
+        reply = await cluster.read(client, KVGet(key="k"))
+        assert reply["status"] == "accepted"
+
+
+class TestContextPropagation:
+    def test_client_traces_cross_tcp(self):
+        async def scenario():
+            cluster = await LocalCluster.launch(obs_spec(), settle=0.6)
+            try:
+                await _workload(cluster)
+                # Contexts arrived inside TraceCarrier envelopes.
+                assert cluster.obs.contexts_received > 0
+                traces = group_traces(cluster.obs.collector.spans())
+                client_traces = [
+                    members for members in traces.values()
+                    if any(s.op in ("client.read", "client.write")
+                           for s in members)]
+                assert client_traces
+                # Every client operation's trace spans >= 2 processes'
+                # worth of nodes: causality survived the socket hop.
+                for members in client_traces:
+                    assert len({s.node for s in members}) >= 2
+            finally:
+                await cluster.aclose()
+
+        run(scenario())
+
+    def test_disabled_cluster_sends_bare_frames(self):
+        async def scenario():
+            spec = obs_spec()
+            plain = NetDeploymentSpec(
+                num_masters=spec.num_masters,
+                slaves_per_master=spec.slaves_per_master,
+                num_clients=spec.num_clients, seed=spec.seed,
+                protocol=spec.protocol)
+            cluster = await LocalCluster.launch(plain, settle=0.6)
+            try:
+                await _workload(cluster)
+                assert cluster.obs is None
+                with pytest.raises(RuntimeError, match="admin plane"):
+                    await cluster.scrape_health("master-00")
+            finally:
+                await cluster.aclose()
+
+        run(scenario())
+
+
+class TestAdminPlane:
+    def test_scrape_spans_and_health(self):
+        async def scenario():
+            cluster = await LocalCluster.launch(obs_spec(), settle=0.6)
+            try:
+                await _workload(cluster)
+                dump = await cluster.scrape_spans("master-00")
+                assert isinstance(dump, ObsDumpReply)
+                assert dump.node_id == "master-00"
+                spans = [span_from_wire(wire) for wire in dump.spans]
+                assert spans
+                assert all(s.node == "master-00" for s in spans)
+                assert any(s.op == "master.commit" for s in spans)
+                # The wire tuples rebuild into JSON-serializable spans.
+                json.dumps([list(wire) for wire in dump.spans])
+
+                health = await cluster.scrape_health("slave-00-00")
+                assert isinstance(health, ObsHealthReply)
+                assert health.node_id == "slave-00-00"
+                assert health.contexts_received > 0
+                assert health.events_processed > 0
+                # The scrapes themselves were counted by the servers.
+                assert cluster.metrics.count("obs_admin_requests") >= 2
+            finally:
+                await cluster.aclose()
+
+        run(scenario())
+
+    def test_dump_clear_empties_buffer(self):
+        from repro.obs.admin import ObsDumpRequest
+
+        async def scenario():
+            cluster = await LocalCluster.launch(obs_spec(), settle=0.6)
+            try:
+                await _workload(cluster)
+                first = await cluster.scrape(
+                    "master-00", ObsDumpRequest(max_spans=4096, clear=True))
+                assert first.spans
+                second = await cluster.scrape_spans("master-00")
+                # Only spans finished after the clear remain.
+                assert len(second.spans) < len(first.spans)
+            finally:
+                await cluster.aclose()
+
+        run(scenario())
+
+
+class TestObsCli:
+    def test_repro_sim_obs_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "obs-out"
+        code = main(["obs", "--seed", "3", "--reads", "8", "--writes", "2",
+                     "--settle", "0.6", "--out", str(out)])
+        assert code == 0
+        report = json.loads((out / "report.json").read_text())
+        assert report["ok"] is True
+        assert report["audit_lag"]["ok"] is True
+        assert report["section_3_5"]["exclusions"] >= 1
+        trace = json.loads((out / "trace.json").read_text())
+        assert trace["traceEvents"]
+        metrics = (out / "metrics.prom").read_text()
+        assert "repro_" in metrics
+        assert (out / "spans.jsonl").read_text().strip()

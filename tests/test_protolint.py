@@ -195,6 +195,22 @@ class TestPL001Determinism:
         # still in scope.
         assert codes(source, path="src/repro/network_sim/x.py") == ["PL001"]
 
+    def test_obs_exemption_is_export_only(self):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()
+        """
+        # The exporter module may stamp a Prometheus scrape with
+        # wall-clock time (presentation only)...
+        assert codes(source, path="src/repro/obs/export.py") == []
+        # ...but the rest of the observability subsystem is protocol
+        # code: span timestamps and sampling must stay deterministic.
+        for module in ("spans", "collect", "context", "analyze", "admin"):
+            assert codes(
+                source, path=f"src/repro/obs/{module}.py") == ["PL001"], module
+
     def test_pyproject_scope_override_respected(self):
         source = """
             import time

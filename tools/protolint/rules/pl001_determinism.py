@@ -10,8 +10,11 @@ bit-reproducibility -- and with the PR-1 fastpath caches in place such
 a regression would not even show up as a performance anomaly.
 
 Scope: all of ``src/repro/`` *except* the socket runtime under
-``src/repro/net/`` and the fault-injection layer under
-``src/repro/chaos/``, which legitimately live on real time and asyncio
+``src/repro/net/``, the fault-injection layer under
+``src/repro/chaos/`` and the single exporter module
+``src/repro/obs/export.py`` (which may stamp a Prometheus scrape with
+wall-clock time; span timestamps themselves stay on the scheduler
+clock), which legitimately live on real time and asyncio
 (the determinism contract there is key material and fault decisions
 only, via ``fork_rng`` and the chaos layer's seeded per-link streams).  The scope is path-configured -- override per rule in
 ``pyproject.toml`` under ``[tool.protolint.scope.PL001]`` with
@@ -65,7 +68,8 @@ class NoNondeterminism(Rule):
     code = "PL001"
     name = "no-wallclock-nondeterminism"
     scope = ("src/repro/",)
-    exclude = ("src/repro/net/", "src/repro/chaos/")
+    exclude = ("src/repro/net/", "src/repro/chaos/",
+               "src/repro/obs/export.py")
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         aliases = import_aliases(ctx.tree)
