@@ -36,7 +36,8 @@ class ChaosCluster(LocalCluster):
             plane=self.plane,
             retry=self.spec.retry,
             connect_timeout=self.spec.connect_timeout,
-            io_timeout=self.spec.io_timeout)
+            io_timeout=self.spec.io_timeout,
+            max_batch=self.spec.max_batch)
 
     # -- link faults -------------------------------------------------------
 

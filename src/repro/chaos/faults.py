@@ -212,10 +212,16 @@ class ChaosConnectionPool(ConnectionPool):
                  plane: FaultPlane,
                  retry: RetryPolicy | None = None,
                  connect_timeout: float = 2.0,
-                 io_timeout: float = 5.0) -> None:
+                 io_timeout: float = 5.0,
+                 max_batch: int = 64) -> None:
+        # max_batch governs queue draining only: this pool overrides
+        # _transmit, so the base pool feeds it one message at a time and
+        # frames are never coalesced on the wire (fault fates stay
+        # addressed per (seed, link, frame-index)).
         super().__init__(node_id, peers, metrics, rng, retry=retry,
                          connect_timeout=connect_timeout,
-                         io_timeout=io_timeout)
+                         io_timeout=io_timeout,
+                         max_batch=max_batch)
         self.plane = plane
         self._held: dict[str, list[Any]] = {}
         self._throttle_free: dict[str, float] = {}

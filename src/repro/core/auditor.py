@@ -199,6 +199,8 @@ class AuditorServer(TrustedServer):
             trusted_hash = cached
             self.cache_hits += 1
             service += self.config.hash_time
+        if not self.config.simulate_service_times:
+            service = 0.0
         self.work.submit(service, self._finish_audit, entry, cert,
                          trusted_hash)
 

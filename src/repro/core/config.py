@@ -97,6 +97,19 @@ class ProtocolConfig:
     verify_time: float = 2e-4
     #: Simulated cost of one SHA-1 over a typical result.
     hash_time: float = 5e-5
+    #: Charge the simulated compute costs above against the clock.  In
+    #: the discrete-event simulator this models paper-calibrated server
+    #: hardware; over real sockets the clock is wall time, so charging
+    #: a simulated 5 ms signature on top of the *actual* crypto work
+    #: caps a slave near 190 reads/s.  Socket deployments measuring
+    #: real throughput set this to False (the work-queue discipline is
+    #: kept; only the charged duration becomes zero).
+    simulate_service_times: bool = True
+    #: Buffer read replies arriving in the same scheduler tick and sign
+    #: their pledges as one batch (amortised HMAC/RSA, single flush).
+    #: Off by default: batching adds a tick of latency per read and the
+    #: simulator's fidelity comes from per-read service accounting.
+    batch_read_replies: bool = False
 
     # -- housekeeping ----------------------------------------------------------
     #: How many past store versions trusted servers retain for verifying

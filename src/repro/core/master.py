@@ -432,8 +432,11 @@ class MasterServer(TrustedServer):
         if not isinstance(query, ReadQuery):
             raise TypeError("double-check payload must be a read query")
         outcome = self.store.execute_read(query)
-        service = (self.execution_time(outcome.cost_units)
-                   + self.config.hash_time)
+        if self.config.simulate_service_times:
+            service = (self.execution_time(outcome.cost_units)
+                       + self.config.hash_time)
+        else:
+            service = 0.0
         reply = DoubleCheckReply(
             request_id=message.request_id,
             result_hash=sha1_hex(outcome.result),

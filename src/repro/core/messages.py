@@ -163,6 +163,35 @@ class Pledge:
             object.__setattr__(pledge, "_payload_cache", payload)
         return pledge
 
+    @classmethod
+    def make_many(
+        cls, keys: KeyPair,
+        specs: "list[tuple[Any, str, VersionStamp, str]]",
+    ) -> "list[Pledge]":
+        """Construct pledges for several reads with one batch signing.
+
+        ``specs`` holds ``(query_wire, result_hash, stamp, request_id)``
+        per read.  Payload bytes and signatures are identical to calling
+        :meth:`make` per spec -- batching only amortises the signer's
+        per-call setup (HMAC key schedule), it never changes what is
+        signed.
+        """
+        payloads = [cls._payload(query_wire, result_hash, stamp,
+                                 keys.owner_id, request_id)
+                    for query_wire, result_hash, stamp, request_id in specs]
+        signatures = keys.sign_many(payloads)
+        caching = fastpath.enabled()
+        pledges = []
+        for (query_wire, result_hash, stamp, request_id), payload, sig \
+                in zip(specs, payloads, signatures):
+            pledge = cls(query_wire=query_wire, result_hash=result_hash,
+                         stamp=stamp, slave_id=keys.owner_id,
+                         request_id=request_id, signature=sig)
+            if caching:
+                object.__setattr__(pledge, "_payload_cache", payload)
+            pledges.append(pledge)
+        return pledges
+
     def verify(self, verifier_keys: KeyPair,
                slave_public_key: PublicKey) -> bool:
         return verifier_keys.verify(slave_public_key, self.signed_payload(),

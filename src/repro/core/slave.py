@@ -78,6 +78,11 @@ class SlaveServer(Node):
         self.work = WorkQueue(self)
         self.reads_served = 0
         self.reads_refused_stale = 0
+        #: Reads answered but not yet pledged/flushed (batch mode): the
+        #: first buffered read schedules a same-tick flush, so every
+        #: read arriving in one scheduler tick shares one batch signing
+        #: and one reply flush.  See :meth:`_flush_reads`.
+        self._pending_reads: list[tuple[str, Any, str, Any, VersionStamp]] = []
 
     @property
     def public_key(self) -> PublicKey:
@@ -236,6 +241,25 @@ class SlaveServer(Node):
         if served_result != outcome.result:
             self.metrics.incr("slave_lies_served")
         assert self.latest_stamp is not None
+        self.reads_served += 1
+        self.metrics.incr("slave_reads_served")
+        if self.config.simulate_service_times:
+            service = (outcome.cost_units * self.config.service_time_per_unit
+                       + self.config.hash_time + self.config.sign_time)
+        else:
+            service = 0.0
+        if self.config.batch_read_replies and self.simulator.obs is None:
+            # Amortised path: park the answered read; the first one in a
+            # tick schedules a same-tick flush that batch-signs every
+            # pledge and sends all replies together (which the
+            # connection pool then coalesces per peer).  Skipped under
+            # observability so each reply keeps its own causal trace.
+            self._pending_reads.append(
+                (client_id, pledged_wire, message.request_id,
+                 served_result, self.latest_stamp))
+            if len(self._pending_reads) == 1:
+                self.work.submit(service, self._flush_reads)
+            return
         pledge = Pledge.make(
             self.keys,
             query_wire=pledged_wire,
@@ -243,16 +267,41 @@ class SlaveServer(Node):
             stamp=self.latest_stamp,
             request_id=message.request_id,
         )
+        reply = ReadReply(request_id=message.request_id,
+                          result=served_result,
+                          pledge=self._maybe_garble(pledge))
+        self.work.submit(service, self.send, client_id, reply, 2048)
+
+    def _maybe_garble(self, pledge: Pledge) -> Pledge:
         garble = getattr(self.strategy, "garble_signature", None)
         if garble is not None and garble():
             # A malicious slave withholding its real signature: clients
             # will reject the reply, but there is nothing to incriminate.
-            pledge = dataclasses.replace(pledge, signature=b"\x00garbage")
             self.metrics.incr("slave_garbled_signatures")
-        service = (outcome.cost_units * self.config.service_time_per_unit
-                   + self.config.hash_time + self.config.sign_time)
-        self.reads_served += 1
-        self.metrics.incr("slave_reads_served")
-        reply = ReadReply(request_id=message.request_id,
-                          result=served_result, pledge=pledge)
-        self.work.submit(service, self.send, client_id, reply, 2048)
+            return dataclasses.replace(pledge, signature=b"\x00garbage")
+        return pledge
+
+    def _flush_reads(self) -> None:
+        """Pledge and reply to every read buffered this tick as one batch.
+
+        Pledge payloads and signatures are byte-identical to the
+        unbatched path (:meth:`Pledge.make_many` only amortises signer
+        setup); each reply is still its own protocol message, so
+        per-message adversary and chaos behaviour is unchanged.
+        """
+        pending, self._pending_reads = self._pending_reads, []
+        if not pending:
+            return
+        pledges = Pledge.make_many(
+            self.keys,
+            [(pledged_wire, sha1_hex(served_result), stamp, request_id)
+             for _client, pledged_wire, request_id, served_result, stamp
+             in pending])
+        if len(pending) > 1:
+            self.metrics.incr("slave_read_batches")
+        for (client_id, _wire, request_id, served_result, _stamp), pledge \
+                in zip(pending, pledges):
+            self.send(client_id,
+                      ReadReply(request_id=request_id, result=served_result,
+                                pledge=self._maybe_garble(pledge)),
+                      2048)

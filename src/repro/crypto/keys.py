@@ -47,6 +47,18 @@ class KeyPair:
         self.signatures_made += 1
         return self.signer.sign(message)
 
+    def sign_many(self, messages: "list[bytes]") -> "list[Signature]":
+        """Sign a batch of payloads (amortised key schedule for HMAC).
+
+        Semantically ``[self.sign(m) for m in messages]``, including the
+        per-signature accounting experiment E4 reads.
+        """
+        self.signatures_made += len(messages)
+        sign_many = getattr(self.signer, "sign_many", None)
+        if sign_many is not None:
+            return sign_many(messages)
+        return [self.signer.sign(m) for m in messages]
+
     def verify(self, public_key: object, message: bytes,
                signature: object) -> bool:
         """Verify a signature made by *another* principal's key.

@@ -75,6 +75,13 @@ class RSASigner:
     def sign(self, message: bytes) -> int:
         return _rsa.rsa_sign(self._keypair, message)
 
+    def sign_many(self, messages: "list[bytes]") -> "list[int]":
+        """Sign a batch.  RSA signing is dominated by the CRT private
+        operation, which cannot be shared across messages, so this is a
+        plain loop -- provided for interface symmetry with
+        :meth:`HMACSigner.sign_many`."""
+        return [_rsa.rsa_sign(self._keypair, m) for m in messages]
+
     def verify_with(self, public_key: object, message: bytes,
                     signature: object) -> bool:
         if not isinstance(public_key, _rsa.RSAPublicKey):
@@ -120,13 +127,30 @@ class HMACSigner:
             rng = rng or entropy.fallback_rng()
             key_bytes = rng.getrandbits(256).to_bytes(32, "big")
         self._key = key_bytes
+        # The HMAC key schedule (ipad/opad absorption) depends only on
+        # the key; precompute it once and .copy() per signature.  Tags
+        # are byte-identical to hmac.new(key, message, sha1).
+        self._mac = hmac.new(key_bytes, digestmod=hashlib.sha1)
 
     @property
     def public_key(self) -> HMACPublicKey:
         return HMACPublicKey(self._key)
 
     def sign(self, message: bytes) -> bytes:
-        return hmac.new(self._key, message, hashlib.sha1).digest()
+        mac = self._mac.copy()
+        mac.update(message)
+        return mac.digest()
+
+    def sign_many(self, messages: "list[bytes]") -> "list[bytes]":
+        """Sign a batch; one key-schedule copy per tag, no per-call
+        ``hmac.new``.  Equivalent to ``[self.sign(m) for m in messages]``."""
+        base = self._mac
+        tags = []
+        for message in messages:
+            mac = base.copy()
+            mac.update(message)
+            tags.append(mac.digest())
+        return tags
 
     def verify_with(self, public_key: object, message: bytes,
                     signature: object) -> bool:
@@ -196,6 +220,72 @@ def verify_signature(public_key: object, message: bytes, signature: object,
             metrics.incr("verify_cache_misses")
         return result
     return _verify_dispatch(public_key, message, signature)
+
+
+def verify_many(
+    triples: "list[tuple[object, bytes, object]]",
+    metrics: "MetricsLike | None" = None,
+    rng: "random.Random | None" = None,
+) -> "list[bool]":
+    """Verify a batch of ``(public_key, message, signature)`` triples.
+
+    RSA triples sharing a public key are checked together with the
+    small-exponents batch test (:func:`repro.crypto.rsa.rsa_batch_verify`
+    -- one full-size exponentiation for the whole group, individual
+    fallback on mismatch), so a client validating a read quorum pays for
+    roughly one verification instead of one per reply.  HMAC and unknown
+    keys go through the normal dispatch.
+
+    Every verdict is recorded in the fastpath verify cache under the
+    same key :func:`verify_signature` uses, so per-reply validation code
+    that re-checks the same triple afterwards hits the cache instead of
+    redoing the crypto.  Verdicts are positionally aligned with the
+    input and identical to calling :func:`verify_signature` per triple.
+    """
+    verdicts: "list[bool | None]" = [None] * len(triples)
+    rsa_groups: dict[_rsa.RSAPublicKey, list[int]] = {}
+    caching = fastpath.enabled()
+    for i, (public_key, message, signature) in enumerate(triples):
+        if caching:
+            try:
+                sig_key = bytes(signature) \
+                    if isinstance(signature, bytearray) else signature
+                cached = fastpath.VERIFY_CACHE.get(
+                    (public_key, message, sig_key))
+            except TypeError:
+                cached = fastpath.MISS
+            if cached is not fastpath.MISS:
+                if metrics is not None:
+                    metrics.incr("verify_cache_hits")
+                verdicts[i] = cached
+                continue
+        if isinstance(public_key, _rsa.RSAPublicKey):
+            rsa_groups.setdefault(public_key, []).append(i)
+        else:
+            verdicts[i] = verify_signature(public_key, message, signature,
+                                           metrics)
+    for public_key, indices in rsa_groups.items():
+        items = [(triples[i][1], triples[i][2]) for i in indices]
+        if len(items) == 1:
+            group = [_rsa.rsa_verify(public_key, *items[0])]
+        else:
+            group = _rsa.rsa_batch_verify(public_key, items, rng=rng)
+            if metrics is not None:
+                metrics.incr("verify_batches")
+        for i, verdict in zip(indices, group):
+            verdicts[i] = verdict
+            if metrics is not None:
+                metrics.incr("verify_cache_misses")
+            if caching:
+                _public_key, message, signature = triples[i]
+                try:
+                    sig_key = bytes(signature) \
+                        if isinstance(signature, bytearray) else signature
+                    fastpath.VERIFY_CACHE.put(
+                        (public_key, message, sig_key), verdict)
+                except TypeError:
+                    pass
+    return [bool(v) for v in verdicts]
 
 
 def _verify_dispatch(public_key: object, message: bytes,

@@ -96,9 +96,26 @@ class NetHello:
     wire_version: int = WIRE_VERSION
 
 
+@dataclasses.dataclass(frozen=True, slots=True)
+class FrameBatch:
+    """Coalesced carrier: several protocol messages in one wire frame.
+
+    The pipelined sender (:class:`repro.net.transport.ConnectionPool`)
+    drains its whole per-peer queue per wakeup and ships the backlog as
+    one ``FrameBatch`` -- one header, one write, one drain -- instead of
+    one frame per message.  Like :class:`~repro.obs.context.TraceCarrier`
+    it is an *envelope*: each carried message is encoded by its own
+    registry entry, so signed payloads inside are byte-identical to an
+    unbatched send and every signature verifies unchanged.  Receivers
+    unpack in order, preserving per-peer FIFO delivery.
+    """
+
+    messages: tuple[Any, ...]
+
+
 # -- extension registry -----------------------------------------------------
 
-_EncodeFn = Callable[[Any], bytes]
+_EncodeFn = Callable[[Any, bytearray], None]
 _DecodeFn = Callable[[memoryview, int], "tuple[Any, int]"]
 
 _BY_TYPE: dict[type, int] = {}
@@ -132,16 +149,18 @@ def wire_type_id(cls: type) -> int:
 # -- varint (unsigned LEB128) ----------------------------------------------
 
 
+def _append_varint(out: bytearray, value: int) -> None:
+    """Append a LEB128 varint directly to ``out`` (no temporaries)."""
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
 def _encode_varint(value: int) -> bytes:
     out = bytearray()
-    while True:
-        byte = value & 0x7F
-        value >>= 7
-        if value:
-            out.append(byte | 0x80)
-        else:
-            out.append(byte)
-            return bytes(out)
+    _append_varint(out, value)
+    return bytes(out)
 
 
 def _decode_varint(buf: memoryview, pos: int) -> tuple[int, int]:
@@ -163,12 +182,6 @@ def _decode_varint(buf: memoryview, pos: int) -> tuple[int, int]:
 # -- value encoding ---------------------------------------------------------
 
 
-def _encode_int(value: int) -> bytes:
-    length = (value.bit_length() + 8) // 8  # always room for the sign bit
-    body = value.to_bytes(length, "big", signed=True)
-    return bytes((_T_INT,)) + _encode_varint(length) + body
-
-
 def _encode_value(value: Any, out: bytearray) -> None:
     if value is None:
         out.append(_T_NONE)
@@ -177,33 +190,36 @@ def _encode_value(value: Any, out: bytearray) -> None:
     elif value is False:
         out.append(_T_FALSE)
     elif type(value) is int:
-        out += _encode_int(value)
+        length = (value.bit_length() + 8) // 8  # room for the sign bit
+        out.append(_T_INT)
+        _append_varint(out, length)
+        out += value.to_bytes(length, "big", signed=True)
     elif type(value) is float:
         out.append(_T_FLOAT)
         out += struct.pack(">d", value)
     elif type(value) is str:
         raw = value.encode("utf-8")
         out.append(_T_STR)
-        out += _encode_varint(len(raw))
+        _append_varint(out, len(raw))
         out += raw
     elif type(value) in (bytes, bytearray, memoryview):
         raw = bytes(value)
         out.append(_T_BYTES)
-        out += _encode_varint(len(raw))
+        _append_varint(out, len(raw))
         out += raw
     elif type(value) is list:
         out.append(_T_LIST)
-        out += _encode_varint(len(value))
+        _append_varint(out, len(value))
         for item in value:
             _encode_value(item, out)
     elif type(value) is tuple:
         out.append(_T_TUPLE)
-        out += _encode_varint(len(value))
+        _append_varint(out, len(value))
         for item in value:
             _encode_value(item, out)
     elif type(value) is dict:
         out.append(_T_DICT)
-        out += _encode_varint(len(value))
+        _append_varint(out, len(value))
         for key, item in value.items():
             _encode_value(key, out)
             _encode_value(item, out)
@@ -211,7 +227,7 @@ def _encode_value(value: Any, out: bytearray) -> None:
         out.append(_T_SET if type(value) is set else _T_FROZENSET)
         # Deterministic order: sort members by their own encoding.
         encoded = sorted(encode_value(item) for item in value)
-        out += _encode_varint(len(encoded))
+        _append_varint(out, len(encoded))
         for blob in encoded:
             out += blob
     else:
@@ -232,8 +248,8 @@ def _encode_extension(value: Any, out: bytearray) -> None:
                 "(not a wire-registered type)"
             )
     out.append(_T_EXT)
-    out += _encode_varint(type_id)
-    out += _ENCODERS[type_id](value)
+    _append_varint(out, type_id)
+    _ENCODERS[type_id](value, out)
 
 
 def encode_value(value: Any) -> bytes:
@@ -335,14 +351,22 @@ def decode_value(data: bytes | memoryview) -> Any:
 
 
 def encode_frame(value: Any) -> bytes:
-    """Header + encoded body for one message."""
-    body = encode_value(value)
-    if len(body) > MAX_FRAME_BYTES:
+    """Header + encoded body for one message.
+
+    The body is encoded straight after a reserved header slot in one
+    growable buffer, so a frame costs a single allocation instead of a
+    header + body concatenation copy.
+    """
+    out = bytearray(HEADER_SIZE)
+    _encode_value(value, out)
+    length = len(out) - HEADER_SIZE
+    if length > MAX_FRAME_BYTES:
         raise FrameTooLarge(
-            f"encoded body is {len(body)} bytes "
+            f"encoded body is {length} bytes "
             f"(limit {MAX_FRAME_BYTES})"
         )
-    return _HEADER.pack(MAGIC, WIRE_VERSION, 0, len(body)) + body
+    _HEADER.pack_into(out, 0, MAGIC, WIRE_VERSION, 0, length)
+    return bytes(out)
 
 
 def parse_header(header: bytes) -> int:
@@ -387,11 +411,9 @@ def _dataclass_codec(cls: type) -> tuple[_EncodeFn, _DecodeFn]:
     """
     init_fields = tuple(f.name for f in dataclasses.fields(cls) if f.init)
 
-    def encode(value: Any) -> bytes:
-        out = bytearray()
+    def encode(value: Any, out: bytearray) -> None:
         values = tuple(getattr(value, name) for name in init_fields)
         _encode_value(values, out)
-        return bytes(out)
 
     def decode(buf: memoryview, pos: int) -> tuple[Any, int]:
         values, pos = _decode_value(buf, pos)
@@ -410,8 +432,8 @@ def _dataclass_codec(cls: type) -> tuple[_EncodeFn, _DecodeFn]:
     return encode, decode
 
 
-def _encode_hmac_key(value: Any) -> bytes:
-    return encode_value(value.key_bytes)
+def _encode_hmac_key(value: Any, out: bytearray) -> None:
+    _encode_value(value.key_bytes, out)
 
 
 def _decode_hmac_key(buf: memoryview, pos: int) -> tuple[Any, int]:
@@ -421,12 +443,51 @@ def _decode_hmac_key(buf: memoryview, pos: int) -> tuple[Any, int]:
     return HMACPublicKey(raw), pos
 
 
-def _encode_store(value: Any) -> bytes:
+def _encode_store(value: Any, out: bytearray) -> None:
     try:
         payload = value.snapshot_wire()
     except NotImplementedError as exc:
         raise CodecError(str(exc)) from None
-    return encode_value(payload)
+    _encode_value(payload, out)
+
+
+# A node re-sends the identical TraceContext on every frame of a traced
+# operation, and the obs-enabled hot path wraps *every* outgoing message
+# in a TraceCarrier (see ``SocketNetwork.transmit``).  Memoising the
+# context's encoded bytes turns the envelope's marginal cost into one
+# dict lookup plus the carried message's own encoding.  The memo is
+# bounded and keyed on the full field tuple, so the bytes are exactly
+# what the generic dataclass codec would produce.
+_TRACE_CTX_MEMO: dict[tuple[str, str, bool], bytes] = {}
+_TRACE_CTX_MEMO_MAX = 4096
+
+
+def _trace_context_payload(value: Any) -> bytes:
+    key = (value.trace_id, value.span_id, value.sampled)
+    cached = _TRACE_CTX_MEMO.get(key)
+    if cached is None:
+        buf = bytearray()
+        _encode_value(key, buf)
+        if len(_TRACE_CTX_MEMO) >= _TRACE_CTX_MEMO_MAX:
+            _TRACE_CTX_MEMO.clear()
+        cached = _TRACE_CTX_MEMO[key] = bytes(buf)
+    return cached
+
+
+def _encode_trace_context(value: Any, out: bytearray) -> None:
+    out += _trace_context_payload(value)
+
+
+def _encode_trace_carrier(value: Any, out: bytearray) -> None:
+    # Hand-rolled equivalent of the generic two-field dataclass encoding
+    # ((context, message) as a tuple), with the context's extension bytes
+    # served from the memo.
+    out.append(_T_TUPLE)
+    _append_varint(out, 2)
+    out.append(_T_EXT)
+    _append_varint(out, _BY_TYPE[TraceContext])
+    out += _trace_context_payload(value.context)
+    _encode_value(value.message, out)
 
 
 def _decode_store(buf: memoryview, pos: int) -> tuple[Any, int]:
@@ -451,12 +512,19 @@ def _iter_registrations() -> Iterator[tuple[int, type, _EncodeFn, _DecodeFn]]:
     # receives one of these rejects the frame (UnknownWireType ->
     # net_frames_rejected) and stays frame-aligned, per the
     # back-compat contract above.
-    yield (8, TraceContext, *_dataclass_codec(TraceContext))
-    yield (9, TraceCarrier, *_dataclass_codec(TraceCarrier))
+    yield (8, TraceContext, _encode_trace_context,
+           _dataclass_codec(TraceContext)[1])
+    yield (9, TraceCarrier, _encode_trace_carrier,
+           _dataclass_codec(TraceCarrier)[1])
     yield (10, ObsDumpRequest, *_dataclass_codec(ObsDumpRequest))
     yield (11, ObsDumpReply, *_dataclass_codec(ObsDumpReply))
     yield (12, ObsHealthRequest, *_dataclass_codec(ObsHealthRequest))
     yield (13, ObsHealthReply, *_dataclass_codec(ObsHealthReply))
+    # Batched hot path (PR 6): several messages coalesced into one frame
+    # by the pipelined sender.  Appended after the PR 5 carriers -- same
+    # back-compat contract: an older peer rejects the whole batch frame
+    # (UnknownWireType -> net_frames_rejected) and stays aligned.
+    yield (14, FrameBatch, *_dataclass_codec(FrameBatch))
     # Protocol messages: ids 32+, positional on WIRE_MESSAGE_TYPES.
     for offset, message_cls in enumerate(WIRE_MESSAGE_TYPES):
         yield (32 + offset, message_cls, *_dataclass_codec(message_cls))

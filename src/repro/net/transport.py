@@ -1,4 +1,4 @@
-"""Framed asyncio streams and the retrying connection pool.
+"""Framed asyncio streams and the pipelined, retrying connection pool.
 
 One :class:`ConnectionPool` serves one node: the protocol core calls the
 synchronous ``send(dst_id, message)`` (via the
@@ -9,6 +9,14 @@ re-dialling when the connection dies, and dropping a frame only after
 its retry budget is spent (the protocol layer already tolerates loss:
 clients retry reads, masters re-send keep-alives).
 
+The sender is *pipelined*: each wakeup drains the whole pending queue
+(up to ``max_batch``) and ships the backlog with one write and one
+drain, coalescing multiple messages into a single
+:class:`~repro.net.codec.FrameBatch` wire frame.  Per-peer FIFO order
+is preserved -- messages leave in queue order and a batch is unpacked
+in order on the receiving side.  Connections are opened with
+``TCP_NODELAY`` so a coalesced flush is not re-buffered by Nagle.
+
 Every socket operation is wrapped in a timeout; a hung peer costs a
 ``net_timeouts`` tick and a reconnect, never a wedged sender.
 """
@@ -17,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import random
+import socket
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -24,6 +33,7 @@ from repro.metrics import MetricsRegistry
 from repro.net import codec
 from repro.net.errors import (
     CodecError,
+    FrameTooLarge,
     HandshakeError,
     TransportError,
     TruncatedFrame,
@@ -131,7 +141,10 @@ class ConnectionPool:
                  metrics: MetricsRegistry, rng: random.Random,
                  retry: RetryPolicy | None = None,
                  connect_timeout: float = 2.0,
-                 io_timeout: float = 5.0) -> None:
+                 io_timeout: float = 5.0,
+                 max_batch: int = 64) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.node_id = node_id
         self.peers = peers
         self.metrics = metrics
@@ -139,6 +152,9 @@ class ConnectionPool:
         self.retry = retry or RetryPolicy()
         self.connect_timeout = connect_timeout
         self.io_timeout = io_timeout
+        #: Most messages one sender wakeup coalesces into a single wire
+        #: write (1 disables batching entirely).
+        self.max_batch = max_batch
         self._peers: dict[str, _Peer] = {}
         self._closed = False
 
@@ -188,7 +204,14 @@ class ConnectionPool:
 
     async def _sender(self, dst_id: str, peer: _Peer) -> None:
         while not self._closed:
-            message = await peer.queue.get()
+            # Pipelined drain: take everything queued since the last
+            # wakeup (bounded by max_batch) and ship it in one flush.
+            batch = [await peer.queue.get()]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(peer.queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
             delivered = False
             for attempt in range(self.retry.max_attempts):
                 if self._closed:
@@ -196,7 +219,7 @@ class ConnectionPool:
                 try:
                     if peer.writer is None:
                         _reader, peer.writer = await self._connect(dst_id)
-                    size = await self._transmit(dst_id, peer, message)
+                    size = await self._transmit_batch(dst_id, peer, batch)
                 except (ConnectionError, OSError, asyncio.TimeoutError,
                         TransportError) as exc:
                     if isinstance(exc, asyncio.TimeoutError):
@@ -209,20 +232,73 @@ class ConnectionPool:
                         await asyncio.sleep(
                             self.retry.delay(attempt, self.rng))
                     continue
-                self.metrics.incr("net_frames_sent")
+                # "Frames" are protocol messages: the counters see the
+                # same traffic whether or not the wire coalesced them.
+                self.metrics.incr("net_frames_sent", len(batch))
                 self.metrics.incr("net_bytes_sent", size)
                 delivered = True
                 break
             if not delivered:
                 self._teardown(peer)
-                self._drop(dst_id, "retries_exhausted")
+                for _message in batch:
+                    self._drop(dst_id, "retries_exhausted")
+
+    async def _transmit_batch(self, dst_id: str, peer: _Peer,
+                              messages: list[Any]) -> int:
+        """Flush one queue drain's worth of messages; returns total bytes.
+
+        The whole backlog goes out as a single
+        :class:`~repro.net.codec.FrameBatch` frame -- one header, one
+        ``write``, one drain -- falling back to individually framed
+        messages in the same write when the coalesced body would exceed
+        ``MAX_FRAME_BYTES`` (e.g. several store snapshots back to back).
+
+        Pools that override the per-message :meth:`_transmit` seam
+        (:mod:`repro.chaos`) are detected and fed one message at a time
+        in queue order, so per-frame fault decisions and byte-level
+        corruption keep their exact (seed, link, frame-index) meaning.
+        """
+        if type(self)._transmit is not ConnectionPool._transmit:
+            total = 0
+            for message in messages:
+                total += await self._transmit(dst_id, peer, message)
+            return total
+        if len(messages) == 1:
+            payload = codec.encode_frame(messages[0])
+        else:
+            try:
+                payload = codec.encode_frame(
+                    codec.FrameBatch(messages=tuple(messages)))
+                self.metrics.incr("net_batches_sent")
+            except FrameTooLarge:
+                payload = b"".join(codec.encode_frame(m) for m in messages)
+        assert peer.writer is not None
+        peer.writer.write(payload)
+        await self._drain(peer.writer)
+        return len(payload)
+
+    async def _drain(self, writer: asyncio.StreamWriter) -> None:
+        """Await the writer's flow control, bounded by ``io_timeout``.
+
+        When the transport has already flushed everything (the common
+        localhost case) ``drain()`` is a no-op, so the ``wait_for`` task
+        machinery is skipped entirely.  A closing transport still goes
+        through ``drain()`` to surface the connection error.
+        """
+        transport = writer.transport
+        if (transport is not None and not transport.is_closing()
+                and transport.get_write_buffer_size() == 0):
+            return
+        await asyncio.wait_for(writer.drain(), self.io_timeout)
 
     async def _transmit(self, dst_id: str, peer: _Peer, message: Any) -> int:
         """Write one frame on an established connection; returns its size.
 
-        Split out of :meth:`_sender` as the single seam where bytes leave
-        this node, so fault-injecting pools (:mod:`repro.chaos`) can
-        corrupt or throttle the frame without touching retry logic.
+        The single seam where an *individual* message's bytes leave this
+        node, so fault-injecting pools (:mod:`repro.chaos`) can corrupt
+        or throttle the frame without touching retry logic.  Overriding
+        it opts the pool out of wire-level coalescing (see
+        :meth:`_transmit_batch`).
         """
         assert peer.writer is not None
         return await write_frame(peer.writer, message, self.io_timeout)
@@ -237,6 +313,11 @@ class ConnectionPool:
         except (ConnectionError, OSError, asyncio.TimeoutError):
             self.metrics.incr("net_connect_failures")
             raise
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            # A pipelined flush is already one syscall; Nagle would only
+            # re-buffer it behind unacked data and add RTTs of latency.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         try:
             await write_frame(writer, codec.NetHello(node_id=self.node_id),
                               self.io_timeout)

@@ -159,6 +159,10 @@ EXAMPLES: dict[type, object] = {
     ObsHealthReply: ObsHealthReply(
         node_id="master-00", now=4.5, spans_buffered=7, spans_dropped=0,
         contexts_received=12, events_processed=99),
+    codec.FrameBatch: codec.FrameBatch(
+        messages=(m.KeepAlive(stamp=STAMP),
+                  m.ReadReply(request_id="r-1", result={"value": 7},
+                              pledge=PLEDGE, in_sync=True))),
 }
 
 
@@ -229,7 +233,8 @@ class TestRegisteredTypes:
                           7: "ContentStore",
                           8: "TraceContext", 9: "TraceCarrier",
                           10: "ObsDumpRequest", 11: "ObsDumpReply",
-                          12: "ObsHealthRequest", 13: "ObsHealthReply"}
+                          12: "ObsHealthRequest", 13: "ObsHealthReply",
+                          14: "FrameBatch"}
         table = registered_wire_types()
         assert {k: v for k, v in table.items() if k < 32} == expected_infra
         for offset, cls in enumerate(m.WIRE_MESSAGE_TYPES):
