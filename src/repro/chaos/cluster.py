@@ -105,14 +105,16 @@ class ChaosCluster(LocalCluster):
         return self._loop.time() - start
 
     async def aclose(self) -> None:
-        for task in self._fault_tasks:
+        # Take the task list before awaiting: a concurrent aclose (or a
+        # fault script appending) must not see half-drained state.
+        tasks, self._fault_tasks = self._fault_tasks, []
+        for task in tasks:
             task.cancel()
-        for task in self._fault_tasks:
+        for task in tasks:
             try:
                 await task
             except (asyncio.CancelledError, Exception):
                 pass
-        self._fault_tasks.clear()
         await super().aclose()
 
 

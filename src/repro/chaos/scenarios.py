@@ -128,14 +128,16 @@ class ReadLoad:
             pass
 
     async def stop(self) -> None:
-        for task in self._tasks:
+        # Take the task list before awaiting so a concurrent stop()
+        # cannot re-cancel or re-await half-drained tasks.
+        tasks, self._tasks = self._tasks, []
+        for task in tasks:
             task.cancel()
-        for task in self._tasks:
+        for task in tasks:
             try:
                 await task
             except asyncio.CancelledError:
                 pass
-        self._tasks.clear()
 
     def max_gap(self, start: float, end: float) -> float:
         """Longest stretch inside [start, end] with no accepted read."""
@@ -283,10 +285,12 @@ async def master_crash(seed: int = 0) -> ScenarioVerdict:
 
         # 3. Client reassignment: writes from the dead master's clients
         # time out and re-home them (Section 3.5's re-setup path).
-        for index, client in enumerate(stranded):
+        rehome_tasks = [
             asyncio.get_running_loop().create_task(
                 cluster.write(client, KVPut(key=f"re{index}", value="x"),
                               timeout=14.0))
+            for index, client in enumerate(stranded)
+        ]
         try:
             await cluster.wait_for(
                 lambda: all(c.ready and c.master_id is not None
@@ -295,6 +299,16 @@ async def master_crash(seed: int = 0) -> ScenarioVerdict:
                 timeout=12.0, what="client reassignment")
         except TimeoutError:
             pass
+        finally:
+            # The probe writes only exist to trigger re-homing; reap
+            # them so no orphan task outlives the scenario.
+            for task in rehome_tasks:
+                task.cancel()
+            for task in rehome_tasks:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
         still_stranded = [c.node_id for c in cluster.clients
                           if not c.ready or c.master_id == victim]
         checks.append(_check(

@@ -25,6 +25,7 @@ import argparse
 import json
 import random
 import sys
+from pathlib import Path
 from typing import Any, Sequence
 
 from repro.content.filesystem import FSGrep, FSRead, MemoryFileSystem
@@ -240,6 +241,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="directory for spans.jsonl, trace.json, "
                           "metrics.prom and report.json")
     obs.add_argument("--settle", type=float, default=1.0)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run protolint (the protocol-invariant linter) over the "
+             "repository; extra arguments pass through, e.g. "
+             "`repro-sim lint -- --format sarif src/`")
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to protolint (default: "
+                           "lint src/ tools/ benchmarks/ examples/ of "
+                           "the enclosing repository)")
     return parser
 
 
@@ -526,6 +537,37 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Alias for ``python -m tools.protolint``: ships the linter with
+    the installed package.
+
+    ``tools/`` is repository tooling rather than part of the ``repro``
+    wheel, so locate it relative to a checkout: walk up from the CWD
+    (and from this file, for editable installs) until a directory
+    containing ``tools/protolint`` appears, put it on ``sys.path`` and
+    delegate.  Default paths lint the whole checkout.
+    """
+    candidates = [Path.cwd(), *Path.cwd().parents,
+                  Path(__file__).resolve(), *Path(__file__).resolve().parents]
+    root = next((base for base in candidates
+                 if (base / "tools" / "protolint" / "cli.py").is_file()),
+                None)
+    if root is None:
+        print("repro-sim lint: no tools/protolint found above the current "
+              "directory; run from a repository checkout", file=sys.stderr)
+        return 2
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+    from tools.protolint.cli import main as protolint_main
+
+    forwarded = [arg for arg in args.lint_args if arg != "--"]
+    if not forwarded:
+        forwarded = [str(root / part)
+                     for part in ("src", "tools", "benchmarks", "examples")
+                     if (root / part).is_dir()]
+    return protolint_main(forwarded)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -538,6 +580,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return cmd_chaos(args)
     if args.command == "obs":
         return cmd_obs(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -285,10 +285,12 @@ class NodeServer:
         Keeps ``self.port`` so :meth:`resume` can rebind the same
         endpoint -- peers redial the address they already know.
         """
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        # Swap-then-await: a concurrent suspend/aclose interleaving at
+        # wait_closed() must see the listener already relinquished.
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         self.abort_connections()
 
     async def resume(self) -> tuple[str, int]:
@@ -298,8 +300,8 @@ class NodeServer:
         return await self.start(self.host, self.port)
 
     async def aclose(self) -> None:
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         self.abort_connections()

@@ -338,10 +338,17 @@ class ConnectionPool:
     # -- lifecycle ---------------------------------------------------------
 
     async def aclose(self) -> None:
-        """Cancel sender tasks and abort live connections."""
+        """Cancel sender tasks and abort live connections.
+
+        Takes ownership of the peer map *before* the first await: a
+        concurrent ``aclose``/``send`` interleaving at the await would
+        otherwise see (and re-teardown, or repopulate) peers this call
+        is still draining.
+        """
         self._closed = True
+        peers, self._peers = self._peers, {}
         tasks = []
-        for peer in self._peers.values():
+        for peer in peers.values():
             if peer.task is not None:
                 peer.task.cancel()
                 tasks.append(peer.task)
@@ -353,7 +360,6 @@ class ConnectionPool:
                 pass
             except Exception:
                 pass
-        self._peers.clear()
 
 
 __all__ = [

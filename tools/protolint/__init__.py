@@ -16,12 +16,30 @@ Hosts", HotOS 2003) rests on invariants the type system cannot see:
 * plus two general hygiene rules: no mutable default arguments (PL005)
   and no references to nonexistent ``ProtocolConfig`` fields (PL006).
 
+v2 adds three project-wide, flow-aware families on top of a multi-file
+project model (:mod:`tools.protolint.project`):
+
+* **PL1xx async-atomicity** -- read-modify-write on shared ``self.*``
+  state straddling an ``await`` without a held lock (PL101), blocking
+  calls inside coroutines (PL102), un-retained ``asyncio.create_task``
+  results (PL103), and ``.acquire()`` outside ``async with`` (PL104);
+* **PL2xx wire-registry drift** -- the codec's append-only id registry
+  and every wire dataclass's init-field order are checked against the
+  committed golden lockfile ``tools/protolint/wire_registry.lock``
+  (PL201), and frozen dataclasses in the messages module must be listed
+  in ``WIRE_MESSAGE_TYPES`` (PL202);
+* **PL3xx trust-boundary taint** -- payloads arriving from untrusted
+  peers must pass scheme-dispatch ``verify``/``verify_many`` or
+  ``constant_time_equals`` before reaching acceptance sinks (PL301).
+
 ``protolint`` machine-checks those invariants on every commit.  It is
 pure stdlib (``ast`` + ``tokenize``) so it runs anywhere the tests run.
 
 Usage::
 
-    python -m tools.protolint src/ benchmarks/ examples/
+    python -m tools.protolint src/ tools/ benchmarks/ examples/
+    python -m tools.protolint --format sarif src/ > protolint.sarif
+    python -m tools.protolint --update-lock src/
     python -m tools.protolint --list-rules
     python -m tools.protolint --explain PL002
 
@@ -40,19 +58,30 @@ from tools.protolint.engine import (
     ProjectContext,
     lint_paths,
     lint_source,
+    lint_sources,
 )
-from tools.protolint.registry import REGISTRY, Rule, Violation, register
+from tools.protolint.project import ProjectModel
+from tools.protolint.registry import (
+    REGISTRY,
+    ProjectRule,
+    Rule,
+    Violation,
+    register,
+)
 
 __all__ = [
     "FileContext",
     "LintResult",
     "ProjectContext",
+    "ProjectModel",
+    "ProjectRule",
     "REGISTRY",
     "Rule",
     "Violation",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "register",
 ]
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"

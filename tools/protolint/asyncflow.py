@@ -1,0 +1,201 @@
+"""Await-aware control-flow summaries for the PL1xx async rules.
+
+The PL1xx family reasons about *interleaving points*: every ``await``
+is a place where the event loop may run arbitrary other coroutines, so
+any read-modify-write on shared ``self.*`` state that straddles one is
+a race unless a lock is held across it.  This module linearises a
+coroutine body into an ordered stream of :class:`Event` records --
+``read``/``write`` of ``self.<attr>`` and ``await`` points, each tagged
+with whether a lock is held lexically at that point.
+
+The linearisation is deliberately simple: branches of ``if``/``try``
+are concatenated in source order and loop back-edges are ignored.  That
+is exactly the right precision for lint -- the races this catches
+(guard-check before an await, mutation after) are straight-line in
+practice, and the approximation never *invents* an ordering that no
+execution exhibits within one pass through the body.
+
+Evaluation-order details that matter and are modelled:
+
+* ``Assign`` evaluates the value (which may ``await``) before binding
+  the targets, so ``self.x = await f()`` is read-free but
+  ``self.x = f(self.x)`` after an await pairs with an earlier read;
+* ``AugAssign`` on ``self.x`` is a read *and* a write;
+* a mutating method call (``self._peers.clear()``, ``.append`` ...) is
+  a *write* to the receiver attribute, not a read;
+* ``async with`` awaits on entry (before the lock is held) and exit;
+  awaits lexically inside an ``async with <...lock...>:`` body are not
+  interleaving points for state guarded by that lock.
+
+Nested function definitions and lambdas are opaque: they execute on
+their own schedule and are analysed separately if they are coroutines.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from tools.protolint.names import terminal_name
+
+#: Method names that mutate their receiver in place.  A call like
+#: ``self._peers.clear()`` is a *write* to ``self._peers``.  Queue ops
+#: (``put_nowait`` ...) are deliberately absent: ``asyncio.Queue`` is
+#: safe to share across interleaving points by design.
+MUTATING_METHODS = frozenset({
+    "append", "appendleft", "add", "discard", "remove", "clear",
+    "update", "pop", "popleft", "popitem", "setdefault", "extend",
+    "insert", "sort", "reverse",
+})
+
+
+@dataclass(slots=True)
+class Event:
+    """One step in a coroutine's linearised execution."""
+
+    kind: str  # "read" | "write" | "await"
+    attr: str | None  # the self.<attr> name for read/write, else None
+    node: ast.AST  # anchor for line/col reporting
+    locked: bool  # a lock-ish context is held lexically here
+
+
+def self_attr(node: ast.expr) -> str | None:
+    """``self.<attr>`` -> ``attr``; anything else -> ``None``."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def is_lockish(expr: ast.expr) -> bool:
+    """Whether a with-item context expression looks like a lock.
+
+    Name-based on purpose: ``self._lock``, ``self._send_lock``,
+    ``state_lock`` all qualify; a session or connection context does
+    not.  Conditions and semaphores guard *admission*, not state
+    atomicity, so they do not count.
+    """
+    name = terminal_name(expr)
+    if name is None and isinstance(expr, ast.Call):
+        name = terminal_name(expr.func)
+    return name is not None and "lock" in name.lower()
+
+
+def iter_async_functions(
+    tree: ast.AST,
+) -> Iterator[ast.AsyncFunctionDef]:
+    """Every ``async def`` in the file, however nested."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield node
+
+
+def coroutine_events(fn: ast.AsyncFunctionDef) -> list[Event]:
+    """Linearise one coroutine body into ordered events."""
+    return list(_stmts(fn.body, locked=False))
+
+
+def _stmts(stmts: list[ast.stmt], locked: bool) -> Iterator[Event]:
+    for stmt in stmts:
+        yield from _stmt(stmt, locked)
+
+
+def _stmt(stmt: ast.stmt, locked: bool) -> Iterator[Event]:
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return  # opaque: runs on its own schedule
+    if isinstance(stmt, ast.Assign):
+        yield from _expr(stmt.value, locked)
+        for target in stmt.targets:
+            yield from _expr(target, locked)
+        return
+    if isinstance(stmt, ast.AnnAssign):
+        if stmt.value is not None:
+            yield from _expr(stmt.value, locked)
+        yield from _expr(stmt.target, locked)
+        return
+    if isinstance(stmt, ast.AugAssign):
+        attr = self_attr(stmt.target)
+        if attr is not None:
+            yield Event("read", attr, stmt.target, locked)
+        yield from _expr(stmt.value, locked)
+        if attr is not None:
+            yield Event("write", attr, stmt, locked)
+        else:
+            yield from _expr(stmt.target, locked)
+        return
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        holds_lock = any(is_lockish(item.context_expr)
+                         for item in stmt.items)
+        for item in stmt.items:
+            yield from _expr(item.context_expr, locked)
+        if isinstance(stmt, ast.AsyncWith):
+            # __aenter__ awaits *before* the lock is held.
+            yield Event("await", None, stmt, locked)
+        yield from _stmts(stmt.body, locked or holds_lock)
+        if isinstance(stmt, ast.AsyncWith):
+            yield Event("await", None, stmt, locked)  # __aexit__
+        return
+    if isinstance(stmt, ast.AsyncFor):
+        yield from _expr(stmt.iter, locked)
+        yield Event("await", None, stmt, locked)  # each __anext__
+        yield from _expr(stmt.target, locked)
+        yield from _stmts(stmt.body, locked)
+        yield from _stmts(stmt.orelse, locked)
+        return
+    # Generic statements: children in field order approximates source
+    # order (If: test/body/orelse; Try: body/handlers/orelse/final).
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.stmt):
+            yield from _stmt(child, locked)
+        elif isinstance(child, ast.excepthandler):
+            yield from _stmts(child.body, locked)
+        else:
+            yield from _expr(child, locked)
+
+
+def _expr(node: ast.AST, locked: bool) -> Iterator[Event]:
+    if isinstance(node, (ast.Lambda, ast.FunctionDef,
+                         ast.AsyncFunctionDef)):
+        return
+    if isinstance(node, ast.Await):
+        yield from _expr(node.value, locked)
+        yield Event("await", None, node, locked)
+        return
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+            and node.func.attr in MUTATING_METHODS:
+        receiver = self_attr(node.func.value)
+        if receiver is not None:
+            for arg in node.args:
+                yield from _expr(arg, locked)
+            for kw in node.keywords:
+                yield from _expr(kw.value, locked)
+            yield Event("write", receiver, node, locked)
+            return
+    if isinstance(node, ast.Attribute):
+        attr = self_attr(node)
+        if attr is not None:
+            kind = ("write" if isinstance(node.ctx, (ast.Store, ast.Del))
+                    else "read")
+            yield Event(kind, attr, node, locked)
+            return
+    if isinstance(node, ast.Subscript) \
+            and isinstance(node.ctx, (ast.Store, ast.Del)):
+        attr = self_attr(node.value)
+        if attr is not None:
+            yield from _expr(node.slice, locked)
+            yield Event("write", attr, node, locked)
+            return
+    for child in ast.iter_child_nodes(node):
+        yield from _expr(child, locked)
+
+
+__all__ = [
+    "Event",
+    "MUTATING_METHODS",
+    "coroutine_events",
+    "is_lockish",
+    "iter_async_functions",
+    "self_attr",
+]

@@ -1,15 +1,36 @@
 """Command-line interface: ``python -m tools.protolint <paths...>``.
 
 Exit codes: 0 clean, 1 violations found, 2 usage or parse errors.
+
+Beyond linting, two maintenance flows live here:
+
+* ``--update-lock src/`` regenerates the committed wire-registry
+  lockfile from the live codec (the only sanctioned way to record an
+  intentional, append-only wire addition);
+* ``--write-baseline FILE`` records the current findings as a baseline
+  that later runs subtract with ``--baseline FILE``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
-from tools.protolint.engine import lint_paths
+from tools.protolint.engine import (
+    ProjectContext,
+    discover_files,
+    lint_paths,
+)
+from tools.protolint.output import (
+    apply_baseline,
+    parse_baseline,
+    render_baseline,
+    render_github,
+    render_sarif,
+    render_text,
+)
 from tools.protolint.registry import REGISTRY, all_rules
 
 
@@ -26,6 +47,20 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: all)")
     parser.add_argument("--ignore", metavar="CODES",
                         help="comma-separated rule codes to skip")
+    parser.add_argument("--format", dest="format", default="text",
+                        choices=("text", "sarif", "github"),
+                        help="violation output format (default: text; "
+                             "sarif for code-scanning upload, github "
+                             "for inline Actions annotations)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="subtract known findings recorded in FILE "
+                             "before reporting")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="record current findings to FILE and exit 0")
+    parser.add_argument("--update-lock", action="store_true",
+                        help="regenerate tools/protolint/"
+                             "wire_registry.lock from the codec in the "
+                             "given paths (append-only additions only)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print every registered rule and exit")
     parser.add_argument("--explain", metavar="CODE",
@@ -37,6 +72,52 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _parse_codes(raw: str) -> set[str]:
     return {code.strip().upper() for code in raw.split(",") if code.strip()}
+
+
+def _update_lock(paths: Sequence[str]) -> int:
+    """Regenerate the wire-registry lockfile from the live tree."""
+    import ast as _ast
+
+    from tools.protolint.project import ProjectModel
+    from tools.protolint.wirelock import (
+        UNRESOLVED,
+        extract_registry,
+        format_lock,
+    )
+
+    anchor = Path(paths[0]) if paths else Path.cwd()
+    project = ProjectContext.discover(
+        anchor if anchor.is_dir() else anchor.parent)
+    model = ProjectModel()
+    for file_path in discover_files(paths):
+        try:
+            model.add(str(file_path).replace("\\", "/"),
+                      _ast.parse(file_path.read_text(encoding="utf-8")))
+        except (OSError, UnicodeDecodeError, SyntaxError):
+            continue  # lint proper reports these; the lock needs the codec
+    extraction = extract_registry(model)
+    if extraction is None:
+        print("--update-lock: no codec module (_iter_registrations) in "
+              "the given paths; run against src/", file=sys.stderr)
+        return 2
+    unresolved = [e for e in extraction.entries if e.fields == UNRESOLVED]
+    if unresolved or extraction.problems:
+        for message, path, lineno in extraction.problems:
+            print(f"{path}:{lineno}: {message}", file=sys.stderr)
+        for entry in unresolved:
+            print(f"--update-lock: cannot resolve fields of "
+                  f"{entry.type_name} (wire id {entry.wire_id}); include "
+                  "its defining module in the paths", file=sys.stderr)
+        return 2
+    if project.repo_root is None:
+        print("--update-lock: repository root not found (no "
+              "src/repro/core/config.py above the given paths)",
+              file=sys.stderr)
+        return 2
+    lock_path = project.repo_root / ProjectContext.WIRE_LOCK_RELPATH
+    lock_path.write_text(format_lock(extraction.entries), encoding="utf-8")
+    print(f"wrote {len(extraction.entries)} wire ids to {lock_path}")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -62,7 +143,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if not args.paths:
-        parser.error("no paths given (try: src/ benchmarks/ examples/)")
+        parser.error("no paths given (try: src/ tools/ benchmarks/)")
+
+    if args.update_lock:
+        return _update_lock(args.paths)
 
     if args.select:
         selected = _parse_codes(args.select)
@@ -75,19 +159,47 @@ def main(argv: Sequence[str] | None = None) -> int:
         rules = [rule for rule in rules if rule.code not in ignored]
 
     result = lint_paths(args.paths, rules=rules)
-    for violation in result.violations:
-        print(violation.render())
+    violations = result.violations
+
+    if args.baseline:
+        try:
+            baseline_text = Path(args.baseline).read_text(encoding="utf-8")
+        except OSError as exc:
+            print(f"--baseline: {exc}", file=sys.stderr)
+            return 2
+        baseline = parse_baseline(baseline_text)
+        if baseline is None:
+            print(f"--baseline: {args.baseline} is not a valid baseline "
+                  "file", file=sys.stderr)
+            return 2
+        violations = apply_baseline(violations, baseline)
+
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(
+            render_baseline(violations), encoding="utf-8")
+        print(f"wrote {len(violations)} finding(s) to "
+              f"{args.write_baseline}", file=sys.stderr)
+        return 0
+
+    if args.format == "sarif":
+        from tools.protolint import __version__
+        print(render_sarif(violations, __version__))
+    elif args.format == "github":
+        if violations:
+            print(render_github(violations))
+    elif violations:
+        print(render_text(violations))
     for path, message in result.errors:
         print(f"{path}: error: {message}", file=sys.stderr)
     if not args.quiet:
-        status = "clean" if result.ok else (
-            f"{len(result.violations)} violation(s), "
+        status = "clean" if not violations and not result.errors else (
+            f"{len(violations)} violation(s), "
             f"{len(result.errors)} error(s)")
         print(f"protolint: {result.files_checked} file(s) checked: {status}",
               file=sys.stderr)
     if result.errors:
         return 2
-    return 1 if result.violations else 0
+    return 1 if violations else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

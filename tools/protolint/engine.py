@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
 from typing import Iterable, Iterator, Sequence
 
-from tools.protolint.registry import Rule, Violation, all_rules
+from tools.protolint.project import ProjectModel
+from tools.protolint.registry import ProjectRule, Rule, Violation, all_rules
 
 #: Matches ``# protolint: disable=PL001,PL002`` (and the -file / -next-line
 #: variants).  ``all`` suppresses every rule.
@@ -99,9 +100,18 @@ class ProjectContext:
     config_methods: frozenset[str] = frozenset()
     rule_scopes: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = field(
         default_factory=dict)
+    #: Repo base directory, when discovery found one (the directory
+    #: containing ``src/repro/core/config.py``).  Cross-file rules use
+    #: it to locate committed artefacts such as the wire-registry lock.
+    repo_root: Path | None = None
+    #: Raw text of ``tools/protolint/wire_registry.lock`` (``None`` when
+    #: absent -- PL201 then reports the lock as missing rather than
+    #: silently passing).
+    wire_lock_text: str | None = None
 
     CONFIG_RELPATH = PurePosixPath("src/repro/core/config.py")
     CONFIG_CLASS = "ProtocolConfig"
+    WIRE_LOCK_RELPATH = PurePosixPath("tools/protolint/wire_registry.lock")
 
     @classmethod
     def discover(cls, anchor: Path) -> "ProjectContext":
@@ -119,10 +129,15 @@ class ProjectContext:
             if config_path.is_file():
                 project = cls.from_config_source(
                     config_path.read_text(encoding="utf-8"))
+                project.repo_root = base
                 pyproject = base / "pyproject.toml"
                 if pyproject.is_file():
                     project.rule_scopes = parse_scope_config(
                         pyproject.read_text(encoding="utf-8"))
+                lock_path = base / cls.WIRE_LOCK_RELPATH
+                if lock_path.is_file():
+                    project.wire_lock_text = lock_path.read_text(
+                        encoding="utf-8")
                 return project
         return cls()
 
@@ -192,6 +207,9 @@ class FileContext:
     source: str
     tree: ast.Module
     project: ProjectContext
+    #: This file's entry in the run's :class:`ProjectModel` (``None``
+    #: only in degenerate single-rule unit tests).
+    module: "object | None" = None
 
 
 @dataclass(slots=True)
@@ -213,23 +231,84 @@ def lint_source(source: str, path: str,
                 rules: Sequence[Rule] | None = None) -> list[Violation]:
     """Lint one in-memory source blob as if it lived at ``path``.
 
-    This is the entry point the fixture tests use: the ``path`` decides
-    which scoped rules fire, no filesystem access happens.
+    This is the entry point single-file fixture tests use: the ``path``
+    decides which scoped rules fire, no filesystem access happens.
+    Runs the full two-phase pipeline over a one-file project, so
+    cross-file rules see a model containing just this file.
+    ``SyntaxError`` propagates to the caller.
     """
-    posix_path = PurePosixPath(path).as_posix()
-    tree = ast.parse(source)  # SyntaxError propagates to the caller
-    suppressions = parse_suppressions(source)
-    ctx = FileContext(path=posix_path, source=source, tree=tree,
-                      project=project or ProjectContext())
-    found: list[Violation] = []
-    for rule in (all_rules() if rules is None else rules):
-        if not rule.applies_to(posix_path, ctx.project):
+    result = lint_sources([(path, source)], project=project, rules=rules)
+    if result.errors:
+        raise SyntaxError(result.errors[0][1])
+    return result.violations
+
+
+def lint_sources(sources: Sequence[tuple[str, str]],
+                 project: ProjectContext | None = None,
+                 rules: Sequence[Rule] | None = None) -> LintResult:
+    """Lint several in-memory ``(path, source)`` blobs as one project.
+
+    The multi-file twin of :func:`lint_source` and the entry point for
+    cross-file fixture tests: all files are parsed into one
+    :class:`ProjectModel`, so registry-drift and taint rules can resolve
+    imports between the fixtures exactly as they would on disk.
+    """
+    parsed: list[tuple[str, str, ast.Module, Suppressions]] = []
+    result = LintResult()
+    for path, source in sources:
+        posix_path = PurePosixPath(path).as_posix()
+        result.files_checked += 1
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            result.errors.append(
+                (posix_path,
+                 f"syntax error: {exc.msg} (line {exc.lineno})"))
             continue
-        for violation in rule.check(ctx):
-            if not suppressions.is_suppressed(violation):
-                found.append(violation)
-    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
-    return found
+        parsed.append((posix_path, source, tree, parse_suppressions(source)))
+    _run_rules(parsed, project or ProjectContext(), rules, result)
+    return result
+
+
+def _run_rules(parsed: Sequence[tuple[str, str, ast.Module, Suppressions]],
+               project: ProjectContext,
+               rules: Sequence[Rule] | None,
+               result: LintResult) -> None:
+    """Drive both phases over pre-parsed files, appending to ``result``.
+
+    Phase 1 builds the project model and runs every per-file rule (plus
+    ``collect`` for project rules); phase 2 runs each project rule's
+    ``finalize`` over the complete model.  Suppression comments are
+    honoured per anchored file in both phases.
+    """
+    active = list(all_rules() if rules is None else rules)
+    model = ProjectModel()
+    contexts: dict[str, FileContext] = {}
+    suppressions: dict[str, Suppressions] = {}
+    for path, source, tree, suppressed in parsed:
+        module = model.add(path, tree)
+        contexts[path] = FileContext(path=path, source=source, tree=tree,
+                                     project=project, module=module)
+        suppressions[path] = suppressed
+    project_rules = [rule for rule in active
+                     if isinstance(rule, ProjectRule)]
+    for rule in project_rules:
+        rule.reset(project)
+    for path, ctx in contexts.items():
+        for rule in active:
+            if not rule.applies_to(path, project):
+                continue
+            if isinstance(rule, ProjectRule):
+                rule.collect(ctx)
+            for violation in rule.check(ctx):
+                if not suppressions[path].is_suppressed(violation):
+                    result.violations.append(violation)
+    for rule in project_rules:
+        for violation in rule.finalize(model):
+            suppressed = suppressions.get(violation.path)
+            if suppressed is None or not suppressed.is_suppressed(violation):
+                result.violations.append(violation)
+    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
 
 
 def discover_files(paths: Iterable[str]) -> Iterator[Path]:
@@ -253,12 +332,19 @@ def discover_files(paths: Iterable[str]) -> Iterator[Path]:
 def lint_paths(paths: Sequence[str],
                rules: Sequence[Rule] | None = None,
                project: ProjectContext | None = None) -> LintResult:
-    """Lint files/directories; the workhorse behind the CLI."""
+    """Lint files/directories; the workhorse behind the CLI.
+
+    All discovered files are parsed into one shared project model before
+    any cross-file rule finalises, so e.g. the wire-registry check sees
+    ``net/codec.py`` and ``core/messages.py`` together no matter how the
+    paths were split on the command line.
+    """
     result = LintResult()
     if project is None:
         anchor = Path(paths[0]) if paths else Path.cwd()
         project = ProjectContext.discover(
             anchor if anchor.is_dir() else anchor.parent)
+    parsed: list[tuple[str, str, ast.Module, Suppressions]] = []
     for file_path in discover_files(paths):
         try:
             source = file_path.read_text(encoding="utf-8")
@@ -266,12 +352,14 @@ def lint_paths(paths: Sequence[str],
             result.errors.append((str(file_path), f"unreadable: {exc}"))
             continue
         result.files_checked += 1
+        posix_path = PurePosixPath(file_path).as_posix()
         try:
-            result.violations.extend(
-                lint_source(source, str(file_path), project=project,
-                            rules=rules))
+            tree = ast.parse(source)
         except SyntaxError as exc:
             result.errors.append(
-                (str(file_path), f"syntax error: {exc.msg} (line {exc.lineno})"))
-    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+                (posix_path,
+                 f"syntax error: {exc.msg} (line {exc.lineno})"))
+            continue
+        parsed.append((posix_path, source, tree, parse_suppressions(source)))
+    _run_rules(parsed, project, rules, result)
     return result

@@ -1,0 +1,299 @@
+"""Project-wide model: every linted file parsed into one queryable graph.
+
+PR 2's protolint saw one file at a time, which is enough for local
+invariants (constant-time compares, dataclass shape) but blind to the
+properties that actually hold the concurrent socket stack together:
+wire-registry agreement between ``net/codec.py`` and
+``core/messages.py``, and taint flows whose sanitizers live in a
+different method than the sink.  :class:`ProjectModel` is the shared
+substrate for those cross-file rules: it parses each file once, derives
+a dotted module name, extracts class and function summaries, and
+resolves imported symbols back to their defining module.
+
+The model is deliberately *syntactic*: nothing is imported or executed,
+so linting hostile or broken code is safe and the linter stays pure
+stdlib.  Resolution is best-effort -- a symbol that cannot be resolved
+simply yields ``None`` and rules must treat that as "unknown", never as
+a violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+from tools.protolint.names import import_aliases, terminal_name
+
+#: Path parts that anchor a python package root: the dotted module name
+#: of ``a/b/src/repro/core/messages.py`` is ``repro.core.messages``.
+_SOURCE_ROOTS = ("src",)
+
+
+def module_name_for(path: str) -> str:
+    """Best-effort dotted module name for a posix file path.
+
+    Everything after the last ``src`` component is the module path; for
+    trees without a ``src`` layout (``tools/``, ``benchmarks/``) the
+    whole relative path is used.  ``__init__.py`` names the package
+    itself.  Lookups tolerate the inevitable imprecision via
+    :meth:`ProjectModel.module` suffix matching.
+    """
+    parts = list(PurePosixPath(path).parts)
+    if parts and parts[0] == "/":
+        parts = parts[1:]
+    for root in _SOURCE_ROOTS:
+        if root in parts:
+            parts = parts[len(parts) - parts[::-1].index(root):]
+            break
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass(slots=True)
+class ClassInfo:
+    """Static summary of one class definition."""
+
+    name: str
+    module: str
+    path: str
+    lineno: int
+    #: Whether a ``@dataclass``/``@dataclasses.dataclass`` decorator is
+    #: present (with or without call parentheses).
+    is_dataclass: bool = False
+    #: ``frozen=True`` / ``slots=True`` keywords on the decorator.
+    frozen: bool = False
+    slots: bool = False
+    #: Ordered ``__init__``-participating fields.  For dataclasses this
+    #: is the annotated fields minus ``field(init=False)`` entries --
+    #: exactly the tuple :func:`repro.net.codec._dataclass_codec` puts
+    #: on the wire.  For plain classes it is the ``__init__`` parameter
+    #: names (minus ``self``), the codec's hand-rolled equivalents.
+    init_fields: tuple[str, ...] = ()
+    #: Base-class expression names (terminal identifiers).
+    bases: tuple[str, ...] = ()
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    """Static summary of one function or method."""
+
+    qualname: str  # "Class.method" or "function"
+    module: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: Terminal names of every call made in the body (``x.verify(...)``
+    #: contributes ``verify``).  Receiver-insensitive on purpose: good
+    #: enough for closure computations, never authoritative on its own.
+    calls: frozenset[str] = frozenset()
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """One parsed file, viewed as a module."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    #: local name -> dotted origin, from :func:`names.import_aliases`.
+    aliases: dict[str, str] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Module-level ``NAME = (A, B, ...)`` tuple assignments whose
+    #: members are plain names -- how ``WIRE_MESSAGE_TYPES`` is spelt.
+    name_tuples: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+
+def _decorator_info(node: ast.ClassDef) -> tuple[bool, bool, bool]:
+    """(is_dataclass, frozen, slots) from the decorator list."""
+    for dec in node.decorator_list:
+        call_kwargs: list[ast.keyword] = []
+        target = dec
+        if isinstance(dec, ast.Call):
+            target = dec.func
+            call_kwargs = dec.keywords
+        if terminal_name(target) != "dataclass":
+            continue
+        frozen = slots = False
+        for kw in call_kwargs:
+            if isinstance(kw.value, ast.Constant) and kw.value.value is True:
+                if kw.arg == "frozen":
+                    frozen = True
+                elif kw.arg == "slots":
+                    slots = True
+        return True, frozen, slots
+    return False, False, False
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    return terminal_name(target) == "ClassVar"
+
+
+def _field_init_false(value: ast.expr | None) -> bool:
+    """Whether a field default is ``field(..., init=False)``."""
+    if not isinstance(value, ast.Call):
+        return False
+    if terminal_name(value.func) != "field":
+        return False
+    for kw in value.keywords:
+        if kw.arg == "init" and isinstance(kw.value, ast.Constant):
+            return kw.value.value is False
+    return False
+
+
+def _dataclass_init_fields(node: ast.ClassDef) -> tuple[str, ...]:
+    fields: list[str] = []
+    for stmt in node.body:
+        if not (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)):
+            continue
+        if _is_classvar(stmt.annotation):
+            continue
+        if _field_init_false(stmt.value):
+            continue
+        fields.append(stmt.target.id)
+    return tuple(fields)
+
+
+def _init_params(node: ast.ClassDef) -> tuple[str, ...]:
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and stmt.name == "__init__":
+            args = stmt.args
+            names = [a.arg for a in (*args.posonlyargs, *args.args)]
+            names.extend(a.arg for a in args.kwonlyargs)
+            return tuple(n for n in names if n != "self")
+    return ()
+
+
+def _class_info(node: ast.ClassDef, module: str, path: str) -> ClassInfo:
+    is_dc, frozen, slots = _decorator_info(node)
+    init_fields = (_dataclass_init_fields(node) if is_dc
+                   else _init_params(node))
+    bases = tuple(name for name in (terminal_name(b) for b in node.bases)
+                  if name is not None)
+    return ClassInfo(name=node.name, module=module, path=path,
+                     lineno=node.lineno, is_dataclass=is_dc, frozen=frozen,
+                     slots=slots, init_fields=init_fields, bases=bases)
+
+
+def _call_names(node: ast.AST) -> frozenset[str]:
+    names = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            name = terminal_name(sub.func)
+            if name is not None:
+                names.add(name)
+    return frozenset(names)
+
+
+def build_module(path: str, tree: ast.Module) -> ModuleInfo:
+    """Summarise one parsed file (module-level defs only, plus methods)."""
+    info = ModuleInfo(name=module_name_for(path), path=path, tree=tree,
+                      aliases=import_aliases(tree))
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            info.classes[stmt.name] = _class_info(stmt, info.name, path)
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{stmt.name}.{sub.name}"
+                    info.functions[qual] = FunctionInfo(
+                        qualname=qual, module=info.name, path=path,
+                        node=sub, calls=_call_names(sub))
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[stmt.name] = FunctionInfo(
+                qualname=stmt.name, module=info.name, path=path,
+                node=stmt, calls=_call_names(stmt))
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) \
+                and isinstance(stmt.value, ast.Tuple):
+            members = [terminal_name(el) for el in stmt.value.elts]
+            if members and all(m is not None for m in members):
+                info.name_tuples[stmt.targets[0].id] = tuple(
+                    m for m in members if m is not None)
+        elif isinstance(stmt, ast.AnnAssign) \
+                and isinstance(stmt.target, ast.Name) \
+                and isinstance(stmt.value, ast.Tuple):
+            members = [terminal_name(el) for el in stmt.value.elts]
+            if members and all(m is not None for m in members):
+                info.name_tuples[stmt.target.id] = tuple(
+                    m for m in members if m is not None)
+    return info
+
+
+class ProjectModel:
+    """All linted files, indexed for cross-file queries."""
+
+    def __init__(self) -> None:
+        self.by_path: dict[str, ModuleInfo] = {}
+        self.by_name: dict[str, ModuleInfo] = {}
+
+    def add(self, path: str, tree: ast.Module) -> ModuleInfo:
+        info = build_module(path, tree)
+        self.by_path[path] = info
+        self.by_name[info.name] = info
+        return info
+
+    def module(self, dotted: str) -> ModuleInfo | None:
+        """Find a module by dotted name, tolerating root imprecision.
+
+        Exact match first; then suffix match (``repro.core.messages``
+        finds a module recorded as ``core.messages`` and vice versa) --
+        unique suffix matches only, ambiguity resolves to ``None``.
+        """
+        hit = self.by_name.get(dotted)
+        if hit is not None:
+            return hit
+        candidates = [info for name, info in self.by_name.items()
+                      if name.endswith("." + dotted)
+                      or dotted.endswith("." + name)]
+        return candidates[0] if len(candidates) == 1 else None
+
+    def resolve_class(self, origin: ModuleInfo,
+                      name: str) -> ClassInfo | None:
+        """Resolve ``name`` as used inside ``origin`` to its ClassInfo.
+
+        Locally defined classes win; otherwise the import aliases give a
+        dotted target (``repro.crypto.certificates.Certificate``) whose
+        module part is looked up in the model.
+        """
+        local = origin.classes.get(name)
+        if local is not None:
+            return local
+        target = origin.aliases.get(name)
+        if target is None or "." not in target:
+            return None
+        module_part, _, class_part = target.rpartition(".")
+        module = self.module(module_part)
+        if module is None:
+            return None
+        return module.classes.get(class_part)
+
+    def functions(self) -> list[FunctionInfo]:
+        """Every function/method summary across the model."""
+        return [fn for info in self.by_path.values()
+                for fn in info.functions.values()]
+
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "build_module",
+    "module_name_for",
+]

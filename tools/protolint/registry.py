@@ -16,7 +16,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Type, TypeVar
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from tools.protolint.engine import FileContext
+    from tools.protolint.engine import FileContext, ProjectContext
+    from tools.protolint.project import ProjectModel
 
 
 @dataclass(frozen=True, slots=True)
@@ -103,6 +104,36 @@ class Rule:
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole project before it can judge any file.
+
+    The engine drives these in two phases: :meth:`collect` runs once per
+    in-scope file (gather facts, never emit), then :meth:`finalize` runs
+    once with the full :class:`~tools.protolint.project.ProjectModel`
+    and yields every violation.  Violations are still anchored at a
+    (path, line) and still honour that file's suppression comments, so
+    ``# protolint: disable`` works identically for cross-file findings.
+
+    Instances live in the registry across runs; the engine calls
+    :meth:`reset` before each run so collected state never leaks
+    between invocations.
+    """
+
+    def reset(self, project: "ProjectContext") -> None:
+        """Clear per-run state; called once before any collect()."""
+
+    def collect(self, ctx: "FileContext") -> None:
+        """Phase 1: record facts about one in-scope file."""
+
+    def finalize(self, model: "ProjectModel") -> Iterator[Violation]:
+        """Phase 2: judge the whole project; yield violations."""
+        return iter(())
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        """Project rules default to no per-file findings."""
+        return iter(())
 
 
 #: Live rule instances keyed by code (``PL001`` -> rule).

@@ -12,4 +12,11 @@ from tools.protolint.rules import (  # noqa: F401
     pl004_verify_dispatch,
     pl005_mutable_defaults,
     pl006_config_fields,
+    pl101_await_atomicity,
+    pl102_blocking_in_async,
+    pl103_untracked_task,
+    pl104_lock_discipline,
+    pl201_wire_lock,
+    pl202_unregistered_wire_type,
+    pl301_trust_boundary,
 )

@@ -1,0 +1,84 @@
+"""PL101: no read-modify-write on shared state across an ``await``.
+
+Invariant: every ``await`` hands the event loop to arbitrary other
+coroutines.  A coroutine that *reads* ``self.<attr>``, awaits, and then
+*writes* ``self.<attr>`` has decided its write from stale state -- the
+classic check-then-act race.  In this codebase the shared state is the
+socket stack's connection registries (``ConnectionPool._peers``,
+``NodeServer._server``), where the interleaving partner is a concurrent
+``dial``/``aclose``/``suspend`` on the same object, and losing the race
+leaks tasks or resurrects half-closed connections.
+
+Flags: within one coroutine, a read of ``self.X`` followed by an
+``await`` with no lock held, followed by a write to ``self.X`` (plain
+assignment, augmented assignment, subscript store, or an in-place
+mutator call such as ``.clear()`` / ``.append()``).
+
+Not flagged:
+
+* the write precedes the first await (swap-then-await: take ownership
+  of the state *before* yielding, e.g.
+  ``server, self._server = self._server, None`` then await on the
+  local);
+* the straddling ``await`` happens under ``async with self._lock:``
+  (or any context whose name contains ``lock``) -- the lock serialises
+  the interleaving partners;
+* a write with no await since the last read (the RMW completed
+  atomically, later blind writes are fresh decisions).
+
+Fix: restructure to write-before-await (preferred on hot paths -- no
+lock overhead), or hold an ``asyncio.Lock`` across the whole RMW.
+Suppress with a comment arguing why no concurrent writer exists (e.g.
+single-writer task ownership).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.protolint.asyncflow import coroutine_events, iter_async_functions
+from tools.protolint.engine import FileContext
+from tools.protolint.registry import Rule, Violation, register
+
+
+@register
+class AwaitStraddledStateUpdate(Rule):
+    code = "PL101"
+    name = "await-straddled-shared-state"
+    scope = ()  # every linted file: coroutines are rare outside net/
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in iter_async_functions(ctx.tree):
+            yield from self._check_coroutine(ctx, fn)
+
+    def _check_coroutine(self, ctx: FileContext,
+                         fn: ast.AsyncFunctionDef) -> Iterator[Violation]:
+        # attr -> anchor of a read not yet consumed by a write ...
+        pending_read: dict[str, ast.AST] = {}
+        # ... and of reads that an unlocked await has since promoted.
+        stale_read: dict[str, ast.AST] = {}
+        reported: set[str] = set()
+        for event in coroutine_events(fn):
+            if event.kind == "read":
+                if event.attr not in pending_read \
+                        and event.attr not in stale_read:
+                    pending_read[event.attr] = event.node
+            elif event.kind == "await":
+                if not event.locked:
+                    stale_read.update(pending_read)
+                    pending_read.clear()
+            else:  # write
+                read_node = stale_read.pop(event.attr, None)
+                if read_node is not None and event.attr not in reported:
+                    reported.add(event.attr)
+                    read_line = getattr(read_node, "lineno", "?")
+                    yield self.violation(
+                        ctx, event.node,
+                        f"`self.{event.attr}` is written here but was read "
+                        f"on line {read_line} with an await in between; "
+                        f"another coroutine (e.g. a concurrent "
+                        f"{fn.name!r}) can interleave at that await -- "
+                        "write before awaiting or hold an asyncio.Lock "
+                        "across the read-modify-write")
+                pending_read.pop(event.attr, None)

@@ -1,0 +1,97 @@
+"""PL102: no blocking calls inside coroutines.
+
+Invariant: the socket stack runs every node of the cluster on one event
+loop (``RealtimeScheduler`` drives the simulator *and* the transport).
+A single blocking call inside a coroutine -- ``time.sleep``, a
+synchronous ``socket``/``urllib`` operation, a subprocess wait, or a
+deliberately-expensive key derivation -- stalls every master, slave and
+client at once, which does not merely slow the run: it distorts the
+keepalive/detection timelines that the Section 3.5 scenarios assert on.
+
+Flags, lexically inside any ``async def`` (nested ``def``/``lambda``
+bodies excluded -- they run on whatever schedule their caller picks):
+
+* ``time.sleep`` (use ``await asyncio.sleep``);
+* ``subprocess.run/call/check_call/check_output/Popen``, ``os.system``
+  (use ``asyncio.create_subprocess_exec``);
+* ``socket.create_connection/getaddrinfo/gethostbyname`` and
+  ``urllib.request.urlopen`` (use the asyncio transport layer);
+* ``requests.*`` (same);
+* ``hashlib.pbkdf2_hmac`` / ``hashlib.scrypt`` -- deliberately slow
+  key derivation; run it in an executor.
+
+Resolution follows import aliases (``from time import sleep`` is still
+caught); calls that cannot be resolved to an imported module are never
+flagged, so ``self.sleep()`` on a simulator object is fine.
+
+Fix: use the asyncio-native equivalent, or
+``loop.run_in_executor(None, fn)`` for genuinely CPU-bound work.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.protolint.engine import FileContext
+from tools.protolint.names import import_aliases, resolve_call_target
+from tools.protolint.registry import Rule, Violation, register
+
+#: dotted call target -> suggested replacement.
+BLOCKING_CALLS = {
+    "time.sleep": "await asyncio.sleep(...)",
+    "os.system": "asyncio.create_subprocess_exec",
+    "subprocess.run": "asyncio.create_subprocess_exec",
+    "subprocess.call": "asyncio.create_subprocess_exec",
+    "subprocess.check_call": "asyncio.create_subprocess_exec",
+    "subprocess.check_output": "asyncio.create_subprocess_exec",
+    "subprocess.Popen": "asyncio.create_subprocess_exec",
+    "socket.create_connection": "asyncio.open_connection",
+    "socket.getaddrinfo": "loop.getaddrinfo",
+    "socket.gethostbyname": "loop.getaddrinfo",
+    "urllib.request.urlopen": "an asyncio transport",
+    "hashlib.pbkdf2_hmac": "loop.run_in_executor",
+    "hashlib.scrypt": "loop.run_in_executor",
+}
+
+#: Any call into these packages blocks on network I/O.
+BLOCKING_PREFIXES = ("requests.",)
+
+
+@register
+class BlockingCallInCoroutine(Rule):
+    code = "PL102"
+    name = "blocking-call-in-coroutine"
+    scope = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in _calls_in_coroutine(node):
+                target = resolve_call_target(call.func, aliases)
+                if target is None:
+                    continue
+                hint = BLOCKING_CALLS.get(target)
+                if hint is None and not target.startswith(BLOCKING_PREFIXES):
+                    continue
+                hint = hint or "an asyncio transport"
+                yield self.violation(
+                    ctx, call,
+                    f"blocking call `{target}()` inside coroutine "
+                    f"{node.name!r} stalls the whole event loop (every "
+                    f"node shares it); use {hint}")
+
+
+def _calls_in_coroutine(fn: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Calls lexically in ``fn``'s body, excluding nested functions."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,55 @@
+"""PL103: retain every ``asyncio.create_task`` result.
+
+Invariant: asyncio keeps only a *weak* reference to scheduled tasks.
+A bare ``asyncio.create_task(coro())`` statement can be garbage
+collected mid-flight, silently cancelling the coroutine -- and even
+when it survives, an unretained task's exception is reported to nobody
+until interpreter shutdown.  In this codebase every background task
+(pool senders, keepalive loops, chaos fault scripts) must end up in a
+registry that ``aclose()`` cancels and awaits; a task nothing holds is
+a task nothing can shut down, which is exactly how socket tests hang.
+
+Flags: an expression *statement* whose value is a
+``create_task``/``ensure_future`` call -- the result is discarded on
+the spot.  Assignments, ``.add()`` arguments, returns and awaits all
+retain the handle and are fine.
+
+Fix: store the task (``self._tasks.append(...)`` /
+``task = asyncio.create_task(...)``) and cancel-and-await it on close;
+add a done-callback if only the exception matters.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.protolint.engine import FileContext
+from tools.protolint.names import terminal_name
+from tools.protolint.registry import Rule, Violation, register
+
+_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+
+@register
+class UntrackedTaskSpawn(Rule):
+    code = "PL103"
+    name = "untracked-task-spawn"
+    scope = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            value = node.value
+            if isinstance(value, ast.Await):
+                continue  # awaiting is retention
+            if isinstance(value, ast.Call) \
+                    and terminal_name(value.func) in _SPAWNERS:
+                name = terminal_name(value.func)
+                yield self.violation(
+                    ctx, node,
+                    f"`{name}(...)` result discarded: asyncio holds only "
+                    "a weak reference, so the task can be GC-cancelled "
+                    "mid-flight and its exception is lost; store the "
+                    "handle and cancel-and-await it on close")

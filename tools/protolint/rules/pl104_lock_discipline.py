@@ -1,0 +1,62 @@
+"""PL104: acquire asyncio locks with ``async with``, never ``.acquire()``.
+
+Invariant: a manual ``await lock.acquire()`` needs a matching
+``release()`` on *every* exit path -- and coroutines have an exit path
+the sync world does not: cancellation, which in this codebase is the
+*normal* shutdown mechanism (``aclose()`` cancels sender and fault
+tasks wholesale).  A cancellation landing between ``acquire()`` and the
+``try/finally`` that releases it deadlocks every other coroutine
+contending for that lock.  ``async with lock:`` is cancellation-safe by
+construction.
+
+Flags: any ``.acquire()`` call lexically inside an ``async def``
+(awaited or not -- an un-awaited ``lock.acquire()`` on an asyncio
+primitive is doubly wrong, it returns an unawaited coroutine).
+
+Fix: ``async with self._lock:``.  For conditional acquisition, use
+``lock.locked()`` checks or restructure; there is no non-blocking
+asyncio acquire worth the release bookkeeping.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.protolint.engine import FileContext
+from tools.protolint.names import terminal_name
+from tools.protolint.registry import Rule, Violation, register
+
+
+@register
+class ManualLockAcquire(Rule):
+    code = "PL104"
+    name = "manual-lock-acquire"
+    scope = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            for node in _own_body_walk(fn):
+                if isinstance(node, ast.Call) \
+                        and terminal_name(node.func) == "acquire":
+                    yield self.violation(
+                        ctx, node,
+                        "manual `.acquire()` in a coroutine is not "
+                        "cancellation-safe (aclose() cancels tasks; a "
+                        "cancel before the matching release() deadlocks "
+                        "the lock); use `async with lock:`")
+
+
+def _own_body_walk(fn: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk ``fn``'s body without descending into nested functions
+    (each nested ``async def`` is visited by its own outer loop)."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,144 @@
+"""PL201: the wire registry must match the committed golden lockfile.
+
+Invariant ("append-only", ``docs/NETWORKING.md``): a codec id, once
+assigned, names one type with one init-field order forever.  Signed
+payloads are byte-identical across the wire *because* the dataclass
+codec serialises init fields in declaration order -- so an innocent
+field reorder, a reused id, or a type swapped under an existing id is a
+silent wire-format (and signature-verification) break that no test
+catches until two differently-built peers talk.
+
+This rule statically evaluates
+``repro.net.codec._iter_registrations`` (explicit ids plus the
+``WIRE_MESSAGE_TYPES`` positional block) against
+``tools/protolint/wire_registry.lock`` and flags:
+
+* a duplicate id inside the live registry;
+* an id present in the lock but gone from the registry (removal);
+* an id whose type name changed (reuse/rename);
+* a type whose init-field order drifted from the locked order;
+* a registered id the lock has never seen (unrecorded append);
+* a missing or corrupt lock file.
+
+The rule is inert when the lint run does not include the codec module,
+so single-file fixture runs never trip it; linting ``src/`` always
+covers it.
+
+Fix: for *intentional, append-only* additions run
+``python -m tools.protolint --update-lock src/`` and commit the
+one-line lock diff.  Anything else is a wire-format break: restore the
+old order, or consciously bump ``WIRE_VERSION`` and regenerate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from tools.protolint.engine import ProjectContext
+from tools.protolint.project import ProjectModel
+from tools.protolint.registry import ProjectRule, Violation, register
+from tools.protolint.wirelock import (
+    UNRESOLVED,
+    WireEntry,
+    extract_registry,
+    parse_lock,
+)
+
+
+@register
+class WireRegistryLock(ProjectRule):
+    code = "PL201"
+    name = "wire-registry-lock"
+    scope = ()
+
+    def __init__(self) -> None:
+        self._project: ProjectContext | None = None
+
+    def reset(self, project: ProjectContext) -> None:
+        self._project = project
+
+    def finalize(self, model: ProjectModel) -> Iterator[Violation]:
+        extraction = extract_registry(model)
+        if extraction is None:
+            return  # codec not linted: unknown, not clean
+        for message, path, lineno in extraction.problems:
+            yield self._at(path, lineno, message)
+        yield from self._duplicate_ids(extraction.entries)
+        lock_text = (self._project.wire_lock_text
+                     if self._project is not None else None)
+        if lock_text is None:
+            yield self._at(
+                extraction.codec_path, extraction.codec_lineno,
+                "wire registry has no committed lockfile "
+                "(tools/protolint/wire_registry.lock); generate it with "
+                "`python -m tools.protolint --update-lock src/`")
+            return
+        locked = parse_lock(lock_text)
+        if locked is None:
+            yield self._at(
+                extraction.codec_path, extraction.codec_lineno,
+                "tools/protolint/wire_registry.lock is malformed; "
+                "regenerate with --update-lock and review the diff")
+            return
+        yield from self._diff(extraction.entries, locked)
+
+    def _duplicate_ids(
+        self, entries: list[WireEntry],
+    ) -> Iterator[Violation]:
+        seen: dict[int, WireEntry] = {}
+        for entry in entries:
+            first = seen.get(entry.wire_id)
+            if first is None:
+                seen[entry.wire_id] = entry
+            else:
+                yield self._at(
+                    entry.path, entry.lineno,
+                    f"wire id {entry.wire_id} registered twice "
+                    f"({first.type_name} and {entry.type_name}); ids are "
+                    "append-only and may never be reused")
+
+    def _diff(
+        self, entries: list[WireEntry],
+        locked: dict[int, tuple[str, tuple[str, ...]]],
+    ) -> Iterator[Violation]:
+        current = {entry.wire_id: entry for entry in entries}
+        anchor = entries[0] if entries else None
+        for wire_id, (locked_name, locked_fields) in sorted(locked.items()):
+            entry = current.get(wire_id)
+            if entry is None:
+                if anchor is not None:
+                    yield self._at(
+                        anchor.path, anchor.lineno,
+                        f"wire id {wire_id} ({locked_name}) is in the "
+                        "lockfile but no longer registered; removing an "
+                        "id is a wire-format break -- restore it or bump "
+                        "WIRE_VERSION and regenerate the lock")
+                continue
+            if entry.type_name != locked_name:
+                yield self._at(
+                    entry.path, entry.lineno,
+                    f"wire id {wire_id} is locked to {locked_name} but "
+                    f"now registers {entry.type_name}; reusing an id for "
+                    "a different type breaks every peer built from the "
+                    "old registry")
+            elif entry.fields != locked_fields \
+                    and entry.fields != UNRESOLVED:
+                yield self._at(
+                    entry.path, entry.lineno,
+                    f"{entry.type_name} (wire id {wire_id}) init-field "
+                    f"order drifted: lock has "
+                    f"({', '.join(locked_fields)}) but the class now has "
+                    f"({', '.join(entry.fields)}); field order IS the "
+                    "wire format and signed payloads depend on it")
+        for wire_id, entry in sorted(current.items()):
+            if wire_id not in locked:
+                yield self._at(
+                    entry.path, entry.lineno,
+                    f"wire id {wire_id} ({entry.type_name}) is not in "
+                    "the lockfile; if this append is intentional run "
+                    "`python -m tools.protolint --update-lock src/` and "
+                    "commit the one-line diff")
+
+    def _at(self, path: str, lineno: int, message: str) -> Violation:
+        return Violation(rule=self.code, path=path, line=lineno, col=1,
+                         message=message)
