@@ -3,8 +3,8 @@
 Gives future changes a trajectory to regress against: each run records
 the E4 auditor-throughput numbers, the S0 simulation-substrate rates,
 the F0 fast-path before/after rates, the N0 socket-transport rates,
-the C1 crash-recovery latencies and the O0 observability-overhead
-ratios,
+the C1 crash-recovery latencies, the O0 observability-overhead
+ratios and the Q0 admission-control table,
 plus enough environment context to interpret them.  Snapshots are cheap (quick-mode sweeps) and meant to be
 committed alongside performance-relevant PRs::
 
@@ -25,6 +25,7 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
+from benchmarks import bench_admission as q0
 from benchmarks import bench_chaos_recovery as c1
 from benchmarks import bench_e04_auditor_throughput as e04
 from benchmarks import bench_fastpath_micro as f0
@@ -35,13 +36,14 @@ from benchmarks.common import FULL
 
 
 def collect() -> dict:
-    """Run the six snapshot sweeps and assemble the record."""
+    """Run the seven snapshot sweeps and assemble the record."""
     e04_rows = e04.run_sweep()
     s0_result = s0.run_sweep()
     f0_result = f0.run_sweep()
     n0_result = n0.run_sweep()
     c1_result = c1.run_sweep()
     o0_result = o0.run_sweep()
+    q0_result = q0.run_sweep()
     return {
         "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime()),
         "environment": {
@@ -67,6 +69,7 @@ def collect() -> dict:
         "n0_net_roundtrip": n0_result,
         "c1_chaos_recovery": c1_result,
         "o0_obs_overhead": o0_result,
+        "q0_admission": q0_result,
     }
 
 

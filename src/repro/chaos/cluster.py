@@ -37,7 +37,8 @@ class ChaosCluster(LocalCluster):
             retry=self.spec.retry,
             connect_timeout=self.spec.connect_timeout,
             io_timeout=self.spec.io_timeout,
-            max_batch=self.spec.max_batch)
+            max_batch=self.spec.max_batch,
+            breaker=self.spec.breaker)
 
     # -- link faults -------------------------------------------------------
 

@@ -33,6 +33,7 @@ from repro.metrics import MetricsRegistry
 from repro.net import codec
 from repro.net.peers import PeerDirectory
 from repro.net.transport import ConnectionPool, RetryPolicy, _Peer
+from repro.qos.breaker import BreakerPolicy
 
 
 @dataclass(frozen=True, slots=True)
@@ -213,7 +214,8 @@ class ChaosConnectionPool(ConnectionPool):
                  retry: RetryPolicy | None = None,
                  connect_timeout: float = 2.0,
                  io_timeout: float = 5.0,
-                 max_batch: int = 64) -> None:
+                 max_batch: int = 64,
+                 breaker: BreakerPolicy | None = None) -> None:
         # max_batch governs queue draining only: this pool overrides
         # _transmit, so the base pool feeds it one message at a time and
         # frames are never coalesced on the wire (fault fates stay
@@ -221,7 +223,8 @@ class ChaosConnectionPool(ConnectionPool):
         super().__init__(node_id, peers, metrics, rng, retry=retry,
                          connect_timeout=connect_timeout,
                          io_timeout=io_timeout,
-                         max_batch=max_batch)
+                         max_batch=max_batch,
+                         breaker=breaker)
         self.plane = plane
         self._held: dict[str, list[Any]] = {}
         self._throttle_free: dict[str, float] = {}

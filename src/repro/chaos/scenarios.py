@@ -21,7 +21,12 @@ real sockets:
 * ``auditor_failover``-- crash an auditor: masters fail its clients over
   to a survivor and pledges keep flowing; a restart rejoins;
 * ``slave_crash``     -- crash and restart a serving slave: clients ride
-  through on retries, the slave resyncs on rejoin.
+  through on retries, the slave resyncs on rejoin;
+* ``flash_crowd``     -- a greedy-client burst hammers the serving plane
+  while honest readers continue: with wire-level admission control
+  (``repro.qos``) honest read p99 stays within a baseline-derived SLO,
+  keep-alives never miss their freshness window, and every shed frame
+  is attributed in the metrics.
 
 Every random decision (workload and faults) comes from seeded streams,
 so a verdict is reproducible for a given ``(scenario, seed)`` up to
@@ -31,6 +36,7 @@ real-clock timing.
 from __future__ import annotations
 
 import asyncio
+import math
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 
@@ -90,11 +96,16 @@ class ReadLoad:
     """
 
     def __init__(self, cluster: ChaosCluster, query: Operation,
-                 interval: float = 0.04, timeout: float = 8.0) -> None:
+                 interval: float = 0.04, timeout: float = 8.0,
+                 clients: list[Client] | None = None) -> None:
         self.cluster = cluster
         self.query = query
         self.interval = interval
         self.timeout = timeout
+        #: Which clients drive load (default: all of them); overload
+        #: scenarios restrict this to the honest subset.
+        self.clients = clients if clients is not None \
+            else list(cluster.clients)
         self.accepted = 0
         self.rejected = 0
         self.timeouts = 0
@@ -106,7 +117,7 @@ class ReadLoad:
         self._tasks = [
             loop.create_task(self._run_one(client),
                              name=f"chaos-load:{client.node_id}")
-            for client in self.cluster.clients
+            for client in self.clients
         ]
 
     async def _run_one(self, client: Client) -> None:
@@ -146,6 +157,72 @@ class ReadLoad:
         return max(b - a for a, b in zip(edges, edges[1:]))
 
 
+class FlashCrowd:
+    """A closed-loop greedy read storm: the ``flash_crowd`` load shape.
+
+    Each greedy client runs ``concurrency`` concurrent read tasks in a
+    tight loop (no think time), so the in-flight operation count stays
+    pinned at ``len(clients) * concurrency`` for the whole burst --
+    enough sustained pressure to saturate the serving plane, unlike an
+    open-loop flood that TCP backpressure would self-limit.
+    """
+
+    def __init__(self, cluster: ChaosCluster, clients: list[Client],
+                 query: Operation, concurrency: int = 20,
+                 timeout: float = 6.0) -> None:
+        self.cluster = cluster
+        self.clients = clients
+        self.query = query
+        self.concurrency = concurrency
+        self.timeout = timeout
+        self.attempts = 0
+        self.completed = 0
+        self._stopping = False
+        self._tasks: list["asyncio.Task[None]"] = []
+
+    def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._stopping = False
+        self._tasks = [
+            loop.create_task(
+                self._hammer(client),
+                name=f"chaos-crowd:{client.node_id}:{i}")
+            for client in self.clients
+            for i in range(self.concurrency)
+        ]
+
+    async def _hammer(self, client: Client) -> None:
+        try:
+            while not self._stopping:
+                self.attempts += 1
+                try:
+                    await self.cluster.read(client, self.query,
+                                            timeout=self.timeout)
+                except (TimeoutError, asyncio.TimeoutError):
+                    continue
+                self.completed += 1
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self) -> None:
+        # wait_for can swallow a cancel that races a read timeout (the
+        # 3.11 lost-cancellation window), and with this many tasks all
+        # timing out under shed pressure that race does get hit.  The
+        # _stopping flag guarantees a task whose cancel was eaten still
+        # exits after its in-flight read, so cancel and wait in rounds
+        # instead of awaiting each task exactly once.
+        self._stopping = True
+        tasks, self._tasks = self._tasks, []
+        pending: "set[asyncio.Task[None]]" = set(tasks)
+        while pending:
+            for task in pending:
+                task.cancel()
+            done, pending = await asyncio.wait(pending, timeout=2.0)
+            for task in done:
+                if not task.cancelled():
+                    task.exception()  # retrieve, tasks may have failed
+
+
 def _preferred_master(client_id: str, num_masters: int) -> str:
     """The master a client deterministically homes to (client.py's rule)."""
     index = int(sha1_hex(client_id)[:4], 16) % num_masters
@@ -156,14 +233,14 @@ def _check(name: str, passed: bool, detail: str) -> CheckResult:
     return CheckResult(name=name, passed=passed, detail=detail)
 
 
-_COUNTER_PREFIXES = ("chaos_", "net_drop_")
+_COUNTER_PREFIXES = ("chaos_", "net_drop_", "qos_")
 _COUNTER_NAMES = (
     "reads_accepted", "reads_failed", "writes_committed", "writes_failed",
     "exclusions", "slaves_adopted", "master_crash_noticed",
     "auditor_crash_noticed", "auditor_recovery_noticed",
     "clients_auditor_failover", "client_reassignments", "reads_tainted",
     "net_frames_rejected", "net_handler_errors", "net_frames_dropped",
-    "immediate_detections",
+    "net_timeouts", "immediate_detections",
 )
 
 
@@ -739,6 +816,210 @@ async def slave_crash(seed: int = 0) -> ScenarioVerdict:
         await cluster.aclose()
 
 
+# -- scenario: flash crowd vs admission control (repro.qos) ----------------
+
+
+def _p99(durations: list[float]) -> float:
+    """The p99 of a duration sample (inf when the sample is empty)."""
+    if not durations:
+        return float("inf")
+    ordered = sorted(durations)
+    index = max(0, math.ceil(0.99 * len(ordered)) - 1)
+    return ordered[index]
+
+
+def _honest_read_durations(cluster: ChaosCluster, honest: set[str],
+                           start: float, end: float) -> list[float]:
+    """Durations of every *ended* honest ``client.read`` span in a window.
+
+    Failed reads are included on purpose: excluding them would let the
+    overloaded variant look healthy by only timing the reads that got
+    through (survivorship bias).
+    """
+    durations = []
+    for span in _spans(cluster):
+        if (span.op == "client.read" and span.node in honest
+                and span.end is not None and start <= span.start <= end):
+            durations.append(span.end - span.start)
+    return durations
+
+
+def _keepalive_max_gap(cluster: ChaosCluster, slave_id: str,
+                       start: float, end: float) -> float:
+    """Longest keep-alive arrival gap at one slave inside [start, end]."""
+    timeline = cluster.metrics.timelines.get(f"keepalive_rx@{slave_id}")
+    points = [] if timeline is None else \
+        [at for at, _value in timeline.points if start <= at <= end]
+    edges = [start, *sorted(points), end]
+    return max(b - a for a, b in zip(edges, edges[1:]))
+
+
+def _shed_breakdown(counters: dict[str, float]) -> tuple[float, float,
+                                                         float]:
+    """(total, by-reason sum, by-client sum) of the ``qos_shed_*`` family."""
+    total = counters.get("qos_shed_total", 0.0)
+    by_client = sum(v for k, v in counters.items()
+                    if k.startswith("qos_shed_from_"))
+    by_reason = sum(v for k, v in counters.items()
+                    if k.startswith("qos_shed_")
+                    and not k.startswith("qos_shed_from_")
+                    and k != "qos_shed_total")
+    return total, by_reason, by_client
+
+
+async def flash_crowd(seed: int = 0, qos: bool = True) -> ScenarioVerdict:
+    """Greedy-client burst vs the serving plane's admission control.
+
+    Two honest readers keep a steady trickle going; six greedy clients
+    then pin ~288 concurrent reads (each also double-checking with its
+    master) against the same slaves for several seconds.  The verdict is
+    span-derived: honest read p99 during the burst must stay within an
+    SLO derived from the pre-burst baseline, keep-alives must never miss
+    the Section 3.1 freshness window, and every shed frame must be
+    attributed (total == by-reason == by-client).  ``qos=False`` runs
+    the identical burst with admission control off -- the configuration
+    the SLO demonstrably does NOT survive (asserted in tests).
+    """
+    keepalive = 0.2
+    honest_count, greedy_count = 2, 6
+    overrides: dict[str, Any] = {}
+    if qos:
+        # Honest clients need well under 40 frames/s per listener; the
+        # crowd's closed loop wants hundreds.  The burst allowance is
+        # deliberately small so the crowd cannot ride burst refills.
+        overrides.update(
+            qos_frame_rate=15.0, qos_frame_burst=20.0,
+            qos_inbox_limit=512, qos_idle_multiple=10.0)
+    config = fast_protocol_config(
+        keepalive_interval=keepalive,
+        # Honest clients never double-check (their latency is pure
+        # read-path); greedy clients override to 1.0 below so the crowd
+        # hits masters too.
+        double_check_probability=0.0,
+        request_timeout=1.25,
+        max_read_retries=2,
+        # Disable the Section 3.3 protocol-level throttle so the burst
+        # genuinely reaches the wire layer this scenario is about.
+        greedy_allowance_rate=100_000.0,
+        greedy_drop_fraction=0.0,
+        **overrides,
+    )
+    spec = NetDeploymentSpec(
+        num_masters=2, slaves_per_master=2,
+        num_clients=honest_count + greedy_count, seed=seed,
+        protocol=config, obs_enabled=True,
+        client_double_check_overrides={
+            i: 1.0 for i in range(honest_count,
+                                  honest_count + greedy_count)})
+    cluster = await launch_chaos(spec, settle=0.8)
+    checks: list[CheckResult] = []
+    timings: dict[str, float] = {}
+    honest_clients = cluster.clients[:honest_count]
+    honest_ids = {c.node_id for c in honest_clients}
+    # A 10/s trickle per honest client (sent to both assigned slaves)
+    # sits well inside the 15 frames/s admission budget, so honest
+    # traffic is never the one shed.
+    load = ReadLoad(cluster, KVGet(key="k"), interval=0.1,
+                    clients=honest_clients)
+    # The crowd hammers a bulky value: every greedy read costs the slave
+    # a real 1 MiB encode + SHA-1 (and its master the double-check
+    # re-execution), so the burst saturates CPU, not just socket
+    # buffers.
+    # 48 tasks x 6 clients = ~288 reads in flight: enough to saturate
+    # a single core with 1 MiB encodes, low enough that the backlog
+    # drains and the scenario's wall-clock stays bounded.
+    crowd = FlashCrowd(cluster, cluster.clients[honest_count:],
+                       KVGet(key="bulk"), concurrency=48)
+    try:
+        write = await cluster.write(cluster.clients[0],
+                                    KVPut(key="k", value="v0"))
+        checks.append(_check("baseline_write", write["status"] == "committed",
+                             f"pre-burst write: {write['status']}"))
+        bulk = await cluster.write(
+            cluster.clients[0], KVPut(key="bulk", value="x" * 1048576))
+        checks.append(_check(
+            "bulk_write", bulk["status"] == "committed",
+            f"crowd-target write: {bulk['status']}"))
+        await asyncio.sleep(config.max_latency + keepalive)
+
+        # Baseline window: honest trickle alone, to derive the SLO from
+        # what this host can actually do rather than a magic number.
+        load.start()
+        baseline_t0 = cluster.scheduler.now
+        await asyncio.sleep(2.0)
+        baseline_t1 = cluster.scheduler.now
+        baseline_p99 = _p99(_honest_read_durations(
+            cluster, honest_ids, baseline_t0, baseline_t1))
+        # Floor at 0.1s (noise immunity on slow hosts), cap at 0.15s so
+        # a noisy baseline sample cannot inflate the SLO into something
+        # even the unprotected burst satisfies.
+        slo = min(max(4.0 * baseline_p99, 0.1), 0.15)
+        timings["baseline_p99"] = baseline_p99
+        timings["slo"] = slo
+
+        # The burst: ~288 closed-loop greedy reads in flight.
+        crowd.start()
+        # Let the crowd's closed loop reach steady state before the
+        # measured window opens -- the ramp's half-filled pipelines
+        # would otherwise dilute the burst percentiles.
+        await asyncio.sleep(0.5)
+        burst_t0 = cluster.scheduler.now
+        await asyncio.sleep(6.0)
+        burst_t1 = cluster.scheduler.now
+        await crowd.stop()
+        await load.stop()
+        timings["burst_window"] = burst_t1 - burst_t0
+
+        burst_durations = _honest_read_durations(
+            cluster, honest_ids, burst_t0, burst_t1)
+        burst_p99 = _p99(burst_durations)
+        timings["burst_p99"] = burst_p99
+        checks.append(_check(
+            "honest_p99_slo", burst_p99 <= slo,
+            f"honest read p99 {burst_p99:.3f}s over {len(burst_durations)}"
+            f" reads during the burst vs SLO {slo:.3f}s "
+            f"(baseline p99 {baseline_p99:.3f}s)"))
+
+        # Keep-alives are never shed: every slave's freshness window
+        # must hold right through the burst.
+        worst_gap, worst_slave = 0.0, "-"
+        for slave in cluster.slaves:
+            gap = _keepalive_max_gap(cluster, slave.node_id,
+                                     burst_t0, burst_t1)
+            if gap > worst_gap:
+                worst_gap, worst_slave = gap, slave.node_id
+        timings["worst_keepalive_gap"] = worst_gap
+        checks.append(_check(
+            "keepalives_never_missed", worst_gap < config.max_latency,
+            f"worst keep-alive gap during the burst {worst_gap:.2f}s "
+            f"(at {worst_slave}) vs max_latency {config.max_latency}s"))
+
+        counters = cluster.metrics.snapshot()
+        total, by_reason, by_client = _shed_breakdown(counters)
+        if qos:
+            checks.append(_check(
+                "sheds_happened", total > 0,
+                f"{total:.0f} frames shed by admission control"))
+            checks.append(_check(
+                "sheds_attributed",
+                total == by_reason == by_client,
+                f"qos_shed_total {total:.0f} == by-reason {by_reason:.0f}"
+                f" == by-client {by_client:.0f}"))
+        checks.append(_check(
+            "reads_survived", load.accepted > 0,
+            f"honest: {load.accepted} accepted, {load.timeouts} timed "
+            f"out, {load.rejected} failed; crowd: {crowd.attempts} "
+            f"attempts, {crowd.completed} completed"))
+        await _drain(cluster)
+        checks.extend(run_safety_checks(cluster))
+        name = "flash_crowd" if qos else "flash_crowd_unprotected"
+        return _verdict(cluster, name, seed, checks, timings)
+    finally:
+        await crowd.stop()
+        await load.stop()
+        await cluster.aclose()
+
+
 # -- registry and runners --------------------------------------------------
 
 
@@ -748,6 +1029,7 @@ SCENARIOS: dict[str, Callable[[int], Awaitable[ScenarioVerdict]]] = {
     "corrupt_frames": corrupt_frames,
     "auditor_failover": auditor_failover,
     "slave_crash": slave_crash,
+    "flash_crowd": flash_crowd,
 }
 
 #: Hard wall-clock ceiling per scenario.  Normal runs finish in well
@@ -784,6 +1066,7 @@ async def run_all(seed: int = 0) -> list[ScenarioVerdict]:
 
 __all__ = [
     "K_DETECT",
+    "FlashCrowd",
     "ReadLoad",
     "SCENARIOS",
     "SCENARIO_DEADLINE",

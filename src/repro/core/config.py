@@ -55,6 +55,30 @@ class ProtocolConfig:
     #: a large fraction of the double-check requests").
     greedy_drop_fraction: float = 0.9
 
+    # -- wire-level admission control (repro.qos) ---------------------------
+    #: Sustained protocol messages/s a listener admits per client
+    #: connection before shedding (None = no wire-level frame limit).
+    #: Only socket deployments consult these knobs; the simulator's
+    #: fabric has no wire to police.
+    qos_frame_rate: float | None = None
+    #: Burst allowance on top of the sustained frame rate.
+    qos_frame_burst: float = 200.0
+    #: Sustained frame bytes/s admitted per client (None = unlimited).
+    qos_byte_rate: float | None = None
+    qos_byte_burst: float = 1024.0 * 1024.0
+    #: Seeded fraction of over-quota frames actually shed (mirrors
+    #: ``greedy_drop_fraction``; 1.0 = shed every over-quota frame).
+    qos_shed_fraction: float = 1.0
+    #: Frame tokens burned per rejected/oversized frame a client sends,
+    #: so repeat offenders drain their own admission allowance.
+    qos_strike_cost: float = 1.0
+    #: Bounded inbox depth between frame decode and protocol dispatch
+    #: (keep-alives and accusations are never shed from it).
+    qos_inbox_limit: int = 1024
+    #: Idle-connection reaper: abort a handshaked-but-silent inbound
+    #: connection after this many keep-alive intervals (None = never).
+    qos_idle_multiple: float | None = None
+
     # -- client behaviour ---------------------------------------------------
     #: Client-side timeout for read/write/double-check responses.
     request_timeout: float = 10.0
@@ -145,6 +169,26 @@ class ProtocolConfig:
             raise ValueError(
                 f"audit_fraction must be in [0, 1], got {self.audit_fraction}"
             )
+        for name in ("qos_frame_rate", "qos_byte_rate"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.qos_frame_burst <= 0 or self.qos_byte_burst <= 0:
+            raise ValueError("qos bucket bursts must be positive")
+        if not 0.0 <= self.qos_shed_fraction <= 1.0:
+            raise ValueError(
+                f"qos_shed_fraction must be in [0, 1], "
+                f"got {self.qos_shed_fraction}")
+        if self.qos_strike_cost < 0:
+            raise ValueError(
+                f"qos_strike_cost must be >= 0, got {self.qos_strike_cost}")
+        if self.qos_inbox_limit < 1:
+            raise ValueError(
+                f"qos_inbox_limit must be >= 1, got {self.qos_inbox_limit}")
+        if self.qos_idle_multiple is not None and self.qos_idle_multiple <= 0:
+            raise ValueError(
+                f"qos_idle_multiple must be positive, "
+                f"got {self.qos_idle_multiple}")
         if self.read_quorum < 1:
             raise ValueError(f"read_quorum must be >= 1, "
                              f"got {self.read_quorum}")

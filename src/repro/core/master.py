@@ -47,6 +47,7 @@ from repro.core.trusted import CertAnnouncement, TrustedServer
 from repro.crypto.certificates import Certificate
 from repro.crypto.hashing import constant_time_equals, sha1_hex
 from repro.crypto.signatures import PublicKey
+from repro.qos.tokens import TokenBucket
 from repro.sim.simulator import EventHandle
 
 
@@ -61,25 +62,6 @@ def _client_digest(client_id: str) -> int:
     return int(sha1_hex(client_id)[:8], 16)
 
 
-class _TokenBucket:
-    """Per-client double-check allowance (greedy-client throttling)."""
-
-    def __init__(self, rate: float, burst: float, now: float) -> None:
-        self.rate = rate
-        self.burst = burst
-        self.tokens = burst
-        self.updated_at = now
-
-    def try_consume(self, now: float) -> bool:
-        self.tokens = min(self.burst,
-                          self.tokens + (now - self.updated_at) * self.rate)
-        self.updated_at = now
-        if self.tokens >= 1.0:
-            self.tokens -= 1.0
-            return True
-        return False
-
-
 class MasterServer(TrustedServer):
     """One trusted master server."""
 
@@ -92,7 +74,9 @@ class MasterServer(TrustedServer):
         # -- clients --------------------------------------------------------
         #: client -> slave ids currently assigned to it (quorum-sized).
         self.client_assignments: dict[str, tuple[str, ...]] = {}
-        self._buckets: dict[str, _TokenBucket] = {}
+        #: Per-client double-check allowance (Section 3.3 greedy-client
+        #: throttling; the bucket itself now lives in ``repro.qos``).
+        self._buckets: dict[str, TokenBucket] = {}
         #: Auditors the broadcast layer suspects crashed (failover set).
         self._dead_auditors: set[str] = set()
         # -- writes -----------------------------------------------------------
@@ -409,8 +393,8 @@ class MasterServer(TrustedServer):
             return
         bucket = self._buckets.get(client_id)
         if bucket is None:
-            bucket = _TokenBucket(self.config.greedy_allowance_rate,
-                                  self.config.greedy_burst, self.now)
+            bucket = TokenBucket(self.config.greedy_allowance_rate,
+                                 self.config.greedy_burst, self.now)
             self._buckets[client_id] = bucket
         if not bucket.try_consume(self.now):
             self.metrics.incr("double_checks_over_quota")

@@ -164,6 +164,11 @@ class SlaveServer(Node):
         if not self._stamp_ok(message.stamp):
             self.metrics.incr("slave_bad_stamps")
             return
+        # Arrival timeline per slave: overload scenarios assert that
+        # keep-alives never miss the Section 3.1 freshness window even
+        # while a flash crowd is being shed (repro.qos's invariant).
+        self.metrics.record(f"keepalive_rx@{self.node_id}", self.now,
+                            float(message.stamp.version))
         if message.stamp.version > self.version:
             # We missed at least one update; resync from whoever signed.
             self.send(master_id, ResyncRequest(have_version=self.version))

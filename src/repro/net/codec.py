@@ -55,6 +55,8 @@ from repro.obs.admin import (
     ObsDumpRequest,
     ObsHealthReply,
     ObsHealthRequest,
+    QosStatusReply,
+    QosStatusRequest,
 )
 from repro.obs.context import TraceCarrier, TraceContext
 
@@ -525,6 +527,11 @@ def _iter_registrations() -> Iterator[tuple[int, type, _EncodeFn, _DecodeFn]]:
     # back-compat contract: an older peer rejects the whole batch frame
     # (UnknownWireType -> net_frames_rejected) and stays aligned.
     yield (14, FrameBatch, *_dataclass_codec(FrameBatch))
+    # Serving-plane admission control (PR 8): the qos status pair joins
+    # the admin plane.  Appended after the PR 6 carrier -- same
+    # back-compat contract as ids 10-13.
+    yield (15, QosStatusRequest, *_dataclass_codec(QosStatusRequest))
+    yield (16, QosStatusReply, *_dataclass_codec(QosStatusReply))
     # Protocol messages: ids 32+, positional on WIRE_MESSAGE_TYPES.
     for offset, message_cls in enumerate(WIRE_MESSAGE_TYPES):
         yield (32 + offset, message_cls, *_dataclass_codec(message_cls))

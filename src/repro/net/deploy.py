@@ -46,8 +46,15 @@ from repro.net.peers import PeerDirectory, format_address
 from repro.net.server import NodeServer, RealtimeScheduler, SocketNetwork
 from repro.net.transport import ConnectionPool, RetryPolicy, read_frame, \
     write_frame
-from repro.obs.admin import AdminPlane, ObsDumpRequest, ObsHealthRequest
+from repro.obs.admin import (
+    AdminPlane,
+    ObsDumpRequest,
+    ObsHealthRequest,
+    QosStatusRequest,
+)
 from repro.obs.spans import ObsRuntime
+from repro.qos.breaker import BreakerPolicy
+from repro.qos.tokens import AdmissionPolicy
 from repro.sim.network import Node
 
 
@@ -105,6 +112,11 @@ class NetDeploymentSpec:
     #: (see :class:`~repro.net.transport.ConnectionPool`).
     max_batch: int = 64
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Per-peer circuit breaker wrapping the retry machinery (see
+    #: :class:`~repro.qos.breaker.CircuitBreaker`); None = pure retry.
+    #: On by default for deployments: a crashed peer should fast-fail,
+    #: not cost every queued frame a full backoff ladder.
+    breaker: BreakerPolicy | None = field(default_factory=BreakerPolicy)
     #: Attach a ``repro.obs`` runtime and serve the admin plane
     #: (ObsDump/ObsHealth) on every node's listener.
     obs_enabled: bool = False
@@ -185,7 +197,8 @@ class LocalCluster:
             retry=self.spec.retry,
             connect_timeout=self.spec.connect_timeout,
             io_timeout=self.spec.io_timeout,
-            max_batch=self.spec.max_batch)
+            max_batch=self.spec.max_batch,
+            breaker=self.spec.breaker)
 
     def _fabric(self, node_id: str) -> SocketNetwork:
         """One node's private network seam (pool + facade + listener slot)."""
@@ -193,9 +206,41 @@ class LocalCluster:
         self.pools[node_id] = pool
         return SocketNetwork(self.scheduler, pool)
 
+    def _admission_policy(self) -> AdmissionPolicy | None:
+        """The spec's qos knobs as an AdmissionPolicy, or None when off.
+
+        Wire-level admission control is opt-in: with every ``qos_*``
+        rate and the idle multiple unset (the ProtocolConfig defaults)
+        the listeners run exactly the pre-qos inline-dispatch path.
+        """
+        config = self.config
+        if (config.qos_frame_rate is None and config.qos_byte_rate is None
+                and config.qos_idle_multiple is None):
+            return None
+        idle = None
+        if config.qos_idle_multiple is not None:
+            idle = config.qos_idle_multiple * config.keepalive_interval
+        return AdmissionPolicy(
+            frame_rate=config.qos_frame_rate,
+            frame_burst=config.qos_frame_burst,
+            byte_rate=config.qos_byte_rate,
+            byte_burst=config.qos_byte_burst,
+            shed_fraction=config.qos_shed_fraction,
+            strike_cost=config.qos_strike_cost,
+            inbox_limit=config.qos_inbox_limit,
+            idle_timeout=idle)
+
     async def _listen(self, node: Node) -> str:
         """Start ``node``'s listener; returns its ``host:port`` address."""
-        server = NodeServer(node, self.metrics, admin=self.admin)
+        policy = self._admission_policy()
+        # Fork the shed rng only when admission is on, so the default
+        # path's rng derivation order is untouched (key material is a
+        # pure function of the seed and the fork sequence).
+        qos_rng = None
+        if policy is not None:
+            qos_rng = self.scheduler.fork_rng(f"qos:{node.node_id}")
+        server = NodeServer(node, self.metrics, admin=self.admin,
+                            qos=policy, qos_rng=qos_rng)
         host, port = await server.start(self.spec.host)
         self.servers[node.node_id] = server
         self.peers.add(node.node_id, host, port)
@@ -402,6 +447,10 @@ class LocalCluster:
     async def scrape_health(self, node_id: str) -> Any:
         """ObsHealth shortcut: one node's liveness summary."""
         return await self.scrape(node_id, ObsHealthRequest())
+
+    async def scrape_qos(self, node_id: str) -> Any:
+        """QosStatus shortcut: one node's admission/backpressure state."""
+        return await self.scrape(node_id, QosStatusRequest())
 
     # -- reporting ---------------------------------------------------------
 

@@ -21,8 +21,10 @@ not fatal -- a byzantine peer must not crash a server.
 from __future__ import annotations
 
 import asyncio
+import random
 from typing import Any, Callable
 
+from repro.core.messages import Accusation, KeepAlive
 from repro.metrics import MetricsRegistry
 from repro.net import codec
 from repro.net.errors import (
@@ -34,10 +36,18 @@ from repro.net.errors import (
     TruncatedFrame,
 )
 from repro.net.transport import ConnectionPool, read_frame, write_frame
-from repro.obs.admin import AdminPlane
+from repro.obs.admin import AdminPlane, QosStatusReply, QosStatusRequest
 from repro.obs.context import TraceCarrier
+from repro.qos.queue import InboundQueue
+from repro.qos.tokens import AdmissionPolicy, ClientAdmission
 from repro.sim.network import Network, Node
 from repro.sim.simulator import EventHandle, Simulator, restore_context
+
+#: Message classes the qos layer must NEVER shed: keep-alives carry the
+#: Section 3.1 freshness bound every read hangs off, and accusations
+#: carry Section 3.5's proof-of-misbehaviour.  Everything else is fair
+#: game under overload (clients retry; the protocol tolerates loss).
+PROTECTED_MESSAGE_TYPES: tuple[type, ...] = (KeepAlive, Accusation)
 
 
 class RealtimeHandle(EventHandle):
@@ -146,23 +156,44 @@ class NodeServer:
     ``errors`` collects handler exceptions (with the offending source and
     message) so tests can assert clean runs; production callers would
     drain it into logging.
+
+    With a :class:`~repro.qos.tokens.AdmissionPolicy` the listener grows
+    a serving plane: per-client frame/byte token buckets ahead of
+    dispatch (seeded shed decisions, per-reason ``qos_shed_*``
+    counters), a bounded inbox between decode and dispatch
+    (:class:`~repro.qos.queue.InboundQueue`; keep-alives and accusations
+    are never shed) and an idle-connection reaper.  ``qos=None`` (the
+    default) keeps the pre-qos behaviour: unbounded inline dispatch.
     """
 
     def __init__(self, node: Node, metrics: MetricsRegistry,
                  handshake_timeout: float = 5.0,
-                 admin: AdminPlane | None = None) -> None:
+                 admin: AdminPlane | None = None,
+                 qos: AdmissionPolicy | None = None,
+                 qos_rng: random.Random | None = None) -> None:
         self.node = node
         self.metrics = metrics
         self.handshake_timeout = handshake_timeout
-        #: Opt-in admin plane: when set, ObsDump/ObsHealth requests are
-        #: answered inline on the inbound connection instead of being
-        #: dispatched to the protocol handler.
+        #: Opt-in admin plane: when set, ObsDump/ObsHealth/QosStatus
+        #: requests are answered inline on the inbound connection instead
+        #: of being dispatched to the protocol handler.
         self.admin = admin
+        self.qos = qos
+        #: Seeded stream for shed decisions (deployments derive it from
+        #: the spec seed so a shed schedule replays).
+        self.qos_rng = qos_rng if qos_rng is not None else random.Random(0)
         self.host = ""
         self.port = 0
         self.errors: list[tuple[str, Exception]] = []
+        #: Frames shed by this listener (all reasons), for QosStatus.
+        self.shed_total = 0
         self._server: asyncio.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
+        self._admission: dict[str, ClientAdmission] = {}
+        self._inbox = InboundQueue(qos.inbox_limit) if qos is not None \
+            else None
+        self._inbox_ready = asyncio.Event()
+        self._dispatch_task: "asyncio.Task[None] | None" = None
 
     async def start(self, host: str = "127.0.0.1",
                     port: int = 0) -> tuple[str, int]:
@@ -171,27 +202,40 @@ class NodeServer:
             self._handle_connection, host, port)
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
+        if self._inbox is not None and self._dispatch_task is None:
+            self._dispatch_task = asyncio.get_running_loop().create_task(
+                self._dispatch_loop(),
+                name=f"qos-dispatch:{self.node.node_id}")
         return self.host, self.port
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         self._connections.add(writer)
         try:
-            try:
-                src_id = await self._handshake(reader)
-            except (CodecError, HandshakeError, ConnectionError, OSError,
-                    asyncio.TimeoutError) as exc:
-                if isinstance(exc, asyncio.TimeoutError):
-                    self.metrics.incr("net_timeouts")
-                self.metrics.incr("net_handshakes_rejected")
-                writer.transport.abort()
-                return
-            try:
-                await self._serve_frames(src_id, reader, writer)
-            finally:
-                writer.transport.abort()
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Loop teardown cancels handler tasks parked in the shed
+            # penalty sleep; completing normally keeps the streams
+            # done-callback from logging the cancellation.
+            writer.transport.abort()
         finally:
             self._connections.discard(writer)
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            src_id = await self._handshake(reader)
+        except (CodecError, HandshakeError, ConnectionError, OSError,
+                asyncio.TimeoutError) as exc:
+            if isinstance(exc, asyncio.TimeoutError):
+                self.metrics.incr("net_timeouts")
+            self.metrics.incr("net_handshakes_rejected")
+            writer.transport.abort()
+            return
+        try:
+            await self._serve_frames(src_id, reader, writer)
+        finally:
+            writer.transport.abort()
 
     async def _handshake(self, reader: asyncio.StreamReader) -> str:
         hello, _size = await read_frame(reader, self.handshake_timeout)
@@ -207,17 +251,25 @@ class NodeServer:
     async def _serve_frames(self, src_id: str,
                             reader: asyncio.StreamReader,
                             writer: asyncio.StreamWriter) -> None:
+        qos = self.qos
+        idle = qos.idle_timeout if qos is not None else None
         while True:
             try:
-                message, size = await read_frame(reader)
+                message, size = await read_frame(reader, idle)
+            except asyncio.TimeoutError:
+                # Idle reaper: handshaked but silent past the allowance
+                # -- the slot goes back to the pool (peers redial).
+                self.metrics.incr("net_timeouts")
+                self._count_shed(src_id, "idle")
+                return
             except (BadMagic, BadVersion, FrameTooLarge, TruncatedFrame):
                 # Framing is gone; nothing after this point parses.
-                self.metrics.incr("net_frames_rejected")
+                self._reject(src_id, "framing")
                 return
             except CodecError:
                 # Bad body inside a well-framed message: skip it, the
                 # stream itself is still aligned on frame boundaries.
-                self.metrics.incr("net_frames_rejected")
+                self._reject(src_id, "body")
                 continue
             except (ConnectionError, OSError):
                 return
@@ -230,12 +282,21 @@ class NodeServer:
                 self.metrics.incr("net_batches_received")
                 self.metrics.incr("net_frames_received",
                                   len(message.messages))
+                share = size / max(1, len(message.messages))
+                shed_any = False
                 for inner in message.messages:
-                    self._dispatch(src_id, inner)
+                    if self._admit(src_id, inner, share):
+                        shed_any = True
+                if shed_any and qos is not None and qos.shed_penalty > 0:
+                    await asyncio.sleep(qos.shed_penalty)
                 continue
             self.metrics.incr("net_frames_received")
             if self.admin is not None:
-                reply = self.admin.maybe_handle(self.node, message)
+                reply: object | None
+                if isinstance(message, QosStatusRequest):
+                    reply = self.qos_status()
+                else:
+                    reply = self.admin.maybe_handle(self.node, message)
                 if reply is not None:
                     self.metrics.incr("obs_admin_requests")
                     try:
@@ -243,7 +304,139 @@ class NodeServer:
                     except (ConnectionError, OSError):
                         return
                     continue
+            if self._admit(src_id, message, float(size)) \
+                    and qos is not None and qos.shed_penalty > 0:
+                # Turn the shed into backpressure: stall this reader so
+                # the over-quota pipeline slows at the source instead
+                # of returning as a synchronized retry wave.  Only this
+                # connection waits; everyone else's reader runs on.
+                await asyncio.sleep(qos.shed_penalty)
+
+    # -- wire-level admission (repro.qos) -----------------------------------
+
+    def _admit(self, src_id: str, message: Any, byte_cost: float) -> bool:
+        """Rate-limit and enqueue one decoded message, or shed it.
+
+        Returns True when the admission caused a shed (this message
+        went over quota, or its arrival evicted a queued one), so the
+        serve loop can penalize the offending connection.
+        """
+        qos = self.qos
+        if qos is None:
             self._dispatch(src_id, message)
+            return False
+        protected = self._is_protected(message)
+        if not protected and qos.limits_frames:
+            now = self.node.simulator.now
+            client = self._admission.get(src_id)
+            if client is None:
+                client = ClientAdmission(qos, now)
+                self._admission[src_id] = client
+            reason = client.admit(now, byte_cost, self.qos_rng, qos)
+            if reason is not None:
+                self._count_shed(src_id, reason)
+                return True
+        assert self._inbox is not None
+        victim = self._inbox.put((src_id, message), protected=protected)
+        self._inbox_ready.set()
+        if victim is not None:
+            self._count_shed(victim[0], "queue_full")
+            return True
+        return False
+
+    def _is_protected(self, message: Any) -> bool:
+        """Keep-alives and accusations bypass every shed decision."""
+        if isinstance(message, TraceCarrier):
+            message = message.message
+        return isinstance(message, PROTECTED_MESSAGE_TYPES)
+
+    def _count_shed(self, src_id: str, reason: str) -> None:
+        self.shed_total += 1
+        self.metrics.incr("qos_shed_total")
+        self.metrics.incr(f"qos_shed_{reason}")
+        self.metrics.incr(f"qos_shed_from_{src_id}")
+
+    def _reject(self, src_id: str, kind: str) -> None:
+        """Count one malformed frame, split by layer, with attribution.
+
+        The aggregate ``net_frames_rejected`` is retained (dashboards
+        and older tests key on it); ``kind`` is ``framing`` (header-
+        level garbage, connection closes) or ``body`` (well-framed but
+        undecodable payload, stream continues).  Under qos, rejects
+        also burn the sender's admission tokens so repeat offenders
+        shed themselves.
+        """
+        self.metrics.incr("net_frames_rejected")
+        self.metrics.incr(f"net_frames_rejected_{kind}")
+        self.metrics.incr(f"net_rejected_from_{src_id}")
+        qos = self.qos
+        if qos is not None and qos.limits_frames:
+            client = self._admission.get(src_id)
+            if client is None:
+                client = ClientAdmission(qos, self.node.simulator.now)
+                self._admission[src_id] = client
+            client.strike(qos)
+
+    async def _dispatch_loop(self) -> None:
+        """Drain the bounded inbox into the protocol handler."""
+        inbox = self._inbox
+        assert inbox is not None
+        while True:
+            # Clear-then-drain-then-wait: no await between the clear and
+            # the wait, so a put landing mid-drain re-sets the event and
+            # the next iteration picks it up (never a lost wakeup).
+            self._inbox_ready.clear()
+            drained = 0
+            while True:
+                entry = inbox.get()
+                if entry is None:
+                    break
+                self._dispatch(entry[0], entry[1])
+                drained += 1
+                if drained % 16 == 0:
+                    # Yield mid-backlog so a deep inbox cannot stall
+                    # the loop (readers and keep-alive timers keep
+                    # running); puts landing during the yield re-set
+                    # the event and are drained before the wait below.
+                    await asyncio.sleep(0)
+            await self._inbox_ready.wait()
+
+    async def _stop_dispatch(self) -> None:
+        # Swap-then-await (see suspend): a concurrent stop must observe
+        # the task slot already relinquished before we block.
+        task, self._dispatch_task = self._dispatch_task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        if self._inbox is not None:
+            # A crashed host loses its queued-but-undispatched frames.
+            self._inbox.clear()
+            self._inbox_ready.clear()
+
+    def qos_status(self) -> QosStatusReply:
+        """This listener's admission state (QosStatus admin reply).
+
+        Built from server-local state, not the metrics registry: the
+        registry is shared across a deployment, so its ``qos_shed_*``
+        counters cannot be attributed to one node.
+        """
+        pool = getattr(self.node.network, "pool", None)
+        breakers: tuple[tuple[str, str], ...] = ()
+        trips = 0
+        if pool is not None:
+            breakers = tuple(sorted(pool.breaker_states().items()))
+            trips = pool.breaker_trips()
+        return QosStatusReply(
+            node_id=self.node.node_id,
+            now=self.node.simulator.now,
+            shed_total=float(self.shed_total),
+            inbox_depth=len(self._inbox) if self._inbox is not None else 0,
+            inbox_shed=self._inbox.shed if self._inbox is not None else 0,
+            breakers=breakers,
+            breaker_trips=trips)
 
     def _dispatch(self, src_id: str, message: Any) -> None:
         node = self.node
@@ -292,6 +485,7 @@ class NodeServer:
             server.close()
             await server.wait_closed()
         self.abort_connections()
+        await self._stop_dispatch()
 
     async def resume(self) -> tuple[str, int]:
         """Rebind the previously bound (host, port) after a crash."""
@@ -305,3 +499,4 @@ class NodeServer:
             server.close()
             await server.wait_closed()
         self.abort_connections()
+        await self._stop_dispatch()

@@ -39,6 +39,7 @@ from repro.net.errors import (
     TruncatedFrame,
 )
 from repro.net.peers import PeerDirectory
+from repro.qos.breaker import BreakerPolicy, CircuitBreaker
 
 
 async def read_frame(reader: asyncio.StreamReader,
@@ -142,7 +143,8 @@ class ConnectionPool:
                  retry: RetryPolicy | None = None,
                  connect_timeout: float = 2.0,
                  io_timeout: float = 5.0,
-                 max_batch: int = 64) -> None:
+                 max_batch: int = 64,
+                 breaker: BreakerPolicy | None = None) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.node_id = node_id
@@ -155,6 +157,14 @@ class ConnectionPool:
         #: Most messages one sender wakeup coalesces into a single wire
         #: write (1 disables batching entirely).
         self.max_batch = max_batch
+        #: Per-peer circuit breaker wrapping the retry machinery: after
+        #: ``failure_threshold`` consecutive retries-exhausted batches a
+        #: peer's breaker opens and frames fast-fail (counted under
+        #: ``net_drop_breaker_open``) instead of burning a full backoff
+        #: ladder each, until a half-open probe succeeds.  ``None``
+        #: (the default) keeps pure retry behaviour.
+        self.breaker = breaker
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._peers: dict[str, _Peer] = {}
         self._closed = False
 
@@ -185,6 +195,23 @@ class ConnectionPool:
         self.metrics.incr("net_frames_dropped")
         self.metrics.incr(f"net_drop_{reason}")
 
+    def _breaker_for(self, dst_id: str) -> CircuitBreaker | None:
+        if self.breaker is None:
+            return None
+        brk = self._breakers.get(dst_id)
+        if brk is None:
+            brk = CircuitBreaker(self.breaker)
+            self._breakers[dst_id] = brk
+        return brk
+
+    def breaker_states(self) -> dict[str, str]:
+        """Current breaker state per peer (admin-plane surfacing)."""
+        return {dst: brk.state for dst, brk in self._breakers.items()}
+
+    def breaker_trips(self) -> int:
+        """Lifetime closed/half-open -> open transitions, all peers."""
+        return sum(brk.trips for brk in self._breakers.values())
+
     def kill_connection(self, dst_id: str) -> bool:
         """Abort the live TCP connection to ``dst_id`` (fault injection).
 
@@ -212,6 +239,14 @@ class ConnectionPool:
                     batch.append(peer.queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
+            brk = self._breaker_for(dst_id)
+            if brk is not None and not brk.allow(
+                    asyncio.get_running_loop().time()):
+                # Open breaker: fast-fail the backlog instead of burning
+                # a full backoff ladder against a peer known to be down.
+                for _message in batch:
+                    self._drop(dst_id, "breaker_open")
+                continue
             delivered = False
             for attempt in range(self.retry.max_attempts):
                 if self._closed:
@@ -238,10 +273,18 @@ class ConnectionPool:
                 self.metrics.incr("net_bytes_sent", size)
                 delivered = True
                 break
-            if not delivered:
+            if delivered:
+                if brk is not None:
+                    brk.record_success(asyncio.get_running_loop().time())
+            else:
                 self._teardown(peer)
                 for _message in batch:
                     self._drop(dst_id, "retries_exhausted")
+                if brk is not None:
+                    trips_before = brk.trips
+                    brk.record_failure(asyncio.get_running_loop().time())
+                    if brk.trips > trips_before:
+                        self.metrics.incr("qos_breaker_opens")
 
     async def _transmit_batch(self, dst_id: str, peer: _Peer,
                               messages: list[Any]) -> int:

@@ -11,8 +11,9 @@ simulator and the real socket stack (``repro.net``):
 * :mod:`repro.obs.collect` -- bounded per-node span buffers;
 * :mod:`repro.obs.export` -- Prometheus text, JSONL and Chrome
   trace-event exporters;
-* :mod:`repro.obs.admin` -- ``ObsDump``/``ObsHealth`` served over the
-  existing frame transport so clusters can scrape live nodes;
+* :mod:`repro.obs.admin` -- ``ObsDump``/``ObsHealth``/``QosStatus``
+  served over the existing frame transport so clusters can scrape live
+  nodes;
 * :mod:`repro.obs.analyze` -- critical paths, per-op latency
   percentiles and the Section 3.4 / 3.5 invariant cross-checks.
 
@@ -25,6 +26,8 @@ from repro.obs.admin import (
     ObsDumpRequest,
     ObsHealthReply,
     ObsHealthRequest,
+    QosStatusReply,
+    QosStatusRequest,
     span_from_wire,
     span_to_wire,
 )
@@ -48,6 +51,8 @@ __all__ = [
     "ObsHealthReply",
     "ObsHealthRequest",
     "ObsRuntime",
+    "QosStatusReply",
+    "QosStatusRequest",
     "Span",
     "SpanBuffer",
     "SpanCollector",

@@ -62,6 +62,37 @@ class ObsHealthReply:
     events_processed: int
 
 
+@dataclass(frozen=True, slots=True)
+class QosStatusRequest:
+    """Ask a node for its serving-plane admission/backpressure state.
+
+    Part of the ObsHealth admin plane (PR 8): answered inline by
+    ``NodeServer`` on any admin-enabled listener, it surfaces the
+    :mod:`repro.qos` layer's degradation signals -- shed totals, inbox
+    depth and the outbound pool's per-peer circuit-breaker states -- so
+    a monitoring agent can tell backpressure from failure.
+    """
+
+    probe: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class QosStatusReply:
+    node_id: str
+    now: float
+    #: Frames shed by wire-level admission since boot (all reasons).
+    shed_total: float
+    #: Current depth of the bounded decode->dispatch inbox.
+    inbox_depth: int
+    #: Entries evicted from the inbox to make room.
+    inbox_shed: int
+    #: (peer id, breaker state) for every peer the outbound pool has
+    #: breaker state for; states are ``closed``/``open``/``half_open``.
+    breakers: tuple[tuple[str, str], ...]
+    #: Lifetime closed/half-open -> open breaker transitions.
+    breaker_trips: int
+
+
 def span_to_wire(span: Span) -> tuple[Any, ...]:
     """Stable tuple encoding of one span for ObsDump replies."""
     attrs = tuple(sorted(span.attrs.items()))

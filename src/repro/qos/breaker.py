@@ -1,0 +1,114 @@
+"""Per-peer circuit breaking for the outbound connection pool.
+
+The pool's :class:`~repro.net.transport.RetryPolicy` bounds how hard one
+*frame batch* tries; it says nothing about how hard the pool keeps
+trying against a peer that has been dead for seconds.  Without a
+breaker, every queued batch to a crashed host burns the full retry
+budget (connect timeouts, backoff sleeps) before being dropped --
+budget that live peers' traffic then waits behind.
+
+:class:`CircuitBreaker` is the classic three-state machine:
+
+* ``closed``    -- deliveries flow; consecutive delivery failures are
+  counted, and ``failure_threshold`` of them trip the breaker;
+* ``open``      -- sends are refused outright (the caller drops the
+  frame immediately, spending zero retry budget) until
+  ``reset_timeout`` has elapsed;
+* ``half_open`` -- up to ``half_open_max`` probe deliveries are allowed
+  through; the first success closes the breaker, the first failure
+  re-opens it for another ``reset_timeout``.
+
+Pure and deterministic: the clock is always an explicit ``now``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True, slots=True)
+class BreakerPolicy:
+    """Thresholds for one pool's per-peer breakers."""
+
+    #: Consecutive delivery failures (each one a fully exhausted retry
+    #: budget) before the breaker opens.
+    failure_threshold: int = 2
+    #: Seconds an open breaker refuses sends before probing again.
+    reset_timeout: float = 1.0
+    #: Probe deliveries allowed through a half-open breaker.
+    half_open_max: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, "
+                f"got {self.failure_threshold}")
+        if self.reset_timeout <= 0:
+            raise ValueError(
+                f"reset_timeout must be positive, got {self.reset_timeout}")
+        if self.half_open_max < 1:
+            raise ValueError(
+                f"half_open_max must be >= 1, got {self.half_open_max}")
+
+
+class CircuitBreaker:
+    """One peer's breaker state (see module docstring for the machine)."""
+
+    __slots__ = ("policy", "state", "failures", "opened_at", "probes",
+                 "trips")
+
+    def __init__(self, policy: BreakerPolicy) -> None:
+        self.policy = policy
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probes = 0
+        #: Lifetime count of closed/half-open -> open transitions.
+        self.trips = 0
+
+    def allow(self, now: float) -> bool:
+        """May a delivery be attempted right now?
+
+        An open breaker past its reset timeout transitions to half-open
+        as a side effect, so callers need no separate tick.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self.opened_at < self.policy.reset_timeout:
+                return False
+            self.state = HALF_OPEN
+            self.probes = 0
+        if self.probes < self.policy.half_open_max:
+            self.probes += 1
+            return True
+        return False
+
+    def record_success(self, now: float) -> None:
+        """A delivery went through: close and forget past failures."""
+        del now  # symmetry with record_failure; the clock is not needed
+        self.state = CLOSED
+        self.failures = 0
+
+    def record_failure(self, now: float) -> None:
+        """A delivery exhausted its retry budget."""
+        if self.state == HALF_OPEN:
+            self._trip(now)
+            return
+        self.failures += 1
+        if self.state == CLOSED \
+                and self.failures >= self.policy.failure_threshold:
+            self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        self.state = OPEN
+        self.opened_at = now
+        self.failures = 0
+        self.trips += 1
+
+
+__all__ = ["BreakerPolicy", "CLOSED", "CircuitBreaker", "HALF_OPEN", "OPEN"]

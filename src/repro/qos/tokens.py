@@ -1,0 +1,168 @@
+"""Token buckets and per-client wire admission.
+
+:class:`TokenBucket` is the paper's Section 3.3 greedy-client allowance,
+extracted from ``repro.core.master`` so the same refill arithmetic
+serves both the protocol-level double-check quota and the wire-level
+per-client rate limits in :class:`repro.net.server.NodeServer`.
+
+The bucket is a pure function of its call sequence: time is always an
+explicit ``now`` argument (simulated seconds under the discrete-event
+scheduler, loop time under the socket runtime), so simulated runs stay
+deterministic and property tests can drive it with synthetic clocks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+class TokenBucket:
+    """A refilling allowance: ``rate`` tokens/s up to ``burst`` deep.
+
+    ``try_consume`` refills lazily from the elapsed time since the last
+    call, so an idle client regains its full burst and a steady client
+    settles at exactly ``rate`` admissions per second.  ``penalize``
+    burns tokens without admitting anything (strike-driven deductions
+    for malformed traffic); the level may go as far negative as one
+    burst, extending the shed window for repeat offenders without
+    letting a single strike lock a client out forever.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "updated_at")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError(
+                f"rate and burst must be positive, got {rate}/{burst}")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated_at = now
+
+    def refill(self, now: float) -> float:
+        """Advance the bucket to ``now``; returns the token level."""
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.updated_at) * self.rate)
+        self.updated_at = now
+        return self.tokens
+
+    def try_consume(self, now: float, cost: float = 1.0) -> bool:
+        """Admit one request of ``cost`` tokens if the allowance covers it."""
+        self.refill(now)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+    def penalize(self, cost: float) -> None:
+        """Burn ``cost`` tokens (floored at ``-burst``) without admitting."""
+        self.tokens = max(-self.burst, self.tokens - cost)
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionPolicy:
+    """Wire-level admission knobs for one node's listener.
+
+    ``None`` rates disable the corresponding bucket; an all-``None``
+    policy still buys the bounded inbox and (when ``idle_timeout`` is
+    set) the idle-connection reaper.  ``shed_fraction`` mirrors the
+    master's ``greedy_drop_fraction``: the seeded fraction of over-quota
+    frames actually shed (1.0 = shed all of them).
+    """
+
+    #: Sustained protocol messages/s admitted per client connection.
+    frame_rate: float | None = None
+    frame_burst: float = 200.0
+    #: Sustained frame bytes/s admitted per client connection.
+    byte_rate: float | None = None
+    byte_burst: float = 1024.0 * 1024.0
+    #: Seeded fraction of over-quota frames shed (1.0 = all).
+    shed_fraction: float = 1.0
+    #: Frame tokens burned per rejected/oversized frame, so repeat
+    #: offenders drain their own allowance.
+    strike_cost: float = 1.0
+    #: Seconds the listener stalls an over-quota connection's reader
+    #: per shed frame (0 disables).  Shedding alone still pays decode
+    #: for every flooded frame; the stall turns the shed into TCP
+    #: backpressure, so a greedy client's pipeline slows at the source
+    #: instead of arriving as synchronized retry waves.  Only the
+    #: offending connection is delayed -- other peers' connections
+    #: (and the keep-alives riding them) are unaffected.
+    shed_penalty: float = 0.05
+    #: Bounded inbox depth between decode and dispatch.
+    inbox_limit: int = 1024
+    #: Abort a handshaked-but-silent connection after this many seconds
+    #: (deployments derive it as a multiple of ``keepalive_interval``).
+    idle_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("frame_rate", "byte_rate"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.frame_burst <= 0 or self.byte_burst <= 0:
+            raise ValueError("bucket bursts must be positive")
+        if not 0.0 <= self.shed_fraction <= 1.0:
+            raise ValueError(
+                f"shed_fraction must be in [0, 1], got {self.shed_fraction}")
+        if self.strike_cost < 0:
+            raise ValueError(
+                f"strike_cost must be >= 0, got {self.strike_cost}")
+        if self.shed_penalty < 0:
+            raise ValueError(
+                f"shed_penalty must be >= 0, got {self.shed_penalty}")
+        if self.inbox_limit < 1:
+            raise ValueError(
+                f"inbox_limit must be >= 1, got {self.inbox_limit}")
+        if self.idle_timeout is not None and self.idle_timeout <= 0:
+            raise ValueError(
+                f"idle_timeout must be positive, got {self.idle_timeout}")
+
+    @property
+    def limits_frames(self) -> bool:
+        return self.frame_rate is not None or self.byte_rate is not None
+
+
+class ClientAdmission:
+    """One client's wire admission state: buckets plus strike count."""
+
+    __slots__ = ("frames", "bytes", "strikes")
+
+    def __init__(self, policy: AdmissionPolicy, now: float) -> None:
+        self.frames = (None if policy.frame_rate is None else
+                       TokenBucket(policy.frame_rate, policy.frame_burst,
+                                   now))
+        self.bytes = (None if policy.byte_rate is None else
+                      TokenBucket(policy.byte_rate, policy.byte_burst, now))
+        self.strikes = 0
+
+    def admit(self, now: float, size: float, rng: random.Random,
+              policy: AdmissionPolicy) -> str | None:
+        """Charge one frame of ``size`` bytes; returns the shed reason
+        (``"rate"`` / ``"bytes"``) or ``None`` when admitted.
+
+        The shed decision is seeded: an over-quota frame is shed with
+        probability ``policy.shed_fraction`` drawn from the caller's
+        rng stream, exactly like the master's greedy-drop decision.
+        """
+        over = None
+        if self.frames is not None and not self.frames.try_consume(now):
+            over = "rate"
+        elif self.bytes is not None and \
+                not self.bytes.try_consume(now, cost=size):
+            over = "bytes"
+        if over is None:
+            return None
+        if rng.random() < policy.shed_fraction:
+            return over
+        return None
+
+    def strike(self, policy: AdmissionPolicy) -> None:
+        """Record one rejected/oversized frame from this client."""
+        self.strikes += 1
+        if self.frames is not None:
+            self.frames.penalize(policy.strike_cost)
+
+
+__all__ = ["AdmissionPolicy", "ClientAdmission", "TokenBucket"]

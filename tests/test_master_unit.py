@@ -6,7 +6,8 @@ import pytest
 
 from repro.content.kvstore import KVGet, KeyValueStore
 from repro.core.config import ProtocolConfig
-from repro.core.master import MasterServer, _TokenBucket
+from repro.core.master import MasterServer
+from repro.qos.tokens import TokenBucket
 from repro.core.messages import Pledge, VersionStamp
 from repro.crypto.hashing import sha1_hex
 from repro.crypto.keys import KeyPair
@@ -18,19 +19,19 @@ from repro.sim.simulator import Simulator
 
 class TestTokenBucket:
     def test_burst_then_empty(self):
-        bucket = _TokenBucket(rate=1.0, burst=3.0, now=0.0)
+        bucket = TokenBucket(rate=1.0, burst=3.0, now=0.0)
         assert all(bucket.try_consume(0.0) for _ in range(3))
         assert not bucket.try_consume(0.0)
 
     def test_refill_over_time(self):
-        bucket = _TokenBucket(rate=0.5, burst=2.0, now=0.0)
+        bucket = TokenBucket(rate=0.5, burst=2.0, now=0.0)
         bucket.try_consume(0.0)
         bucket.try_consume(0.0)
         assert not bucket.try_consume(1.0)  # only 0.5 refilled
         assert bucket.try_consume(2.0)      # 1.0 refilled by t=2
 
     def test_capped_at_burst(self):
-        bucket = _TokenBucket(rate=10.0, burst=2.0, now=0.0)
+        bucket = TokenBucket(rate=10.0, burst=2.0, now=0.0)
         bucket.try_consume(0.0)
         # Long idle: tokens cap at burst, not rate * dt.
         assert bucket.try_consume(100.0)

@@ -59,6 +59,8 @@ from repro.obs.admin import (
     ObsDumpRequest,
     ObsHealthReply,
     ObsHealthRequest,
+    QosStatusReply,
+    QosStatusRequest,
 )
 from repro.obs.context import TraceCarrier, TraceContext
 
@@ -159,6 +161,11 @@ EXAMPLES: dict[type, object] = {
     ObsHealthReply: ObsHealthReply(
         node_id="master-00", now=4.5, spans_buffered=7, spans_dropped=0,
         contexts_received=12, events_processed=99),
+    QosStatusRequest: QosStatusRequest(probe=1),
+    QosStatusReply: QosStatusReply(
+        node_id="master-00", now=4.5, shed_total=11.0, inbox_depth=3,
+        inbox_shed=2, breakers=(("slave-00-00", "open"),),
+        breaker_trips=1),
     codec.FrameBatch: codec.FrameBatch(
         messages=(m.KeepAlive(stamp=STAMP),
                   m.ReadReply(request_id="r-1", result={"value": 7},
@@ -234,7 +241,8 @@ class TestRegisteredTypes:
                           8: "TraceContext", 9: "TraceCarrier",
                           10: "ObsDumpRequest", 11: "ObsDumpReply",
                           12: "ObsHealthRequest", 13: "ObsHealthReply",
-                          14: "FrameBatch"}
+                          14: "FrameBatch",
+                          15: "QosStatusRequest", 16: "QosStatusReply"}
         table = registered_wire_types()
         assert {k: v for k, v in table.items() if k < 32} == expected_infra
         for offset, cls in enumerate(m.WIRE_MESSAGE_TYPES):

@@ -1,0 +1,337 @@
+"""Integration tests for wire-level admission control (repro.qos).
+
+Drives a real listening :class:`NodeServer` (and, for the breaker, a
+real :class:`ConnectionPool`) over localhost TCP and checks the
+serving-plane overload behaviour end to end:
+
+* the idle-connection reaper aborts handshaked-but-silent peers;
+* per-client token buckets shed over-quota frames deterministically,
+  with every shed attributed per reason and per client;
+* keep-alives and accusations are NEVER shed, whatever the budget;
+* the bounded inbox evicts oldest-first under burst;
+* malformed frames land on split ``framing``/``body`` counters and
+  burn the sender's admission tokens (strikes);
+* the per-peer circuit breaker opens after consecutive delivery
+  failures, fast-fails while open, and heals through a half-open probe;
+* ``QosStatusRequest`` scrapes the listener's admission state inline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core import messages as m
+from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import new_signer
+from repro.metrics import MetricsRegistry
+from repro.net import codec
+from repro.net.codec import NetHello, encode_frame
+from repro.net.peers import PeerDirectory
+from repro.net.server import NodeServer, RealtimeScheduler, SocketNetwork
+from repro.net.transport import ConnectionPool, RetryPolicy, read_frame
+from repro.obs.admin import AdminPlane, QosStatusReply, QosStatusRequest
+from repro.obs.spans import ObsRuntime
+from repro.qos.breaker import BreakerPolicy
+from repro.qos.tokens import AdmissionPolicy
+
+from .test_net_transport import RecordingNode, run
+
+MASTER = KeyPair("master-00", new_signer("hmac", random.Random(1)))
+SLAVE = KeyPair("slave-00-00", new_signer("hmac", random.Random(2)))
+STAMP = m.VersionStamp.make(MASTER, version=3, timestamp=12.5)
+PLEDGE = m.Pledge.make(SLAVE, {"kind": "kv_get", "key": "k1"},
+                       "ab" * 20, STAMP, request_id="req-7")
+
+
+class QosHarness:
+    """A listening node with an admission policy, plus raw TCP access."""
+
+    def __init__(self, qos: AdmissionPolicy | None,
+                 breaker: BreakerPolicy | None = None,
+                 admin: AdminPlane | None = None) -> None:
+        loop = asyncio.get_running_loop()
+        self.metrics = MetricsRegistry()
+        self.scheduler = RealtimeScheduler(0, loop)
+        self.peers = PeerDirectory()
+        self.pool = ConnectionPool(
+            "tester", self.peers, self.metrics, rng=random.Random(1),
+            retry=RetryPolicy(base_delay=0.01, max_delay=0.05,
+                              max_attempts=2),
+            breaker=breaker)
+        self.node = RecordingNode("target", self.scheduler,
+                                  SocketNetwork(self.scheduler, self.pool))
+        self.server = NodeServer(self.node, self.metrics,
+                                 handshake_timeout=1.0, admin=admin,
+                                 qos=qos, qos_rng=random.Random(42))
+
+    async def start(self) -> None:
+        host, port = await self.server.start()
+        self.peers.add("target", host, port)
+
+    async def raw_connection(self):
+        host, port = self.peers.endpoint("target")
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(encode_frame(NetHello(node_id="tester")))
+        await writer.drain()
+        return reader, writer
+
+    async def wait_received(self, count: int, timeout: float = 5.0) -> None:
+        deadline = asyncio.get_running_loop().time() + timeout
+        while len(self.node.received) < count:
+            if asyncio.get_running_loop().time() > deadline:
+                raise TimeoutError(
+                    f"got {len(self.node.received)}/{count} messages")
+            await asyncio.sleep(0.01)
+
+    async def wait_counter(self, name: str, value: float,
+                           timeout: float = 5.0) -> None:
+        deadline = asyncio.get_running_loop().time() + timeout
+        while self.metrics.snapshot().get(name, 0) < value:
+            if asyncio.get_running_loop().time() > deadline:
+                raise TimeoutError(
+                    f"{name} stuck at "
+                    f"{self.metrics.snapshot().get(name, 0)} < {value}")
+            await asyncio.sleep(0.01)
+
+    async def aclose(self) -> None:
+        self.scheduler.cancel_all()
+        await self.pool.aclose()
+        await self.server.aclose()
+
+
+@pytest.mark.net
+class TestWireAdmission:
+    def test_idle_connection_reaped(self):
+        async def scenario():
+            h = QosHarness(AdmissionPolicy(idle_timeout=0.25))
+            await h.start()
+            try:
+                reader, writer = await h.raw_connection()
+                writer.write(encode_frame("warm"))
+                await writer.drain()
+                await h.wait_received(1)
+                # Then silence: the reaper aborts us within the window.
+                assert await asyncio.wait_for(reader.read(), 2.0) == b""
+                snap = h.metrics.snapshot()
+                assert snap["net_timeouts"] == 1
+                assert snap["qos_shed_idle"] == 1
+                assert snap["qos_shed_from_tester"] == 1
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_rate_limit_sheds_over_quota_frames(self):
+        async def scenario():
+            h = QosHarness(AdmissionPolicy(frame_rate=1.0, frame_burst=2.0))
+            await h.start()
+            try:
+                _reader, writer = await h.raw_connection()
+                for index in range(6):
+                    writer.write(encode_frame(f"req-{index}"))
+                await writer.drain()
+                # Burst of 2 admitted; the other 4 shed, attributed.
+                await h.wait_received(2)
+                await h.wait_counter("qos_shed_total", 4)
+                snap = h.metrics.snapshot()
+                assert snap["qos_shed_rate"] == 4
+                assert snap["qos_shed_from_tester"] == 4
+                assert h.server.shed_total == 4
+                assert [msg for _src, msg in h.node.received] \
+                    == ["req-0", "req-1"]
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_byte_budget_sheds_large_frames(self):
+        async def scenario():
+            h = QosHarness(AdmissionPolicy(byte_rate=10.0, byte_burst=300.0))
+            await h.start()
+            try:
+                _reader, writer = await h.raw_connection()
+                writer.write(encode_frame("small"))
+                writer.write(encode_frame("x" * 2000))
+                writer.write(encode_frame("small-again"))
+                await writer.drain()
+                # The 2KB frame blows the 300-byte budget; smalls fit.
+                await h.wait_counter("qos_shed_bytes", 1)
+                await h.wait_received(2)
+                assert [msg for _src, msg in h.node.received] \
+                    == ["small", "small-again"]
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_protected_messages_never_shed(self):
+        async def scenario():
+            # A starvation budget: one frame of burst, trickle refill.
+            h = QosHarness(AdmissionPolicy(frame_rate=0.1, frame_burst=1.0))
+            await h.start()
+            try:
+                keepalive = m.KeepAlive(stamp=STAMP)
+                accusation = m.Accusation(pledge=PLEDGE,
+                                          accuser_id="client-00",
+                                          discovery="immediate")
+                _reader, writer = await h.raw_connection()
+                for message in ("plain-0", keepalive, "plain-1",
+                                keepalive, accusation, "plain-2"):
+                    writer.write(encode_frame(message))
+                await writer.drain()
+                # plain-0 spends the burst; plain-1/2 shed; every
+                # keep-alive and the accusation goes through regardless.
+                await h.wait_received(4)
+                await h.wait_counter("qos_shed_rate", 2)
+                got = [msg for _src, msg in h.node.received]
+                assert got == ["plain-0", keepalive, keepalive, accusation]
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_inbox_overflow_sheds_oldest_first(self):
+        async def scenario():
+            # No rate buckets: only the bounded inbox stands between
+            # decode and dispatch.  A batch enqueues its messages in one
+            # synchronous sweep, so a 4-deep batch overflows limit=2
+            # deterministically before the drain task can run.
+            h = QosHarness(AdmissionPolicy(inbox_limit=2))
+            await h.start()
+            try:
+                batch = codec.FrameBatch(
+                    messages=("m1", "m2", "m3", "m4"))
+                _reader, writer = await h.raw_connection()
+                writer.write(encode_frame(batch))
+                await writer.drain()
+                await h.wait_received(2)
+                snap = h.metrics.snapshot()
+                assert snap["qos_shed_queue_full"] == 2
+                assert snap["qos_shed_from_tester"] == 2
+                # Oldest-first: m1/m2 evicted, the freshest two served.
+                assert [msg for _src, msg in h.node.received] \
+                    == ["m3", "m4"]
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_rejects_split_by_layer_and_strike(self):
+        async def scenario():
+            h = QosHarness(AdmissionPolicy(frame_rate=10.0,
+                                           frame_burst=10.0,
+                                           strike_cost=5.0))
+            await h.start()
+            try:
+                _reader, writer = await h.raw_connection()
+                # Two well-framed bad bodies: unknown extension id 29.
+                bad_body = (bytes((codec._T_EXT,))
+                            + codec._encode_varint(29))
+                header = codec._HEADER.pack(codec.MAGIC,
+                                            codec.WIRE_VERSION, 0,
+                                            len(bad_body))
+                writer.write((header + bad_body) * 2)
+                writer.write(encode_frame("after-strikes"))
+                await writer.drain()
+                # The two strikes (cost 5 each) drained the 10-token
+                # burst: the offender's next well-formed frame sheds
+                # itself under the rate bucket.
+                await h.wait_counter("qos_shed_rate", 1)
+                # Framing garbage on a second connection: closed.
+                reader2, writer2 = await h.raw_connection()
+                writer2.write(b"NOT-A-FRAME" * 8)
+                await writer2.drain()
+                assert await asyncio.wait_for(reader2.read(), 2.0) == b""
+                await h.wait_counter("net_frames_rejected", 3)
+                snap = h.metrics.snapshot()
+                # Aggregate retained; split by layer; attributed.
+                assert snap["net_frames_rejected"] == 3
+                assert snap["net_frames_rejected_body"] == 2
+                assert snap["net_frames_rejected_framing"] == 1
+                assert snap["net_rejected_from_tester"] == 3
+                # Each reject struck the sender's frame bucket.
+                client = h.server._admission["tester"]
+                assert client.strikes == 3
+                assert client.frames is not None
+                assert client.frames.tokens < 0
+                assert h.node.received == []
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+    def test_qos_status_scrape_inline(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            runtime = ObsRuntime(clock=lambda: loop.time(), seed=0)
+            h = QosHarness(AdmissionPolicy(frame_rate=1.0, frame_burst=1.0),
+                           admin=AdminPlane(runtime))
+            await h.start()
+            try:
+                _reader, writer = await h.raw_connection()
+                for index in range(3):
+                    writer.write(encode_frame(f"flood-{index}"))
+                await writer.drain()
+                await h.wait_counter("qos_shed_total", 2)
+                reader2, writer2 = await h.raw_connection()
+                writer2.write(encode_frame(QosStatusRequest()))
+                await writer2.drain()
+                reply, _size = await asyncio.wait_for(
+                    read_frame(reader2, 2.0), 2.0)
+                assert isinstance(reply, QosStatusReply)
+                assert reply.node_id == "target"
+                assert reply.shed_total == 2.0
+                assert reply.inbox_shed == 0
+                assert reply.breaker_trips == 0
+            finally:
+                await h.aclose()
+
+        run(scenario())
+
+
+@pytest.mark.net
+class TestPoolBreaker:
+    def test_breaker_opens_fast_fails_and_heals(self):
+        async def scenario():
+            h = QosHarness(
+                qos=None,
+                breaker=BreakerPolicy(failure_threshold=1,
+                                      reset_timeout=0.3))
+            await h.start()
+            host, port = h.peers.endpoint("target")
+            await h.server.aclose()
+            try:
+                # Delivery fails (nobody listening): retries exhaust,
+                # the breaker trips on the first failed batch.
+                h.pool.send("target", "one")
+                await h.wait_counter("net_drop_retries_exhausted", 1)
+                await h.wait_counter("qos_breaker_opens", 1)
+                assert h.pool.breaker_states() == {"target": "open"}
+                assert h.pool.breaker_trips() == 1
+                # While open: fast-fail, no retry budget burned.
+                connects_before = h.metrics.snapshot().get(
+                    "net_connect_failures", 0)
+                h.pool.send("target", "two")
+                await h.wait_counter("net_drop_breaker_open", 1)
+                assert h.metrics.snapshot().get(
+                    "net_connect_failures", 0) == connects_before
+                # Past the reset timeout with the server back: the
+                # half-open probe delivers and the breaker closes.
+                await h.server.start(host, port)
+                await asyncio.sleep(0.35)
+                h.pool.send("target", "three")
+                await h.wait_received(1)
+                assert h.node.received == [("tester", "three")]
+                deadline = asyncio.get_running_loop().time() + 2.0
+                while h.pool.breaker_states() != {"target": "closed"}:
+                    if asyncio.get_running_loop().time() > deadline:
+                        raise TimeoutError("breaker never closed")
+                    await asyncio.sleep(0.01)
+                assert h.pool.breaker_trips() == 1  # no new trips
+            finally:
+                await h.aclose()
+
+        run(scenario())
