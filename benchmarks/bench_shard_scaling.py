@@ -1,0 +1,273 @@
+"""SH0 -- Shard scaling on one box (not a paper experiment).
+
+Measures what the multi-tenant sharding substrate (``repro.shard``)
+buys: aggregate accepted reads/s and committed writes/s with the same
+namespace served by 1, 2 and 4 shards packed onto two host listeners,
+plus the read-unavailability window of an online shard move.
+
+**Why modeled service times.**  This harness runs on a single CPU, so
+real crypto/compute throughput cannot scale with shard count -- every
+shard shares the one core.  The sweep therefore runs with
+``simulate_service_times=True``: each slave charges the paper's modeled
+per-read cost (signing dominates) against the wall clock through its
+serialized work queue, i.e. *idle* time on the event loop.  A fixed
+closed-loop load per shard then scales aggregate throughput with shard
+count **iff** the substrate keeps shards independent end to end
+(per-tenant state, per-shard envelopes, no cross-shard serialization).
+That is precisely the claim this benchmark pins: the scaling ratio is
+the regression signal, not the absolute rates.
+
+Run standalone for the table; results are snapshotted by
+``benchmarks/record.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+import asyncio
+
+from repro.content.kvstore import KVGet, KVPut
+from repro.net.deploy import fast_protocol_config
+from repro.shard.deploy import ShardDeploymentSpec, ShardedCluster
+from repro.shard.rebalance import Rebalancer
+from repro.shard.router import ShardRouter
+
+from benchmarks.common import print_table, scaled
+
+#: Modeled per-read signing cost: ~25 reads/s per slave of *idle* wall
+#: time, so the single CPU stays far from saturation even at 4 shards
+#: (real work per read is ~1-2 ms of codec+HMAC+loop).
+SIGN_TIME = 0.04
+#: Closed-loop read tasks per (router, shard) pair.
+READERS_PER_SHARD = 2
+
+
+def _bench_config(max_latency: float = 0.4):
+    return fast_protocol_config(
+        double_check_probability=0.0,
+        simulate_service_times=True,
+        service_time_per_unit=1e-4,
+        sign_time=SIGN_TIME,
+        verify_time=2e-4,
+        hash_time=5e-5,
+        batch_read_replies=False,
+        max_latency=max_latency,
+        keepalive_interval=max_latency / 4,
+        request_timeout=6.0,
+    )
+
+
+def _spec(num_shards: int, seed: int = 7) -> ShardDeploymentSpec:
+    return ShardDeploymentSpec(
+        num_masters=2, slaves_per_master=1, num_auditors=1,
+        num_clients=2, num_shards=num_shards, num_hosts=2, seed=seed,
+        protocol=_bench_config())
+
+
+def _keys_by_shard(router: ShardRouter) -> dict[str, str]:
+    """One routing key per shard (found by probing the rendezvous)."""
+    assert router.shard_map is not None
+    wanted = set(router.shard_map.shard_ids)
+    found: dict[str, str] = {}
+    index = 0
+    while len(found) < len(wanted):
+        key = f"bench-{index}"
+        found.setdefault(router.shard_for(KVGet(key=key)), key)
+        index += 1
+    return found
+
+
+async def _seed_keys(cluster: ShardedCluster,
+                     keys: dict[str, str]) -> None:
+    router = cluster.routers[0]
+    for key in keys.values():
+        await cluster.write(router, KVPut(key=key, value=f"v:{key}"))
+    await asyncio.sleep(cluster.config.max_latency
+                        + cluster.config.keepalive_interval)
+
+
+async def _read_phase(cluster: ShardedCluster, keys: dict[str, str],
+                      window: float) -> tuple[int, list[float]]:
+    """Closed-loop reads on every shard; (accepted count, timestamps)."""
+    stop = asyncio.Event()
+    stamps: list[float] = []
+
+    async def reader(router: ShardRouter, key: str) -> None:
+        while not stop.is_set():
+            reply = await cluster.read(router, KVGet(key=key),
+                                       timeout=10.0)
+            if reply.get("status") == "accepted":
+                stamps.append(cluster.scheduler.now)
+
+    tasks = [
+        asyncio.get_running_loop().create_task(reader(router, key))
+        for router in cluster.routers
+        for key in keys.values()
+        for _ in range(READERS_PER_SHARD)
+    ]
+    await asyncio.sleep(0.5)  # reach steady state before measuring
+    t0 = cluster.scheduler.now
+    stamps.clear()
+    await asyncio.sleep(window)
+    accepted = sum(1 for t in stamps if t >= t0)
+    stop.set()
+    for task in tasks:
+        task.cancel()
+    for task in tasks:
+        try:
+            await task
+        except (asyncio.CancelledError, Exception):
+            pass
+    return accepted, stamps
+
+
+async def _write_phase(cluster: ShardedCluster, keys: dict[str, str],
+                       window: float) -> int:
+    """One closed-loop writer per shard (commit pacing dominates)."""
+    stop = asyncio.Event()
+    committed = 0
+
+    async def writer(router: ShardRouter, key: str) -> None:
+        nonlocal committed
+        serial = 0
+        while not stop.is_set():
+            serial += 1
+            reply = await cluster.write(
+                router, KVPut(key=key, value=serial), timeout=10.0)
+            if reply.get("status") == "committed":
+                committed += 1
+
+    tasks = [
+        asyncio.get_running_loop().create_task(
+            writer(cluster.routers[0], key))
+        for key in keys.values()
+    ]
+    committed = 0
+    await asyncio.sleep(window)
+    stop.set()
+    for task in tasks:
+        task.cancel()
+    for task in tasks:
+        try:
+            await task
+        except (asyncio.CancelledError, Exception):
+            pass
+    return committed
+
+
+async def _measure(num_shards: int, window: float) -> dict:
+    cluster = await ShardedCluster.launch(_spec(num_shards), settle=0.8)
+    assert isinstance(cluster, ShardedCluster)
+    try:
+        keys = _keys_by_shard(cluster.routers[0])
+        await _seed_keys(cluster, keys)
+        reads, _stamps = await _read_phase(cluster, keys, window)
+        writes = await _write_phase(cluster, keys, window)
+        return {
+            "shards": num_shards,
+            "hosts": cluster.spec.num_hosts,
+            "reads_per_s": reads / window,
+            "writes_per_s": writes / window,
+            "window_s": window,
+        }
+    finally:
+        await cluster.aclose()
+
+
+async def _measure_rebalance(window: float) -> dict:
+    """Read-unavailability of one online shard move (2-shard cluster)."""
+    spec = _spec(2)
+    spec.obs_enabled = True
+    cluster = await ShardedCluster.launch(spec, settle=0.8)
+    assert isinstance(cluster, ShardedCluster)
+    try:
+        keys = _keys_by_shard(cluster.routers[0])
+        await _seed_keys(cluster, keys)
+        moved = next(iter(keys))
+        stop = asyncio.Event()
+        stamps: list[float] = []
+
+        async def reader(router: ShardRouter) -> None:
+            while not stop.is_set():
+                reply = await cluster.read(
+                    router, KVGet(key=keys[moved]), timeout=10.0)
+                if reply.get("status") == "accepted":
+                    stamps.append(cluster.scheduler.now)
+                await asyncio.sleep(0.02)
+
+        tasks = [asyncio.get_running_loop().create_task(reader(r))
+                 for r in cluster.routers]
+        await asyncio.sleep(0.5)
+        move_t = cluster.scheduler.now
+        report = await Rebalancer(cluster).move_shard(moved)
+        await asyncio.sleep(max(window / 2, 1.5))
+        end_t = cluster.scheduler.now
+        stop.set()
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        inside = sorted(t for t in stamps if move_t <= t <= end_t)
+        edges = [move_t, *inside, end_t]
+        gap = max(b - a for a, b in zip(edges, edges[1:]))
+        return {
+            "moved_shard": moved,
+            "unavailability_s": gap,
+            "slaves_resynced_s": report["slaves_resynced_at"],
+            "redirects_sent": report["redirects_sent"],
+        }
+    finally:
+        await cluster.aclose()
+
+
+def run_sweep() -> dict:
+    """The recorded sweep: 1/2/4-shard rates plus one rebalance."""
+    window = float(scaled(8, 3))
+    rows = [asyncio.run(_measure(n, window)) for n in (1, 2, 4)]
+    by_shards = {row["shards"]: row for row in rows}
+    rebalance = asyncio.run(_measure_rebalance(window))
+    return {
+        "rows": rows,
+        "read_scaling_4x_over_1x": (by_shards[4]["reads_per_s"]
+                                    / by_shards[1]["reads_per_s"]),
+        "write_scaling_4x_over_1x": (by_shards[4]["writes_per_s"]
+                                     / max(by_shards[1]["writes_per_s"],
+                                           1e-9)),
+        "rebalance": rebalance,
+        "modeled": {
+            "sign_time": SIGN_TIME,
+            "note": "simulate_service_times=True: per-read cost is "
+                    "modeled idle time, so scaling measures substrate "
+                    "independence, not single-core crypto throughput",
+        },
+    }
+
+
+def main() -> None:
+    result = run_sweep()
+    print_table(
+        "SH0: aggregate throughput vs shard count (modeled service "
+        "times)",
+        ["shards", "hosts", "reads/s", "writes/s"],
+        [[row["shards"], row["hosts"], row["reads_per_s"],
+          row["writes_per_s"]] for row in result["rows"]])
+    print(f"read scaling 4x/1x: "
+          f"{result['read_scaling_4x_over_1x']:.2f}")
+    print(f"write scaling 4x/1x: "
+          f"{result['write_scaling_4x_over_1x']:.2f}")
+    rebalance = result["rebalance"]
+    print(f"rebalance of {rebalance['moved_shard']}: "
+          f"{rebalance['unavailability_s'] * 1000:.0f} ms "
+          f"read-unavailability, slaves resynced in "
+          f"{rebalance['slaves_resynced_s'] * 1000:.0f} ms")
+
+
+if __name__ == "__main__":
+    main()

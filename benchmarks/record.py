@@ -4,8 +4,8 @@ Gives future changes a trajectory to regress against: each run records
 the E4 auditor-throughput numbers, the S0 simulation-substrate rates,
 the F0 fast-path before/after rates, the N0 socket-transport rates,
 the C1 crash-recovery latencies, the O0 observability-overhead
-ratios and the Q0 admission-control table,
-plus enough environment context to interpret them.  Snapshots are cheap (quick-mode sweeps) and meant to be
+ratios, the Q0 admission-control table and the SH0 shard-scaling
+ratios, plus enough environment context to interpret them.  Snapshots are cheap (quick-mode sweeps) and meant to be
 committed alongside performance-relevant PRs::
 
     PYTHONPATH=src python benchmarks/record.py            # quick sweep
@@ -31,12 +31,13 @@ from benchmarks import bench_e04_auditor_throughput as e04
 from benchmarks import bench_fastpath_micro as f0
 from benchmarks import bench_net_roundtrip as n0
 from benchmarks import bench_obs_overhead as o0
+from benchmarks import bench_shard_scaling as sh0
 from benchmarks import bench_sim_micro as s0
 from benchmarks.common import FULL
 
 
 def collect() -> dict:
-    """Run the seven snapshot sweeps and assemble the record."""
+    """Run the eight snapshot sweeps and assemble the record."""
     e04_rows = e04.run_sweep()
     s0_result = s0.run_sweep()
     f0_result = f0.run_sweep()
@@ -44,6 +45,7 @@ def collect() -> dict:
     c1_result = c1.run_sweep()
     o0_result = o0.run_sweep()
     q0_result = q0.run_sweep()
+    sh0_result = sh0.run_sweep()
     return {
         "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime()),
         "environment": {
@@ -70,6 +72,7 @@ def collect() -> dict:
         "c1_chaos_recovery": c1_result,
         "o0_obs_overhead": o0_result,
         "q0_admission": q0_result,
+        "sh0_shard_scaling": sh0_result,
     }
 
 

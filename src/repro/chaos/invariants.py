@@ -17,13 +17,32 @@ must have converged on one history.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Protocol
 
 from repro.content.queries import ReadQuery, operation_from_wire
 from repro.content.store import ContentStore
+from repro.core.client import Client
+from repro.core.config import ProtocolConfig
 from repro.core.master import MasterServer
 from repro.crypto.hashing import constant_time_equals, sha1_hex
-from repro.net.deploy import LocalCluster
+from repro.sim.network import Node
+
+
+class ClusterLike(Protocol):
+    """The cluster surface the oracle needs (structural).
+
+    Satisfied by :class:`repro.net.deploy.LocalCluster` (whole-cluster
+    checks) and by :class:`repro.shard.deploy.ShardView` (one shard's
+    master group and router legs), so the same ground-truth replay
+    verifies both flat and sharded deployments.
+    """
+
+    masters: list[MasterServer]
+    clients: list[Client]
+    initial_store: ContentStore
+    config: ProtocolConfig
+
+    def node(self, node_id: str) -> Node: ...
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,7 +58,7 @@ class CheckResult:
                 "detail": self.detail}
 
 
-def reference_master(cluster: LocalCluster) -> MasterServer:
+def reference_master(cluster: ClusterLike) -> MasterServer:
     """The master whose archive defines trusted history for the run.
 
     Prefer non-crashed masters; among those, the longest archive wins
@@ -53,7 +72,7 @@ def reference_master(cluster: LocalCluster) -> MasterServer:
     return candidates[0]
 
 
-def trusted_version_stores(cluster: LocalCluster,
+def trusted_version_stores(cluster: ClusterLike,
                            reference: MasterServer) -> dict[int, ContentStore]:
     """Replay the reference master's op archive from the initial content."""
     stores: dict[int, ContentStore] = {}
@@ -68,7 +87,7 @@ def trusted_version_stores(cluster: LocalCluster,
     return stores
 
 
-def check_no_forged_reads(cluster: LocalCluster) -> CheckResult:
+def check_no_forged_reads(cluster: ClusterLike) -> CheckResult:
     """Every accepted read matches the trusted re-execution at its version."""
     reference = reference_master(cluster)
     stores = trusted_version_stores(cluster, reference)
@@ -103,7 +122,7 @@ def check_no_forged_reads(cluster: LocalCluster) -> CheckResult:
                 f"trusted history (reference {reference.node_id})"))
 
 
-def check_consistency_window(cluster: LocalCluster,
+def check_consistency_window(cluster: ClusterLike,
                              slack: float = 0.05) -> CheckResult:
     """Section 3.1's max_latency bound over every accepted read.
 
@@ -130,7 +149,7 @@ def check_consistency_window(cluster: LocalCluster,
                f"{bound:.2f}s window (+{slack:.2f}s slack)")
 
 
-def check_survivors_converged(cluster: LocalCluster) -> CheckResult:
+def check_survivors_converged(cluster: ClusterLike) -> CheckResult:
     """Every live master agrees with the reference version and history."""
     reference = reference_master(cluster)
     lagging: list[str] = []
@@ -154,7 +173,7 @@ def check_survivors_converged(cluster: LocalCluster) -> CheckResult:
                 f"with identical histories"))
 
 
-def check_clients_on_live_masters(cluster: LocalCluster) -> CheckResult:
+def check_clients_on_live_masters(cluster: ClusterLike) -> CheckResult:
     """No ready client is still pointed at a crashed master."""
     stranded = [
         client.node_id for client in cluster.clients
@@ -168,7 +187,7 @@ def check_clients_on_live_masters(cluster: LocalCluster) -> CheckResult:
                 f"live masters"))
 
 
-def run_safety_checks(cluster: LocalCluster,
+def run_safety_checks(cluster: ClusterLike,
                       window_slack: float = 0.05) -> list[CheckResult]:
     """The full post-run oracle; call after faults healed and load stopped."""
     return [
@@ -181,6 +200,7 @@ def run_safety_checks(cluster: LocalCluster,
 
 __all__ = [
     "CheckResult",
+    "ClusterLike",
     "check_clients_on_live_masters",
     "check_consistency_window",
     "check_no_forged_reads",

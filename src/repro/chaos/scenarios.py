@@ -26,7 +26,12 @@ real sockets:
   while honest readers continue: with wire-level admission control
   (``repro.qos``) honest read p99 stays within a baseline-derived SLO,
   keep-alives never miss their freshness window, and every shed frame
-  is attributed in the metrics.
+  is attributed in the metrics;
+* ``shard_rebalance`` -- move a shard between master groups under live
+  router traffic (``repro.shard``): clients re-home through WrongShard
+  redirects within the detection bound, the read-unavailability window
+  stays bounded, the other shard never blips, and the per-shard safety
+  oracle finds zero violations.
 
 Every random decision (workload and faults) comes from seeded streams,
 so a verdict is reproducible for a given ``(scenario, seed)`` up to
@@ -54,6 +59,12 @@ from repro.core.client import Client
 from repro.crypto.hashing import sha1_hex
 from repro.net.deploy import NetDeploymentSpec, fast_protocol_config
 from repro.obs.spans import Span
+from repro.shard.deploy import (
+    ShardDeploymentSpec,
+    ShardedCluster,
+    run_shard_safety_checks,
+)
+from repro.shard.rebalance import Rebalancer
 
 #: Detection bound as a multiple of ``keepalive_interval``: the
 #: broadcast layer suspects a silent member after
@@ -97,14 +108,15 @@ class ReadLoad:
 
     def __init__(self, cluster: ChaosCluster, query: Operation,
                  interval: float = 0.04, timeout: float = 8.0,
-                 clients: list[Client] | None = None) -> None:
+                 clients: "list[Any] | None" = None) -> None:
         self.cluster = cluster
         self.query = query
         self.interval = interval
         self.timeout = timeout
-        #: Which clients drive load (default: all of them); overload
-        #: scenarios restrict this to the honest subset.
-        self.clients = clients if clients is not None \
+        #: Which operation sinks drive load (default: every client);
+        #: overload scenarios restrict this to the honest subset, and
+        #: sharded scenarios pass routers instead of clients.
+        self.clients: list[Any] = clients if clients is not None \
             else list(cluster.clients)
         self.accepted = 0
         self.rejected = 0
@@ -120,7 +132,7 @@ class ReadLoad:
             for client in self.clients
         ]
 
-    async def _run_one(self, client: Client) -> None:
+    async def _run_one(self, client: Any) -> None:
         try:
             while True:
                 try:
@@ -233,14 +245,14 @@ def _check(name: str, passed: bool, detail: str) -> CheckResult:
     return CheckResult(name=name, passed=passed, detail=detail)
 
 
-_COUNTER_PREFIXES = ("chaos_", "net_drop_", "qos_")
+_COUNTER_PREFIXES = ("chaos_", "net_drop_", "qos_", "router_", "shard_")
 _COUNTER_NAMES = (
     "reads_accepted", "reads_failed", "writes_committed", "writes_failed",
     "exclusions", "slaves_adopted", "master_crash_noticed",
     "auditor_crash_noticed", "auditor_recovery_noticed",
     "clients_auditor_failover", "client_reassignments", "reads_tainted",
     "net_frames_rejected", "net_handler_errors", "net_frames_dropped",
-    "net_timeouts", "immediate_detections",
+    "net_timeouts", "immediate_detections", "client_rehomes",
 )
 
 
@@ -1020,6 +1032,165 @@ async def flash_crowd(seed: int = 0, qos: bool = True) -> ScenarioVerdict:
         await cluster.aclose()
 
 
+# -- scenario: online shard rebalance under live traffic -------------------
+
+
+class ShardedChaosCluster(ChaosCluster, ShardedCluster):
+    """A sharded multi-tenant deployment with the chaos fault plane.
+
+    Pure composition: :class:`ChaosCluster` contributes the
+    fault-injecting pools and scripted-fault vocabulary,
+    :class:`~repro.shard.deploy.ShardedCluster` the multi-tenant build.
+    """
+
+
+async def shard_rebalance(seed: int = 0) -> ScenarioVerdict:
+    """Move a shard between master groups under live router load.
+
+    Verifies the §3.5-reuse story end to end: the freeze/snapshot/
+    certify/republish block never loses committed history (per-shard
+    safety oracle), clients re-home via WrongShard within the
+    detection bound, the bystander shard never blips, and the
+    read-unavailability window -- measured both from accepted-read
+    gaps and from the ``shard.rebalance`` span -- stays bounded.
+    """
+    keepalive = 0.2
+    config = fast_protocol_config(
+        double_check_probability=0.0,
+        keepalive_interval=keepalive,
+        broadcast_heartbeat_interval=keepalive,
+        broadcast_suspect_after=6 * keepalive,
+        request_timeout=1.0,
+        max_read_retries=4,
+    )
+    spec = ShardDeploymentSpec(
+        num_masters=2, slaves_per_master=1, num_clients=2,
+        num_auditors=1, num_shards=2, num_hosts=2, seed=seed,
+        protocol=config, obs_enabled=True)
+    cluster = await ShardedChaosCluster.launch(spec, settle=0.8)
+    assert isinstance(cluster, ShardedChaosCluster)
+    checks: list[CheckResult] = []
+    timings: dict[str, float] = {}
+    router = cluster.routers[0]
+    # One key per shard: the moved shard's key drives the measured
+    # load, the bystander's key proves isolation.
+    keys_by_shard: dict[str, str] = {}
+    index = 0
+    while len(keys_by_shard) < 2:
+        key = f"k{index}"
+        keys_by_shard.setdefault(router.shard_for(KVGet(key=key)), key)
+        index += 1
+    moved = router.shard_for(KVGet(key="k0"))
+    bystander = next(s for s in keys_by_shard if s != moved)
+    load = ReadLoad(cluster, KVGet(key=keys_by_shard[moved]),
+                    clients=list(cluster.routers))
+    calm = ReadLoad(cluster, KVGet(key=keys_by_shard[bystander]),
+                    clients=list(cluster.routers))
+    try:
+        for shard_id, key in keys_by_shard.items():
+            write = await cluster.write(router,
+                                        KVPut(key=key, value=f"v:{key}"))
+            checks.append(_check(
+                f"baseline_write_{shard_id}",
+                write["status"] == "committed",
+                f"pre-move write to {shard_id}: {write['status']}"))
+        await asyncio.sleep(config.max_latency + keepalive)
+        load.start()
+        calm.start()
+        await asyncio.sleep(0.5)
+
+        move_t = cluster.scheduler.now
+        report = await Rebalancer(cluster).move_shard(moved)
+        timings["slaves_resynced"] = report["slaves_resynced_at"]
+        new_ids = {m.node_id for m in cluster.shards[moved].masters}
+        checks.append(_check(
+            "new_generation_installed",
+            cluster.shards[moved].generation == 1
+            and cluster.map_epoch == 2,
+            f"{moved} at generation "
+            f"{cluster.shards[moved].generation}, map epoch "
+            f"{cluster.map_epoch}"))
+
+        # Re-home: every leg homed on the moved shard must land on the
+        # new master group within the detection bound (the redirect
+        # arrives with the next read; setup re-runs against the
+        # republished directory).
+        bound = K_DETECT * keepalive
+        legs = cluster.shards[moved].clients
+        try:
+            waited = await cluster.wait_for(
+                lambda: all(leg.ready and leg.master_id in new_ids
+                            for leg in legs),
+                timeout=3 * bound, what="client re-home")
+            timings["rehome_latency"] = waited
+        except TimeoutError:
+            timings["rehome_latency"] = float("inf")
+        timings["rehome_bound"] = bound
+        stranded = [leg.node_id for leg in legs
+                    if not leg.ready or leg.master_id not in new_ids]
+        checks.append(_check(
+            "clients_rehomed_within_bound",
+            timings["rehome_latency"] <= bound and not stranded,
+            f"{len(legs)} legs re-homed in "
+            f"{timings['rehome_latency']:.2f}s (bound {bound:.2f}s = "
+            f"{K_DETECT} x keepalive); stranded: {stranded or 'none'}"))
+        redirects = cluster.metrics.count("router_wrong_shard")
+        checks.append(_check(
+            "rehome_was_redirect_driven", redirects >= 1,
+            f"{redirects:.0f} WrongShard redirects reached routers"))
+
+        # Liveness on the moved shard after the move.
+        post = await cluster.write(
+            router, KVPut(key=keys_by_shard[moved], value="v1"),
+            timeout=14.0)
+        checks.append(_check(
+            "post_move_write", post["status"] == "committed",
+            f"write to {moved} after the move: {post['status']}"))
+        await asyncio.sleep(config.max_latency + keepalive)
+        end_t = cluster.scheduler.now
+        await load.stop()
+        await calm.stop()
+
+        # Unavailability, measured two ways: the longest accepted-read
+        # gap on the moved shard, and the rebalance span itself.
+        gap_bound = bound + config.request_timeout
+        gap = load.max_gap(move_t, end_t)
+        timings["read_unavailability"] = gap
+        timings["read_unavailability_bound"] = gap_bound
+        checks.append(_check(
+            "unavailability_bounded", gap <= gap_bound,
+            f"longest accepted-read gap on {moved} was {gap:.2f}s "
+            f"(bound {gap_bound:.2f}s)"))
+        calm_gap = calm.max_gap(move_t, end_t)
+        timings["bystander_max_gap"] = calm_gap
+        checks.append(_check(
+            "bystander_shard_unaffected", calm_gap <= gap_bound / 2,
+            f"longest accepted-read gap on bystander {bystander} was "
+            f"{calm_gap:.2f}s"))
+        spans = [s for s in _spans(cluster)
+                 if s.op == "shard.rebalance" and s.end is not None]
+        span_window = max((s.end - s.start for s in spans),
+                          default=float("inf"))
+        timings["rebalance_span"] = span_window
+        checks.append(_check(
+            "rebalance_span_recorded", span_window <= gap_bound,
+            f"shard.rebalance span covered {span_window:.2f}s "
+            f"({len(spans)} span(s) recorded)"))
+
+        await _drain(cluster)
+        for shard_id, results in run_shard_safety_checks(cluster).items():
+            for result in results:
+                checks.append(CheckResult(
+                    name=f"{shard_id}:{result.name}",
+                    passed=result.passed, detail=result.detail))
+        return _verdict(cluster, "shard_rebalance", seed, checks,
+                        timings)
+    finally:
+        await load.stop()
+        await calm.stop()
+        await cluster.aclose()
+
+
 # -- registry and runners --------------------------------------------------
 
 
@@ -1030,6 +1201,7 @@ SCENARIOS: dict[str, Callable[[int], Awaitable[ScenarioVerdict]]] = {
     "auditor_failover": auditor_failover,
     "slave_crash": slave_crash,
     "flash_crowd": flash_crowd,
+    "shard_rebalance": shard_rebalance,
 }
 
 #: Hard wall-clock ceiling per scenario.  Normal runs finish in well
@@ -1071,6 +1243,7 @@ __all__ = [
     "SCENARIOS",
     "SCENARIO_DEADLINE",
     "ScenarioVerdict",
+    "ShardedChaosCluster",
     "run_all",
     "run_scenario",
     "run_scenario_sync",

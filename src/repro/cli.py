@@ -212,6 +212,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="seconds to let the topology hand-shake "
                                "before the first client op")
 
+    shard_demo = sub.add_parser(
+        "shard-demo",
+        help="boot a multi-tenant sharded cluster over real sockets, "
+             "spread writes across shards, move one shard online and "
+             "print the JSON report (placement, rebalance timings, "
+             "per-shard safety verdicts)")
+    shard_demo.add_argument("--seed", type=int, default=0)
+    shard_demo.add_argument("--shards", type=int, default=2)
+    shard_demo.add_argument("--hosts", type=int, default=2)
+    shard_demo.add_argument("--settle", type=float, default=1.0,
+                            help="seconds to let the topology "
+                                 "hand-shake before the first client op")
+
     chaos = sub.add_parser(
         "chaos",
         help="replay named fault scenarios over real sockets and check "
@@ -417,6 +430,28 @@ def cmd_net_demo(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_shard_demo(args: argparse.Namespace) -> int:
+    from repro.shard.deploy import run_shard_demo_sync
+
+    report = run_shard_demo_sync(
+        args.seed,
+        num_shards=args.shards,
+        num_hosts=args.hosts,
+        settle=args.settle,
+    )
+    print(json.dumps(report, indent=2, default=str))
+    total_keys = sum(len(shard["keys"])
+                     for shard in report["shards"].values())
+    safety_ok = all(check["passed"]
+                    for checks in report["safety"].values()
+                    for check in checks)
+    ok = (report["reads_ok_before"] == total_keys
+          and report["reads_ok_after"] == total_keys
+          and safety_ok
+          and not report["handler_errors"])
+    return 0 if ok else 1
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import SCENARIOS, run_scenario_sync
 
@@ -576,6 +611,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return cmd_demo(args)
     if args.command == "net-demo":
         return cmd_net_demo(args)
+    if args.command == "shard-demo":
+        return cmd_shard_demo(args)
     if args.command == "chaos":
         return cmd_chaos(args)
     if args.command == "obs":

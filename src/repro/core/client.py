@@ -118,12 +118,23 @@ class Client(Node):
                  config: ProtocolConfig, directory_id: str,
                  owner_public_key: PublicKey, metrics: MetricsRegistry,
                  double_check_override: float | None = None,
-                 max_latency_override: float | None = None) -> None:
+                 max_latency_override: float | None = None,
+                 lookup_fingerprint: str | None = None) -> None:
         super().__init__(node_id, simulator, network)
         self.config = config
         self.metrics = metrics
         self.directory_id = directory_id
         self.owner_public_key = owner_public_key
+        #: Directory index queried during setup.  Defaults to the
+        #: content-key fingerprint; sharded clients pass their shard's
+        #: derived fingerprint (certificates under it are still signed
+        #: with the content key, so verification is unchanged).
+        self.lookup_fingerprint = (lookup_fingerprint
+                                   if lookup_fingerprint is not None
+                                   else _fingerprint(owner_public_key))
+        #: Hook for envelope-level extensions (the shard router): called
+        #: with unrecognised messages; returning True consumes them.
+        self.on_unhandled: Callable[[str, Any], bool] | None = None
         self.keys = KeyPair(node_id, new_signer(
             "hmac", rng=simulator.fork_rng(f"keys:{node_id}")),
             metrics=metrics)
@@ -171,7 +182,7 @@ class Client(Node):
         self.ready = False
         self.metrics.incr("client_setups")
         self.send(self.directory_id, DirectoryLookup(
-            content_key_fingerprint=_fingerprint(self.owner_public_key)))
+            content_key_fingerprint=self.lookup_fingerprint))
         self.after(self.config.request_timeout, self._setup_timeout)
 
     def _setup_timeout(self) -> None:
@@ -788,6 +799,30 @@ class Client(Node):
                 self.metrics.incr("reads_reissued_after_exclusion")
                 self._resend_read(attempt.request_id)
 
+    def rehome(self) -> None:
+        """Drop the cached assignment and redo setup from the directory.
+
+        The shard router calls this when the client's shard moved to a
+        different master group (``WrongShard`` redirect or a new map
+        epoch).  Pending reads are requeued and re-issued against the
+        new home; pending writes are deliberately left on their own
+        timeout path, preserving at-most-once semantics (resubmitting a
+        write that may have committed would double-apply).
+        """
+        self.ready = False
+        self._setup_in_progress = False
+        self.master_certs = {}
+        self.slave_certs = {}
+        self.assigned_slaves = ()
+        self.master_id = None
+        for attempt in list(self._reads.values()):
+            _cancel(attempt.timer)
+            self._queued.append((_rebuild_query(attempt), attempt.level,
+                                 attempt.callback))
+            del self._reads[attempt.request_id]
+        self.metrics.incr("client_rehomes")
+        self._begin_setup()
+
     def _install_assignment(self, assignment: SlaveAssignment) -> None:
         slaves = []
         for cert in assignment.slave_certificates:
@@ -824,6 +859,9 @@ class Client(Node):
         elif isinstance(message, SetupFailed):
             self._setup_in_progress = False
             self.metrics.incr("client_setup_failed")
+        elif (self.on_unhandled is not None
+                and self.on_unhandled(src_id, message)):
+            pass
         else:
             raise TypeError(
                 f"client {self.node_id} got unexpected "

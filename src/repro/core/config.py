@@ -78,6 +78,19 @@ class ProtocolConfig:
     #: Idle-connection reaper: abort a handshaked-but-silent inbound
     #: connection after this many keep-alive intervals (None = never).
     qos_idle_multiple: float | None = None
+    #: Key admission buckets by client key fingerprint instead of
+    #: connection (a deployment-shared :class:`repro.qos.ledger.
+    #: AdmissionLedger`), so reconnect churn cannot mint fresh
+    #: allowances.  Unregistered ids share one anonymous account.
+    qos_per_principal: bool = False
+
+    # -- namespace sharding (repro.shard) -----------------------------------
+    #: Rendezvous salt baked into the signed shard map; fixed for the
+    #: namespace lifetime so key placement only moves with the shard set.
+    shard_map_seed: int = 0
+    #: Client-side retry interval while the directory withholds the
+    #: shard map (liveness-only failure mode).
+    shard_map_retry: float = 1.0
 
     # -- client behaviour ---------------------------------------------------
     #: Client-side timeout for read/write/double-check responses.
@@ -189,6 +202,10 @@ class ProtocolConfig:
             raise ValueError(
                 f"qos_idle_multiple must be positive, "
                 f"got {self.qos_idle_multiple}")
+        if self.shard_map_retry <= 0:
+            raise ValueError(
+                f"shard_map_retry must be positive, "
+                f"got {self.shard_map_retry}")
         if self.read_quorum < 1:
             raise ValueError(f"read_quorum must be >= 1, "
                              f"got {self.read_quorum}")

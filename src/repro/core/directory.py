@@ -17,6 +17,8 @@ from typing import Any
 
 from repro.core.messages import DirectoryListing, DirectoryLookup
 from repro.crypto.certificates import Certificate
+from repro.shard.map import ShardMap
+from repro.shard.wire import ShardMapReply, ShardMapRequest
 from repro.sim.network import Network, Node
 from repro.sim.simulator import Simulator
 
@@ -28,7 +30,10 @@ class DirectoryServer(Node):
                  network: Network) -> None:
         super().__init__(node_id, simulator, network)
         self._listings: dict[str, list[Certificate]] = {}
+        #: namespace fingerprint -> latest published signed shard map.
+        self._shard_maps: dict[str, ShardMap] = {}
         self.lookups_served = 0
+        self.map_lookups_served = 0
 
     def publish(self, content_key_fingerprint: str,
                 certificate: Certificate) -> None:
@@ -44,12 +49,31 @@ class DirectoryServer(Node):
         entries = self._listings.get(content_key_fingerprint, [])
         entries[:] = [c for c in entries if c.subject_id != subject_id]
 
+    def publish_shard_map(self, shard_map: ShardMap) -> None:
+        """Owner-side: install a namespace's shard map.
+
+        The directory keeps only the highest epoch it has seen.  It
+        cannot forge maps (they are owner-signed), so the worst a
+        compromised directory can do here is withhold or serve stale --
+        clients reject epoch regressions themselves.
+        """
+        current = self._shard_maps.get(shard_map.namespace)
+        if current is None or shard_map.epoch > current.epoch:
+            self._shard_maps[shard_map.namespace] = shard_map
+
     def on_message(self, src_id: str, message: Any) -> None:
         if isinstance(message, DirectoryLookup):
             self.lookups_served += 1
             certs = tuple(self._listings.get(
                 message.content_key_fingerprint, ()))
             self.send(src_id, DirectoryListing(certificates=certs))
+        elif isinstance(message, ShardMapRequest):
+            self.map_lookups_served += 1
+            shard_map = self._shard_maps.get(message.namespace)
+            if shard_map is not None and shard_map.epoch <= message.have_epoch:
+                shard_map = None  # requester already has this or newer
+            self.send(src_id, ShardMapReply(namespace=message.namespace,
+                                            shard_map=shard_map))
         else:
             raise TypeError(
                 f"directory got unexpected {type(message).__name__}"

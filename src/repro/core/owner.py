@@ -19,6 +19,7 @@ from repro.crypto.certificates import Certificate
 from repro.crypto.hashing import sha1_hex
 from repro.crypto.keys import KeyPair
 from repro.crypto.signatures import PublicKey, new_signer
+from repro.shard.map import ShardMap
 
 
 class ContentOwner:
@@ -51,6 +52,17 @@ class ContentOwner:
                                  master_public_key, issued_at=now)
         self.issued.append(cert)
         return cert
+
+    def sign_shard_map(self, epoch: int, seed: int,
+                       assignments: dict[str, tuple[str, ...]],
+                       now: float = 0.0) -> ShardMap:
+        """Sign a shard map for this owner's namespace.
+
+        Only the owner can do this -- the directory serves the result
+        but cannot forge it, exactly like master certificates.
+        """
+        return ShardMap.make(self.keys, self.content_key_fingerprint(),
+                             epoch, seed, assignments, issued_at=now)
 
     def publish_all(self, directory: DirectoryServer) -> None:
         """Push every issued certificate into the public directory."""

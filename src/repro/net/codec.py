@@ -59,6 +59,15 @@ from repro.obs.admin import (
     QosStatusRequest,
 )
 from repro.obs.context import TraceCarrier, TraceContext
+from repro.shard.map import ShardMap
+from repro.shard.wire import (
+    ShardEnvelope,
+    ShardMapReply,
+    ShardMapRequest,
+    ShardStatusReply,
+    ShardStatusRequest,
+    WrongShard,
+)
 
 MAGIC = b"RN"
 WIRE_VERSION = 1
@@ -532,6 +541,17 @@ def _iter_registrations() -> Iterator[tuple[int, type, _EncodeFn, _DecodeFn]]:
     # back-compat contract as ids 10-13.
     yield (15, QosStatusRequest, *_dataclass_codec(QosStatusRequest))
     yield (16, QosStatusReply, *_dataclass_codec(QosStatusReply))
+    # Namespace sharding (PR 10): the multi-tenant envelope, the
+    # owner-signed shard map and its distribution pair, the re-home
+    # redirect, and the shard admin-status pair.  Appended after the
+    # PR 8 carriers -- same back-compat contract as ids 10-16.
+    yield (17, ShardEnvelope, *_dataclass_codec(ShardEnvelope))
+    yield (18, ShardMap, *_dataclass_codec(ShardMap))
+    yield (19, ShardMapRequest, *_dataclass_codec(ShardMapRequest))
+    yield (20, ShardMapReply, *_dataclass_codec(ShardMapReply))
+    yield (21, WrongShard, *_dataclass_codec(WrongShard))
+    yield (22, ShardStatusRequest, *_dataclass_codec(ShardStatusRequest))
+    yield (23, ShardStatusReply, *_dataclass_codec(ShardStatusReply))
     # Protocol messages: ids 32+, positional on WIRE_MESSAGE_TYPES.
     for offset, message_cls in enumerate(WIRE_MESSAGE_TYPES):
         yield (32 + offset, message_cls, *_dataclass_codec(message_cls))

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable, Protocol
 
 from repro.content.kvstore import KeyValueStore
 from repro.content.queries import Operation
@@ -54,8 +54,32 @@ from repro.obs.admin import (
 )
 from repro.obs.spans import ObsRuntime
 from repro.qos.breaker import BreakerPolicy
+from repro.qos.ledger import AdmissionLedger
 from repro.qos.tokens import AdmissionPolicy
+from repro.shard.wire import ShardStatusRequest
 from repro.sim.network import Node
+
+#: Admin-plane scrape vocabulary: kind -> request factory.  One table
+#: instead of one near-identical helper per request type; new admin
+#: requests only add a row.
+_ADMIN_REQUESTS: dict[str, Any] = {
+    "spans": ObsDumpRequest,
+    "health": ObsHealthRequest,
+    "qos": QosStatusRequest,
+    "shards": ShardStatusRequest,
+}
+
+
+class OperationSink(Protocol):
+    """Anything that accepts client operations (structural).
+
+    Satisfied by :class:`~repro.core.client.Client` and by
+    :class:`~repro.shard.router.ShardRouter`, so the cluster's
+    ``submit``/``write``/``read`` drive either.
+    """
+
+    def submit(self, op: Operation, level: str | None = None,
+               callback: Callable[[dict], None] | None = None) -> None: ...
 
 
 def fast_protocol_config(**overrides: Any) -> ProtocolConfig:
@@ -166,6 +190,14 @@ class LocalCluster:
         self.master_certs: dict[str, Certificate] = {}
         self.servers: dict[str, NodeServer] = {}
         self.pools: dict[str, ConnectionPool] = {}
+        # One deployment-wide per-principal ledger (opt-in): every
+        # listener charges the same accounts, so reconnecting -- or
+        # dialling a different host -- never refreshes an allowance.
+        policy = self._admission_policy()
+        self.ledger: AdmissionLedger | None = (
+            AdmissionLedger(policy)
+            if policy is not None and self.config.qos_per_principal
+            else None)
         self._closed = False
 
     # -- construction -----------------------------------------------------
@@ -240,7 +272,8 @@ class LocalCluster:
         if policy is not None:
             qos_rng = self.scheduler.fork_rng(f"qos:{node.node_id}")
         server = NodeServer(node, self.metrics, admin=self.admin,
-                            qos=policy, qos_rng=qos_rng)
+                            qos=policy, qos_rng=qos_rng,
+                            ledger=self.ledger)
         host, port = await server.start(self.spec.host)
         self.servers[node.node_id] = server
         self.peers.add(node.node_id, host, port)
@@ -310,6 +343,9 @@ class LocalCluster:
                     spec.client_double_check_overrides.get(i)))
             self.clients.append(client)
             await self._listen(client)
+            if self.ledger is not None:
+                self.ledger.register_key(client.node_id,
+                                         client.keys.public_key)
 
     async def _start(self, settle: float) -> None:
         for master in self.masters:
@@ -336,7 +372,7 @@ class LocalCluster:
 
     # -- workload driving -------------------------------------------------
 
-    async def submit(self, client: Client, op: Operation,
+    async def submit(self, client: OperationSink, op: Operation,
                      level: str | None = None,
                      timeout: float = 15.0) -> dict[str, Any]:
         """Submit one operation; await the client-side completion dict."""
@@ -349,11 +385,11 @@ class LocalCluster:
         client.submit(op, level, done)
         return await asyncio.wait_for(future, timeout)
 
-    async def write(self, client: Client, op: Operation,
+    async def write(self, client: OperationSink, op: Operation,
                     timeout: float = 15.0) -> dict[str, Any]:
         return await self.submit(client, op, timeout=timeout)
 
-    async def read(self, client: Client, query: Operation,
+    async def read(self, client: OperationSink, query: Operation,
                    level: str | None = None,
                    timeout: float = 15.0) -> dict[str, Any]:
         return await self.submit(client, query, level=level, timeout=timeout)
@@ -439,18 +475,36 @@ class LocalCluster:
         finally:
             writer.transport.abort()
 
+    async def scrape_admin(self, node_id: str, kind: str,
+                           **request_kwargs: Any) -> Any:
+        """Generic admin scrape: build the ``kind`` request and send it.
+
+        ``kind`` is a key of :data:`_ADMIN_REQUESTS` (``spans`` /
+        ``health`` / ``qos`` / ``shards``); keyword arguments go to the
+        request constructor.
+        """
+        factory = _ADMIN_REQUESTS.get(kind)
+        if factory is None:
+            raise ValueError(f"unknown admin scrape kind {kind!r}; "
+                             f"known: {sorted(_ADMIN_REQUESTS)}")
+        return await self.scrape(node_id, factory(**request_kwargs))
+
     async def scrape_spans(self, node_id: str,
                            max_spans: int = 4096) -> Any:
         """ObsDump shortcut: one node's buffered spans."""
-        return await self.scrape(node_id, ObsDumpRequest(max_spans))
+        return await self.scrape_admin(node_id, "spans", max_spans=max_spans)
 
     async def scrape_health(self, node_id: str) -> Any:
         """ObsHealth shortcut: one node's liveness summary."""
-        return await self.scrape(node_id, ObsHealthRequest())
+        return await self.scrape_admin(node_id, "health")
 
     async def scrape_qos(self, node_id: str) -> Any:
         """QosStatus shortcut: one node's admission/backpressure state."""
-        return await self.scrape(node_id, QosStatusRequest())
+        return await self.scrape_admin(node_id, "qos")
+
+    async def scrape_shards(self, node_id: str) -> Any:
+        """ShardStatus shortcut: one host's tenants grouped by shard."""
+        return await self.scrape_admin(node_id, "shards")
 
     # -- reporting ---------------------------------------------------------
 

@@ -38,8 +38,15 @@ from repro.net.errors import (
 from repro.net.transport import ConnectionPool, read_frame, write_frame
 from repro.obs.admin import AdminPlane, QosStatusReply, QosStatusRequest
 from repro.obs.context import TraceCarrier
+from repro.qos.ledger import AdmissionLedger
 from repro.qos.queue import InboundQueue
 from repro.qos.tokens import AdmissionPolicy, ClientAdmission
+from repro.shard.wire import (
+    ShardEnvelope,
+    ShardStatusReply,
+    ShardStatusRequest,
+    shard_of,
+)
 from repro.sim.network import Network, Node
 from repro.sim.simulator import EventHandle, Simulator, restore_context
 
@@ -150,6 +157,36 @@ class SocketNetwork(Network):
         self.pool.send(dst_id, message)
 
 
+class ShardedNetwork(SocketNetwork):
+    """A tenant's outbound seam in a multi-tenant deployment.
+
+    Every message is wrapped in a :class:`~repro.shard.wire.ShardEnvelope`
+    naming the source and destination *tenants* and shipped to the
+    destination's **host** listener, so connections coalesce per host
+    pair instead of per tenant pair.  Like the trace carrier it wraps
+    (envelope, not rewrite), the carried message is encoded by its own
+    registry entry -- signed payloads cross the wire byte-identical.
+
+    ``host_of`` is shared mutable state owned by the deployment: the
+    rebalancer adds entries for new-generation tenants while traffic is
+    flowing, and every tenant's network sees them immediately.
+    """
+
+    def __init__(self, scheduler: RealtimeScheduler, pool: ConnectionPool,
+                 host_of: dict[str, str]) -> None:
+        super().__init__(scheduler, pool)
+        self.host_of = host_of
+
+    def transmit(self, src_id: str, dst_id: str, message: Any) -> None:
+        obs = self.simulator.obs
+        if obs is not None and obs.current is not None:
+            message = TraceCarrier(context=obs.current, message=message)
+        shard = shard_of(dst_id) or shard_of(src_id) or ""
+        envelope = ShardEnvelope(shard_id=shard, src=src_id, dst=dst_id,
+                                 message=message)
+        self.pool.send(self.host_of.get(dst_id, dst_id), envelope)
+
+
 class NodeServer:
     """One node's TCP listener plus frame dispatch.
 
@@ -170,7 +207,8 @@ class NodeServer:
                  handshake_timeout: float = 5.0,
                  admin: AdminPlane | None = None,
                  qos: AdmissionPolicy | None = None,
-                 qos_rng: random.Random | None = None) -> None:
+                 qos_rng: random.Random | None = None,
+                 ledger: AdmissionLedger | None = None) -> None:
         self.node = node
         self.metrics = metrics
         self.handshake_timeout = handshake_timeout
@@ -179,6 +217,16 @@ class NodeServer:
         #: of being dispatched to the protocol handler.
         self.admin = admin
         self.qos = qos
+        #: Opt-in per-principal admission: when set, buckets come from
+        #: the (deployment-shared) ledger keyed by key fingerprint, so
+        #: reconnect churn cannot mint fresh allowances.
+        self.ledger = ledger
+        #: Tenant registry: node id -> hosted node.  The anchor node is
+        #: always present under its own id; multi-tenant deployments
+        #: add one entry per per-shard tenant (see ``add_tenant``).
+        #: :class:`~repro.shard.wire.ShardEnvelope` frames route here;
+        #: bare frames go to the anchor (single-tenant back-compat).
+        self._tenants: dict[str, Node] = {node.node_id: node}
         #: Seeded stream for shed decisions (deployments derive it from
         #: the spec seed so a shed schedule replays).
         self.qos_rng = qos_rng if qos_rng is not None else random.Random(0)
@@ -207,6 +255,42 @@ class NodeServer:
                 self._dispatch_loop(),
                 name=f"qos-dispatch:{self.node.node_id}")
         return self.host, self.port
+
+    # -- multi-tenancy (repro.shard) ----------------------------------------
+
+    def add_tenant(self, node: Node) -> None:
+        """Host another node behind this listener."""
+        if node.node_id in self._tenants:
+            raise ValueError(f"tenant {node.node_id!r} already hosted on "
+                             f"{self.node.node_id!r}")
+        self._tenants[node.node_id] = node
+
+    def replace_tenant(self, node: Node) -> Node | None:
+        """Swap the node serving an existing tenant id (shard
+        retirement installs a ``WrongShard``-answering stub here)."""
+        previous = self._tenants.get(node.node_id)
+        self._tenants[node.node_id] = node
+        return previous
+
+    def tenants(self) -> dict[str, Node]:
+        return dict(self._tenants)
+
+    def shard_status(self) -> ShardStatusReply:
+        """Hosted tenants grouped by shard (ShardStatus admin reply)."""
+        shards: dict[str, list[str]] = {}
+        unsharded: list[str] = []
+        for tenant_id in self._tenants:
+            shard_id = shard_of(tenant_id)
+            if shard_id is None:
+                unsharded.append(tenant_id)
+            else:
+                shards.setdefault(shard_id, []).append(tenant_id)
+        return ShardStatusReply(
+            host_id=self.node.node_id,
+            now=self.node.simulator.now,
+            shards=tuple((shard_id, tuple(sorted(ids)))
+                         for shard_id, ids in sorted(shards.items())),
+            unsharded=tuple(sorted(unsharded)))
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
@@ -295,6 +379,8 @@ class NodeServer:
                 reply: object | None
                 if isinstance(message, QosStatusRequest):
                     reply = self.qos_status()
+                elif isinstance(message, ShardStatusRequest):
+                    reply = self.shard_status()
                 else:
                     reply = self.admin.maybe_handle(self.node, message)
                 if reply is not None:
@@ -326,35 +412,56 @@ class NodeServer:
             self._dispatch(src_id, message)
             return False
         protected = self._is_protected(message)
+        # Attribution: a ShardEnvelope names the *tenant* that sent the
+        # message; the connection-level hello only names the peer host.
+        # Charging the envelope's source keeps per-shard/per-principal
+        # accounting meaningful when many tenants share one connection.
+        if isinstance(message, ShardEnvelope):
+            principal, shard_id = message.src, message.shard_id
+        else:
+            principal, shard_id = src_id, ""
         if not protected and qos.limits_frames:
             now = self.node.simulator.now
-            client = self._admission.get(src_id)
-            if client is None:
-                client = ClientAdmission(qos, now)
-                self._admission[src_id] = client
+            client = self._account_for(principal, now)
             reason = client.admit(now, byte_cost, self.qos_rng, qos)
             if reason is not None:
-                self._count_shed(src_id, reason)
+                self._count_shed(principal, reason, shard_id)
                 return True
         assert self._inbox is not None
-        victim = self._inbox.put((src_id, message), protected=protected)
+        victim = self._inbox.put((principal, message), protected=protected)
         self._inbox_ready.set()
         if victim is not None:
             self._count_shed(victim[0], "queue_full")
             return True
         return False
 
+    def _account_for(self, principal: str, now: float) -> ClientAdmission:
+        """The admission account charged for ``principal``'s traffic."""
+        if self.ledger is not None:
+            return self.ledger.account(principal, now)
+        client = self._admission.get(principal)
+        if client is None:
+            assert self.qos is not None
+            client = ClientAdmission(self.qos, now)
+            self._admission[principal] = client
+        return client
+
     def _is_protected(self, message: Any) -> bool:
         """Keep-alives and accusations bypass every shed decision."""
+        if isinstance(message, ShardEnvelope):
+            message = message.message
         if isinstance(message, TraceCarrier):
             message = message.message
         return isinstance(message, PROTECTED_MESSAGE_TYPES)
 
-    def _count_shed(self, src_id: str, reason: str) -> None:
+    def _count_shed(self, src_id: str, reason: str,
+                    shard_id: str = "") -> None:
         self.shed_total += 1
         self.metrics.incr("qos_shed_total")
         self.metrics.incr(f"qos_shed_{reason}")
         self.metrics.incr(f"qos_shed_from_{src_id}")
+        if shard_id:
+            self.metrics.incr(f"qos_shed_shard_{shard_id}")
 
     def _reject(self, src_id: str, kind: str) -> None:
         """Count one malformed frame, split by layer, with attribution.
@@ -371,11 +478,7 @@ class NodeServer:
         self.metrics.incr(f"net_rejected_from_{src_id}")
         qos = self.qos
         if qos is not None and qos.limits_frames:
-            client = self._admission.get(src_id)
-            if client is None:
-                client = ClientAdmission(qos, self.node.simulator.now)
-                self._admission[src_id] = client
-            client.strike(qos)
+            self._account_for(src_id, self.node.simulator.now).strike(qos)
 
     async def _dispatch_loop(self) -> None:
         """Drain the bounded inbox into the protocol handler."""
@@ -440,6 +543,17 @@ class NodeServer:
 
     def _dispatch(self, src_id: str, message: Any) -> None:
         node = self.node
+        if isinstance(message, ShardEnvelope):
+            envelope = message
+            src_id, message = envelope.src, envelope.message
+            tenant = self._tenants.get(envelope.dst)
+            if tenant is None:
+                self.metrics.incr("net_frames_dropped")
+                self.metrics.incr("shard_drop_unknown_tenant")
+                return
+            node = tenant
+            if envelope.shard_id:
+                self.metrics.incr(f"shard_{envelope.shard_id}_frames")
         if node.crashed:
             self.metrics.incr("net_frames_dropped")
             self.metrics.incr("net_drop_node_crashed")

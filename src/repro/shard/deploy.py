@@ -1,0 +1,463 @@
+"""Multi-tenant sharded deployment: many shards, few listeners.
+
+:class:`ShardedCluster` partitions one owner's namespace across
+``num_shards`` independent master groups (each with its own slaves,
+auditor and total-order broadcast group) and packs all of them onto
+``num_hosts`` host processes.  Each host runs ONE listener and ONE
+outbound connection pool; every protocol node on it is a *tenant*
+addressed by ``shard:base`` ids, and every wire frame rides a
+:class:`~repro.shard.wire.ShardEnvelope` naming its tenant -- so two
+shards sharing a host share sockets but nothing else (state, metrics
+labels and QoS attribution stay per-shard).
+
+The directory serves two owner-signed artifacts per namespace: master
+certificates under each shard's derived fingerprint
+(:func:`~repro.shard.map.shard_fingerprint`) and the
+:class:`~repro.shard.map.ShardMap` that routes content keys to shards.
+Neither is forgeable by the directory; both are verified client-side.
+
+Applications talk to :class:`~repro.shard.router.ShardRouter` instances
+(``cluster.routers``), never to shards directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.content.kvstore import KVGet, KVPut
+from repro.core.auditor import AuditorServer
+from repro.core.client import Client
+from repro.core.directory import DirectoryServer
+from repro.core.master import MasterServer
+from repro.core.slave import SlaveServer
+from repro.core.system import auditor_node_id
+from repro.crypto.certificates import Certificate
+from repro.net.deploy import LocalCluster, NetDeploymentSpec, \
+    fast_protocol_config
+from repro.net.server import ShardedNetwork
+from repro.shard.map import ShardMap, shard_fingerprint
+from repro.shard.router import ShardRouter
+from repro.shard.wire import tenant_id
+from repro.sim.network import Node
+
+
+class HostNode(Node):
+    """The listener anchor for one multi-tenant host process.
+
+    Owns no protocol role: tenants do the serving.  Any bare protocol
+    frame addressed to the host itself is a routing bug, surfaced as a
+    captured handler error rather than silently dropped.
+    """
+
+    def on_message(self, src_id: str, message: Any) -> None:
+        raise TypeError(f"host {self.node_id} is not a protocol "
+                        f"endpoint; got {type(message).__name__} "
+                        f"from {src_id}")
+
+
+@dataclass
+class ShardDeploymentSpec(NetDeploymentSpec):
+    """A :class:`NetDeploymentSpec` plus the shard topology.
+
+    The per-group fields keep their meanings *per shard*:
+    ``num_masters`` masters, ``slaves_per_master`` slaves each and
+    ``num_auditors`` auditors make up ONE shard's cast.  ``num_clients``
+    becomes the number of routers (each holds one leg per shard).
+    """
+
+    num_shards: int = 2
+    num_hosts: int = 2
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.num_shards < 1:
+            raise ValueError("need at least one shard")
+        if self.num_hosts < 1:
+            raise ValueError("need at least one host")
+
+
+@dataclass
+class ShardState:
+    """One shard's live cast and provenance."""
+
+    shard_id: str
+    generation: int
+    fingerprint: str
+    masters: list[MasterServer] = field(default_factory=list)
+    auditors: list[AuditorServer] = field(default_factory=list)
+    slaves: list[SlaveServer] = field(default_factory=list)
+    #: The router legs homed on this shard (for the per-shard oracle).
+    clients: list[Client] = field(default_factory=list)
+
+    def tenant_ids(self) -> list[str]:
+        return [node.node_id for node in
+                (*self.masters, *self.auditors, *self.slaves)]
+
+
+class ShardView:
+    """Duck-typed, per-shard cluster facade for the safety oracle.
+
+    Exposes exactly the surface
+    :func:`repro.chaos.invariants.run_safety_checks` touches, scoped to
+    one shard: its master group defines trusted history, its legs'
+    accepted reads are held against it.
+    """
+
+    def __init__(self, cluster: "ShardedCluster", state: ShardState) -> None:
+        self.masters = list(state.masters)
+        self.clients = list(state.clients)
+        self.initial_store = cluster.initial_store
+        self.config = cluster.config
+        self._cluster = cluster
+
+    def node(self, node_id: str) -> Node:
+        return self._cluster.node(node_id)
+
+
+class ShardedCluster(LocalCluster):
+    """A multi-tenant sharded deployment over real sockets."""
+
+    spec: ShardDeploymentSpec
+
+    def __init__(self, spec: NetDeploymentSpec,
+                 loop: asyncio.AbstractEventLoop) -> None:
+        if not isinstance(spec, ShardDeploymentSpec):
+            raise TypeError("ShardedCluster needs a ShardDeploymentSpec")
+        #: tenant id -> hosting listener's node id.  Shared (by
+        #: reference) with every ShardedNetwork, and mutated live when
+        #: a rebalance lands tenants on new hosts.
+        self.host_of: dict[str, str] = {}
+        self.hosts: list[HostNode] = []
+        self.tenant_nodes: dict[str, Node] = {}
+        self.shards: dict[str, ShardState] = {}
+        self.routers: list[ShardRouter] = []
+        self.map_epoch = 0
+        self._placement_counter = 0
+        self._slave_counter = 0
+        super().__init__(spec, loop)
+
+    # -- fabric wiring -----------------------------------------------------
+
+    def _fabric(self, node_id: str) -> ShardedNetwork:
+        """Listener-backed nodes (hosts, directory) get their own pool."""
+        pool = self._make_pool(node_id)
+        self.pools[node_id] = pool
+        return ShardedNetwork(self.scheduler, pool, self.host_of)
+
+    def _tenant_fabric(self, host_id: str) -> ShardedNetwork:
+        """Tenants share their host's pool: one connection per host pair."""
+        return ShardedNetwork(self.scheduler, self.pools[host_id],
+                              self.host_of)
+
+    def _place(self) -> str:
+        """Deterministic round-robin tenant placement across hosts."""
+        host = self.hosts[self._placement_counter % len(self.hosts)]
+        self._placement_counter += 1
+        return host.node_id
+
+    def add_tenant(self, node: Node, host_id: str) -> None:
+        """Register a tenant on a host's listener and routing table."""
+        self.servers[host_id].add_tenant(node)
+        self.tenant_nodes[node.node_id] = node
+        self.host_of[node.node_id] = host_id
+
+    def node(self, node_id: str) -> Node:
+        tenant = self.tenant_nodes.get(node_id)
+        if tenant is not None:
+            return tenant
+        return super().node(node_id)
+
+    # -- construction ------------------------------------------------------
+
+    async def _build(self) -> None:
+        spec = self.spec
+        self.directory = DirectoryServer(
+            "directory", self.scheduler, self._fabric("directory"))
+        await self._listen(self.directory)
+        for h in range(spec.num_hosts):
+            host = HostNode(f"host-{h:02d}", self.scheduler,
+                            self._fabric(f"host-{h:02d}"))
+            self.hosts.append(host)
+            await self._listen(host)
+
+        for s in range(spec.num_shards):
+            shard_id = f"s{s:02d}"
+            self.shards[shard_id] = self.build_shard(shard_id,
+                                                     generation=0)
+        self.publish_map()
+
+        namespace = self.owner.content_key_fingerprint()
+        for i in range(spec.num_clients):
+            legs: dict[str, Client] = {}
+            for shard_id, state in self.shards.items():
+                leg_id = tenant_id(shard_id, f"client-{i:02d}")
+                host_id = self._place()
+                leg = Client(
+                    leg_id, self.scheduler, self._tenant_fabric(host_id),
+                    self.config, directory_id="directory",
+                    owner_public_key=self.owner.content_public_key,
+                    metrics=self.metrics,
+                    double_check_override=(
+                        spec.client_double_check_overrides.get(i)),
+                    lookup_fingerprint=state.fingerprint)
+                self.add_tenant(leg, host_id)
+                if self.ledger is not None:
+                    self.ledger.register_key(leg.node_id,
+                                             leg.keys.public_key)
+                legs[shard_id] = leg
+                self.clients.append(leg)
+                state.clients.append(leg)
+            self.routers.append(ShardRouter(
+                f"router-{i:02d}", namespace=namespace,
+                owner_public_key=self.owner.content_public_key,
+                config=self.config, metrics=self.metrics,
+                directory_id="directory", clients=legs))
+
+    def build_shard(self, shard_id: str, generation: int) -> ShardState:
+        """Build (without starting) one shard's full trusted cast.
+
+        Also the rebalancer's factory for a shard's next generation:
+        tenant ids embed the generation, so a moved shard's new cast
+        derives fresh deterministic keys and certificates.
+        """
+        spec = self.spec
+        namespace = self.owner.content_key_fingerprint()
+        state = ShardState(
+            shard_id=shard_id, generation=generation,
+            fingerprint=shard_fingerprint(namespace, shard_id))
+        member_ids = [tenant_id(shard_id, f"master-{i:02d}", generation)
+                      for i in range(spec.num_masters)]
+        member_ids.extend(
+            tenant_id(shard_id, auditor_node_id(i), generation)
+            for i in range(spec.num_auditors))
+        for i in range(spec.num_masters):
+            host_id = self._place()
+            master = MasterServer(
+                member_ids[i], self.scheduler,
+                self._tenant_fabric(host_id), self.config,
+                self.initial_store.clone(), member_ids, self.metrics)
+            self.add_tenant(master, host_id)
+            state.masters.append(master)
+        for i in range(spec.num_auditors):
+            host_id = self._place()
+            auditor = AuditorServer(
+                member_ids[spec.num_masters + i], self.scheduler,
+                self._tenant_fabric(host_id), self.config,
+                self.initial_store.clone(), member_ids, self.metrics)
+            self.add_tenant(auditor, host_id)
+            state.auditors.append(auditor)
+
+        certs: dict[str, Certificate] = {}
+        for server in [*state.masters, *state.auditors]:
+            cert = self.owner.certify_master(
+                server.node_id,
+                self.peers.address(self.host_of[server.node_id]),
+                server.keys.public_key, now=self.scheduler.now)
+            certs[server.node_id] = cert
+            self.master_certs[server.node_id] = cert
+        for master in state.masters:
+            self.directory.publish(state.fingerprint,
+                                   certs[master.node_id])
+
+        for i, master in enumerate(state.masters):
+            for j in range(spec.slaves_per_master):
+                slave_tid = tenant_id(shard_id, f"slave-{i:02d}-{j:02d}",
+                                      generation)
+                host_id = self._place()
+                strategy = spec.adversaries.get(self._slave_counter)
+                self._slave_counter += 1
+                slave = SlaveServer(
+                    slave_tid, self.scheduler,
+                    self._tenant_fabric(host_id), self.config,
+                    self.initial_store.clone(), certs, self.metrics,
+                    strategy=strategy)
+                self.add_tenant(slave, host_id)
+                master.register_slave(
+                    slave_tid, self.peers.address(host_id),
+                    slave.keys.public_key)
+                state.slaves.append(slave)
+                self.slaves.append(slave)
+        self.masters.extend(state.masters)
+        self.auditors.extend(state.auditors)
+        return state
+
+    def publish_map(self) -> ShardMap:
+        """Sign and publish the next shard-map epoch from current state."""
+        self.map_epoch += 1
+        assignments = {
+            shard_id: tuple(m.node_id for m in state.masters)
+            for shard_id, state in self.shards.items()
+        }
+        shard_map = self.owner.sign_shard_map(
+            self.map_epoch, self.config.shard_map_seed, assignments,
+            now=self.scheduler.now)
+        self.directory.publish_shard_map(shard_map)
+        return shard_map
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start_shard(self, state: ShardState) -> None:
+        """Start one shard's cast and elect its auditors."""
+        for master in state.masters:
+            master.start()
+        for auditor in state.auditors:
+            auditor.start()
+        for slave in state.slaves:
+            slave.start()
+        state.masters[0].elect_auditors(
+            tuple(a.node_id for a in state.auditors))
+
+    async def _start(self, settle: float) -> None:
+        for state in self.shards.values():
+            self.start_shard(state)
+        await asyncio.sleep(settle)
+        for router in self.routers:
+            router.start()
+        await self.wait_ready()
+
+    async def wait_ready(self, timeout: float = 10.0) -> None:
+        await super().wait_ready(timeout)
+        deadline = self._loop.time() + timeout
+        while not all(router.shard_map is not None
+                      for router in self.routers):
+            if self._loop.time() > deadline:
+                pending = [r.node_id for r in self.routers
+                           if r.shard_map is None]
+                raise TimeoutError(
+                    f"routers never adopted a shard map: {pending}")
+            await asyncio.sleep(0.05)
+
+    async def wait_for(self, condition: Callable[[], bool], timeout: float,
+                       what: str = "condition",
+                       poll: float = 0.02) -> float:
+        """Poll until ``condition()`` holds; returns seconds waited."""
+        start = self._loop.time()
+        deadline = start + timeout
+        while not condition():
+            if self._loop.time() > deadline:
+                raise TimeoutError(
+                    f"{what} did not hold within {timeout:.1f}s")
+            await asyncio.sleep(poll)
+        return self._loop.time() - start
+
+    # -- reporting ---------------------------------------------------------
+
+    def shard_views(self) -> dict[str, ShardView]:
+        """Per-shard oracle facades (see :class:`ShardView`)."""
+        return {shard_id: ShardView(self, state)
+                for shard_id, state in self.shards.items()}
+
+    def summary(self) -> dict[str, Any]:
+        summary = super().summary()
+        summary["shards"] = {
+            shard_id: {
+                "generation": state.generation,
+                "masters": [m.node_id for m in state.masters],
+                "version": max(m.version for m in state.masters),
+            }
+            for shard_id, state in self.shards.items()
+        }
+        summary["map_epoch"] = self.map_epoch
+        return summary
+
+
+def run_shard_safety_checks(cluster: ShardedCluster,
+                            window_slack: float = 0.05) -> dict[str, Any]:
+    """Run the chaos safety oracle once per shard; shard id -> results."""
+    # Imported here: repro.chaos pulls in the full chaos stack, which
+    # plain deployments should not pay for.
+    from repro.chaos.invariants import run_safety_checks
+    return {
+        shard_id: run_safety_checks(view, window_slack=window_slack)
+        for shard_id, view in cluster.shard_views().items()
+    }
+
+
+async def run_shard_demo(seed: int = 0, *, num_shards: int = 2,
+                         num_hosts: int = 2,
+                         settle: float = 1.0) -> dict[str, Any]:
+    """Boot a sharded cluster, spread writes, rebalance, verify.
+
+    Powers the ``shard-demo`` CLI subcommand; returns a JSON-shaped
+    dict with per-shard placement, the rebalance report and the
+    per-shard safety-oracle verdicts.
+    """
+    from repro.shard.rebalance import Rebalancer
+
+    config = fast_protocol_config(double_check_probability=0.0)
+    spec = ShardDeploymentSpec(
+        num_masters=2, slaves_per_master=1, num_clients=1,
+        num_shards=num_shards, num_hosts=num_hosts, seed=seed,
+        protocol=config, obs_enabled=True)
+    cluster = await ShardedCluster.launch(spec, settle=settle)
+    assert isinstance(cluster, ShardedCluster)
+    router = cluster.routers[0]
+    keys = [f"demo-{i}" for i in range(4 * num_shards)]
+    try:
+        placement: dict[str, str] = {}
+        for key in keys:
+            placement[key] = router.shard_for(KVPut(key=key, value=""))
+            await cluster.write(router, KVPut(key=key, value=f"v:{key}"))
+        await asyncio.sleep(cluster.config.max_latency
+                            + cluster.config.keepalive_interval)
+        reads_before = {
+            key: (await cluster.read(router, KVGet(key=key)))
+            for key in keys
+        }
+        moved = placement[keys[0]]
+        report = await Rebalancer(cluster).move_shard(moved)
+        reads_after = {
+            key: (await cluster.read(router, KVGet(key=key),
+                                     timeout=20.0))
+            for key in keys
+        }
+        checks = run_shard_safety_checks(cluster)
+        return {
+            "seed": seed,
+            "shards": {
+                shard_id: {
+                    "generation": state.generation,
+                    "keys": sorted(k for k, s in placement.items()
+                                   if s == shard_id),
+                }
+                for shard_id, state in cluster.shards.items()
+            },
+            "map_epoch": cluster.map_epoch,
+            "moved_shard": moved,
+            "rebalance": report,
+            "reads_ok_before": sum(
+                1 for r in reads_before.values()
+                if r.get("status") == "accepted"),
+            "reads_ok_after": sum(
+                1 for r in reads_after.values()
+                if r.get("status") == "accepted"),
+            "safety": {
+                shard_id: [c.to_json() for c in results]
+                for shard_id, results in checks.items()
+            },
+            "handler_errors": [
+                (node, src, repr(exc))
+                for node, src, exc in cluster.handler_errors()
+            ],
+        }
+    finally:
+        await cluster.aclose()
+
+
+def run_shard_demo_sync(seed: int = 0, **kwargs: Any) -> dict[str, Any]:
+    """Synchronous wrapper for CLI / tests without an event loop."""
+    return asyncio.run(run_shard_demo(seed, **kwargs))
+
+
+__all__ = [
+    "HostNode",
+    "ShardDeploymentSpec",
+    "ShardState",
+    "ShardView",
+    "ShardedCluster",
+    "run_shard_demo",
+    "run_shard_demo_sync",
+    "run_shard_safety_checks",
+]

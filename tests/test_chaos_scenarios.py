@@ -83,8 +83,20 @@ def test_unknown_scenario_rejected():
         run_scenario_sync("not-a-scenario")
 
 
+def test_shard_rebalance_online_move():
+    verdict = _assert_verdict("shard_rebalance")
+    # Clients re-homed through WrongShard redirects within the
+    # detection bound, and the moved shard's read gap stayed bounded.
+    assert verdict.counters["router_wrong_shard"] >= 1
+    assert verdict.timings["rehome_latency"] <= \
+        verdict.timings["rehome_bound"]
+    assert verdict.timings["read_unavailability"] <= \
+        verdict.timings["read_unavailability_bound"]
+
+
 def test_registry_complete():
     assert set(SCENARIOS) == {
         "master_crash", "partition_heal", "corrupt_frames",
         "auditor_failover", "slave_crash", "flash_crowd",
+        "shard_rebalance",
     }

@@ -177,6 +177,26 @@ class TestNetDemoCommand:
         assert summary["transport"]["net_frames_received"] > 0
 
 
+@pytest.mark.shard
+class TestShardDemoCommand:
+    def test_rebalance_cycle_over_sockets(self):
+        import contextlib
+        import io
+
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = main(["shard-demo", "--seed", "3", "--settle", "0.8"])
+        assert code == 0, out.getvalue()
+        report = json.loads(out.getvalue())
+        assert report["map_epoch"] == 2
+        assert report["reads_ok_after"] == report["reads_ok_before"]
+        assert report["shards"][report["moved_shard"]]["generation"] == 1
+        assert all(check["passed"]
+                   for checks in report["safety"].values()
+                   for check in checks)
+        assert report["handler_errors"] == []
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -192,6 +212,12 @@ class TestParser:
         assert args.masters == 2
         assert args.slaves_per_master == 2
         assert args.clients == 2
+        assert args.settle == 1.0
+
+    def test_shard_demo_defaults(self):
+        args = build_parser().parse_args(["shard-demo"])
+        assert args.shards == 2
+        assert args.hosts == 2
         assert args.settle == 1.0
 
     def test_obs_defaults(self):

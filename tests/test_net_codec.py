@@ -63,6 +63,15 @@ from repro.obs.admin import (
     QosStatusRequest,
 )
 from repro.obs.context import TraceCarrier, TraceContext
+from repro.shard.map import ShardMap
+from repro.shard.wire import (
+    ShardEnvelope,
+    ShardMapReply,
+    ShardMapRequest,
+    ShardStatusReply,
+    ShardStatusRequest,
+    WrongShard,
+)
 
 
 def _keys(owner_id: str, scheme: str = "hmac", seed: int = 1) -> KeyPair:
@@ -71,6 +80,10 @@ def _keys(owner_id: str, scheme: str = "hmac", seed: int = 1) -> KeyPair:
 
 MASTER = _keys("master-00")
 SLAVE = _keys("slave-00-00", seed=2)
+SHARD_MAP = ShardMap.make(
+    MASTER, namespace="aa" * 20, epoch=2, seed=7,
+    assignments={"s00": ("s00:master-00",), "s01": ("s01:master-00",)},
+    issued_at=1.5)
 STAMP = m.VersionStamp.make(MASTER, version=3, timestamp=12.5)
 PLEDGE = m.Pledge.make(SLAVE, {"kind": "kv_get", "key": "k1"},
                        "ab" * 20, STAMP, request_id="req-7")
@@ -170,6 +183,18 @@ EXAMPLES: dict[type, object] = {
         messages=(m.KeepAlive(stamp=STAMP),
                   m.ReadReply(request_id="r-1", result={"value": 7},
                               pledge=PLEDGE, in_sync=True))),
+    ShardEnvelope: ShardEnvelope(
+        shard_id="s00", src="s00:client-00", dst="s00:master-00",
+        message=m.KeepAlive(stamp=STAMP)),
+    ShardMap: SHARD_MAP,
+    ShardMapRequest: ShardMapRequest(namespace="aa" * 20, have_epoch=1),
+    ShardMapReply: ShardMapReply(namespace="aa" * 20, shard_map=SHARD_MAP),
+    WrongShard: WrongShard(shard_id="s00", epoch=3),
+    ShardStatusRequest: ShardStatusRequest(probe=1.0),
+    ShardStatusReply: ShardStatusReply(
+        host_id="host-00", now=4.5,
+        shards=(("s00", ("s00:master-00", "s00:slave-00-00")),),
+        unsharded=("host-00",)),
 }
 
 
@@ -242,7 +267,11 @@ class TestRegisteredTypes:
                           10: "ObsDumpRequest", 11: "ObsDumpReply",
                           12: "ObsHealthRequest", 13: "ObsHealthReply",
                           14: "FrameBatch",
-                          15: "QosStatusRequest", 16: "QosStatusReply"}
+                          15: "QosStatusRequest", 16: "QosStatusReply",
+                          17: "ShardEnvelope", 18: "ShardMap",
+                          19: "ShardMapRequest", 20: "ShardMapReply",
+                          21: "WrongShard", 22: "ShardStatusRequest",
+                          23: "ShardStatusReply"}
         table = registered_wire_types()
         assert {k: v for k, v in table.items() if k < 32} == expected_infra
         for offset, cls in enumerate(m.WIRE_MESSAGE_TYPES):

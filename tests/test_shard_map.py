@@ -1,0 +1,209 @@
+"""Unit tests for the signed shard map and the tenant-id scheme.
+
+The trust claims under test mirror the master-certificate ones: the
+owner signs, the directory serves, clients verify -- so tampering or
+forging a map is detectable, and the directory's only remaining power
+is withholding (exercised in ``test_shard_router.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.directory import DirectoryServer
+from repro.core.owner import ContentOwner
+from repro.crypto.hashing import sha1_hex
+from repro.crypto.keys import KeyPair
+from repro.crypto.signatures import HMACSigner
+from repro.shard.map import ShardMap, ShardMapError, shard_fingerprint
+from repro.shard.wire import ShardMapReply, ShardMapRequest, shard_of, \
+    tenant_id
+from repro.sim.network import Network, Node
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def owner() -> ContentOwner:
+    return ContentOwner("owner", rng=random.Random(1))
+
+
+def make_map(owner: ContentOwner, epoch: int = 1,
+             shards: tuple[str, ...] = ("s00", "s01")) -> ShardMap:
+    assignments = {sid: (f"{sid}:master-00", f"{sid}:master-01")
+                   for sid in shards}
+    return owner.sign_shard_map(epoch, seed=0, assignments=assignments)
+
+
+class TestTenantIds:
+    def test_roundtrip(self):
+        assert tenant_id("s00", "master-01") == "s00:master-01"
+        assert shard_of("s00:master-01") == "s00"
+
+    def test_generation_segment(self):
+        tid = tenant_id("s03", "slave-00-01", generation=2)
+        assert tid == "s03:g2:slave-00-01"
+        assert shard_of(tid) == "s03"
+
+    def test_unsharded_ids_have_no_shard(self):
+        assert shard_of("master-00") is None
+        assert shard_of("directory") is None
+
+    def test_shard_id_may_not_contain_separator(self):
+        with pytest.raises(ValueError):
+            tenant_id("s0:0", "master-00")
+
+    def test_generation_sorts_after_plain_master(self):
+        # The broadcast sequencer is the lexicographically-smallest
+        # member id; auditors must never sort below masters in any
+        # generation.
+        assert tenant_id("s00", "master-00", 1) \
+            < tenant_id("s00", "zz-auditor-00", 1)
+
+
+class TestShardFingerprint:
+    def test_distinct_per_shard(self, owner):
+        ns = owner.content_key_fingerprint()
+        prints = {shard_fingerprint(ns, f"s{i:02d}") for i in range(8)}
+        assert len(prints) == 8
+
+    def test_deterministic(self, owner):
+        ns = owner.content_key_fingerprint()
+        assert shard_fingerprint(ns, "s00") == shard_fingerprint(ns, "s00")
+
+
+class TestShardMap:
+    def test_owner_signed_map_verifies(self, owner):
+        shard_map = make_map(owner)
+        verifier = KeyPair("client", HMACSigner(rng=random.Random(2)))
+        shard_map.verify(verifier, owner.content_public_key)  # no raise
+
+    def test_tampered_assignment_detected(self, owner):
+        shard_map = make_map(owner)
+        hijacked = tuple(
+            (sid, ("evil:master-00",)) for sid, _group
+            in shard_map.assignments)
+        tampered = dataclasses.replace(shard_map, assignments=hijacked)
+        verifier = KeyPair("client", HMACSigner(rng=random.Random(3)))
+        with pytest.raises(ShardMapError):
+            tampered.verify(verifier, owner.content_public_key)
+
+    def test_tampered_epoch_detected(self, owner):
+        tampered = dataclasses.replace(make_map(owner), epoch=99)
+        verifier = KeyPair("client", HMACSigner(rng=random.Random(4)))
+        with pytest.raises(ShardMapError):
+            tampered.verify(verifier, owner.content_public_key)
+
+    def test_impostor_cannot_sign_for_namespace(self, owner):
+        impostor = ContentOwner("impostor", rng=random.Random(5))
+        forged = ShardMap.make(
+            impostor.keys, owner.content_key_fingerprint(), epoch=1,
+            seed=0, assignments={"s00": ("s00:master-00",)},
+            issued_at=0.0)
+        verifier = KeyPair("client", HMACSigner(rng=random.Random(6)))
+        with pytest.raises(ShardMapError):
+            forged.verify(verifier, owner.content_public_key)
+
+    def test_empty_map_rejected(self, owner):
+        empty = owner.sign_shard_map(1, seed=0, assignments={})
+        verifier = KeyPair("client", HMACSigner(rng=random.Random(7)))
+        with pytest.raises(ShardMapError):
+            empty.verify(verifier, owner.content_public_key)
+
+    def test_signed_payload_independent_of_dict_order(self, owner):
+        forward = owner.sign_shard_map(
+            1, seed=0, assignments={"s00": ("a",), "s01": ("b",)})
+        backward = owner.sign_shard_map(
+            1, seed=0, assignments={"s01": ("b",), "s00": ("a",)})
+        assert forward.signed_payload() == backward.signed_payload()
+
+
+class TestRendezvous:
+    def test_deterministic_and_total(self, owner):
+        shard_map = make_map(owner, shards=("s00", "s01", "s02"))
+        for i in range(50):
+            fingerprint = sha1_hex(f"key-{i}")
+            winner = shard_map.shard_for(fingerprint)
+            assert winner in shard_map.shard_ids
+            assert winner == shard_map.shard_for(fingerprint)
+
+    def test_spreads_keys_across_shards(self, owner):
+        shard_map = make_map(owner, shards=("s00", "s01", "s02", "s03"))
+        hit = {shard_map.shard_for(sha1_hex(f"key-{i}"))
+               for i in range(200)}
+        assert hit == set(shard_map.shard_ids)
+
+    def test_minimal_movement_when_shard_added(self, owner):
+        # Rendezvous property: growing the shard set only moves the
+        # keys that rendezvous onto the new shard.
+        small = make_map(owner, shards=("s00", "s01"))
+        grown = make_map(owner, epoch=2, shards=("s00", "s01", "s02"))
+        moved = 0
+        for i in range(200):
+            fingerprint = sha1_hex(f"key-{i}")
+            before = small.shard_for(fingerprint)
+            after = grown.shard_for(fingerprint)
+            if before != after:
+                moved += 1
+                assert after == "s02"
+        assert 0 < moved < 200
+
+    def test_masters_for_unknown_shard_raises(self, owner):
+        with pytest.raises(ShardMapError):
+            make_map(owner).masters_for("s99")
+
+
+class MapProbe(Node):
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.replies: list[ShardMapReply] = []
+
+    def on_message(self, src_id, message):
+        assert isinstance(message, ShardMapReply)
+        self.replies.append(message)
+
+
+class TestDirectoryShardMaps:
+    """The directory serves maps but cannot roll them back or forge them."""
+
+    @pytest.fixture
+    def world(self, owner):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        directory = DirectoryServer("directory", sim, net)
+        probe = MapProbe("probe", sim, net)
+        return sim, directory, probe
+
+    def test_serves_latest_published_epoch(self, world, owner):
+        sim, directory, probe = world
+        directory.publish_shard_map(make_map(owner, epoch=1))
+        directory.publish_shard_map(make_map(owner, epoch=2))
+        probe.send("directory", ShardMapRequest(
+            namespace=owner.content_key_fingerprint()))
+        sim.run_for(1.0)
+        assert probe.replies[0].shard_map.epoch == 2
+
+    def test_stale_publish_cannot_roll_back(self, world, owner):
+        sim, directory, probe = world
+        directory.publish_shard_map(make_map(owner, epoch=3))
+        directory.publish_shard_map(make_map(owner, epoch=1))
+        probe.send("directory", ShardMapRequest(
+            namespace=owner.content_key_fingerprint()))
+        sim.run_for(1.0)
+        assert probe.replies[0].shard_map.epoch == 3
+
+    def test_unknown_namespace_yields_empty_reply(self, world, owner):
+        sim, _directory, probe = world
+        probe.send("directory", ShardMapRequest(namespace="deadbeef"))
+        sim.run_for(1.0)
+        assert probe.replies[0].shard_map is None
+
+    def test_up_to_date_requester_gets_no_body(self, world, owner):
+        sim, directory, probe = world
+        directory.publish_shard_map(make_map(owner, epoch=2))
+        probe.send("directory", ShardMapRequest(
+            namespace=owner.content_key_fingerprint(), have_epoch=2))
+        sim.run_for(1.0)
+        assert probe.replies[0].shard_map is None
